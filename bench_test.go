@@ -1,0 +1,258 @@
+package lama_test
+
+import (
+	"testing"
+
+	"lama"
+	"lama/internal/exper"
+)
+
+// One benchmark per paper exhibit (DESIGN.md §4): each regenerates the
+// corresponding table/figure through the experiment harness, so
+// `go test -bench=E` both reproduces the exhibits and times them.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exper.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exper.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1TableI(b *testing.B)             { benchExperiment(b, "E1") }
+func BenchmarkE2Fig1Recursion(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3Fig2Example(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4Permutations(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5GTC(b *testing.B)                { benchExperiment(b, "E5") }
+func BenchmarkE6NAS(b *testing.B)                { benchExperiment(b, "E6") }
+func BenchmarkE7Heterogeneous(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8MappingScalability(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9Baselines(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Binding(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11CLILevels(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12TrafficAware(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13AppIterations(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14Collectives(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15LaunchScalability(b *testing.B) { benchExperiment(b, "E15") }
+
+// Micro-benchmarks of the core operations behind the exhibits.
+
+func benchCluster(b *testing.B, nodes int) *lama.Cluster {
+	b.Helper()
+	spec, ok := lama.Preset("nehalem-ep")
+	if !ok {
+		b.Fatal("preset missing")
+	}
+	return lama.Homogeneous(nodes, spec)
+}
+
+func benchMapper(b *testing.B, nodes, np int, layout string) {
+	b.Helper()
+	c := benchCluster(b, nodes)
+	mapper, err := lama.NewMapper(c, lama.MustParseLayout(layout), lama.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(np); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMap4Nodes64Ranks(b *testing.B)     { benchMapper(b, 4, 64, "scbnh") }
+func BenchmarkMap64Nodes1024Ranks(b *testing.B)  { benchMapper(b, 64, 1024, "scbnh") }
+func BenchmarkMap256Nodes4096Ranks(b *testing.B) { benchMapper(b, 256, 4096, "scbnh") }
+func BenchmarkMapFullLayout(b *testing.B)        { benchMapper(b, 16, 256, "nbsNL3L2L1ch") }
+
+func BenchmarkMapReference(b *testing.B) {
+	c := benchCluster(b, 16)
+	mapper, err := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.MapReference(256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLayout(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.ParseLayout("nbsNL3L2L1ch"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBindSpecificCore(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	m, err := mapper.Map(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.Bind(c, m, lama.BindSpecific, lama.LevelCore); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateStencil(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("csbnh"), lama.Options{})
+	m, err := mapper.Map(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	px, py := lama.Grid2D(128)
+	tm := lama.Stencil2D(px, py, 1<<20, true)
+	model := lama.NewModel(lama.NewFatTreeNetwork(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(c, m, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaunch128Ranks(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	m, err := mapper.Map(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := lama.Bind(c, m, lama.BindSpecific, lama.LevelPU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := lama.NewRuntime(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, err := rt.Launch(m, plan, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := job.CheckEnforcement(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologyBuild(b *testing.B) {
+	spec, _ := lama.Preset("power7")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lama.NewTopology(spec)
+	}
+}
+
+func BenchmarkTreeMatch64(b *testing.B) {
+	c := benchCluster(b, 8)
+	tm := lama.GTC(64, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.TreeMatchMap(c, tm, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectiveBroadcast(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("csbnh"), lama.Options{})
+	m, err := mapper.Map(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := lama.NewModel(lama.NewFlatNetwork())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.RunCollective(lama.Broadcast, c, m, model, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppSimStencil(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("csbnh"), lama.Options{})
+	m, err := mapper.Map(128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	px, py := lama.Grid2D(128)
+	tm := lama.Stencil2D(px, py, 1<<20, true)
+	model := lama.NewModel(lama.NewFatTreeNetwork(4))
+	cfg := lama.AppConfig{ComputeUs: 100, Iterations: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.SimulateApp(c, m, model, tm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapTraced(b *testing.B) {
+	c := benchCluster(b, 8)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mapper.MapTraced(128, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankfileRoundTrip(b *testing.B) {
+	c := benchCluster(b, 4)
+	mapper, _ := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	m, err := mapper.Map(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := lama.RankfileFromMap(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f2, err := lama.ParseRankfile(lama.FormatRankfile(f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := lama.ApplyRankfile(f2, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE16HierCollectives(b *testing.B) { benchExperiment(b, "E16") }
+
+func BenchmarkE17Scheduling(b *testing.B) { benchExperiment(b, "E17") }
+
+func BenchmarkE18CostModelAblation(b *testing.B) { benchExperiment(b, "E18") }
+
+func BenchmarkE19ReorderVsRemap(b *testing.B) { benchExperiment(b, "E19") }
+
+func BenchmarkE20PlanningCost(b *testing.B) { benchExperiment(b, "E20") }

@@ -1,0 +1,69 @@
+// Command lamabench regenerates the paper's exhibits: it runs the
+// experiments registered in internal/exper (Table I, Figure 1, Figure 2,
+// the 362,880-permutation claim, and the simulator-backed motivation and
+// comparison studies) and prints their result tables.
+//
+// Usage:
+//
+//	lamabench            # run everything at sampled scale
+//	lamabench -exp E5    # run one experiment
+//	lamabench -full      # exhaustive variants (E4 enumerates all 9!)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lama/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lamabench", flag.ContinueOnError)
+	expID := fs.String("exp", "", "run a single experiment (E1..E11)")
+	full := fs.Bool("full", false, "run exhaustive variants")
+	seed := fs.Int64("seed", 1, "seed for randomized experiments")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := exper.Options{Full: *full, Seed: *seed}
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Exhibit)
+		}
+		return nil
+	}
+
+	var todo []exper.Experiment
+	if *expID != "" {
+		e, err := exper.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		todo = []exper.Experiment{e}
+	} else {
+		todo = exper.All()
+	}
+
+	for _, e := range todo {
+		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Exhibit)
+		tables, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.ID, err)
+		}
+		for _, t := range tables {
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+// Command lamamap plans process placements the way the paper's mpirun
+// integration does: it builds (or loads) a cluster, runs the LAMA (or a
+// rankfile) through the four CLI abstraction levels, and prints the map,
+// the binding widths, and a Figure 2-style per-node view.
+//
+// Usage:
+//
+//	lamamap -np 24 -cluster 2xfig2 -- --lama-map scbnh --bind-to core
+//	lamamap -np 24 -hostfile hosts.txt -- --map-by socket
+//	lamamap -np 4 -cluster 2xfig2 -rankfile ranks.txt
+//
+// The -cluster form is "<nodes>x<spec>", where <spec> is a preset name or
+// colon form accepted by the topology parser. Arguments after "--" are
+// mpirun-style options (see internal/mpirun).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/mpirun"
+	"lama/internal/rankfile"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamamap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lamamap", flag.ContinueOnError)
+	np := fs.Int("np", 0, "number of processes")
+	clusterSpec := fs.String("cluster", "2xnehalem-ep", "cluster as <nodes>x<spec>")
+	hostfile := fs.String("hostfile", "", "hostfile path (overrides -cluster)")
+	rankfilePath := fs.String("rankfile", "", "rankfile path (Level 4)")
+	byNode := fs.Bool("render-by-node", true, "print the Figure 2-style per-node view")
+	asJSON := fs.Bool("json", false, "emit the map as JSON and exit")
+	emitRankfile := fs.Bool("emit-rankfile", false, "emit the map as a Level 4 rankfile and exit")
+	trace := fs.Int("trace", 0, "print the first N mapping-iteration events (Levels 1-3)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := buildCluster(*clusterSpec, *hostfile)
+	if err != nil {
+		return err
+	}
+
+	mpiArgs := []string{"-np", strconv.Itoa(*np)}
+	if *rankfilePath != "" {
+		text, err := os.ReadFile(*rankfilePath)
+		if err != nil {
+			return err
+		}
+		mpiArgs = append(mpiArgs, "--rankfile-text", string(text))
+	}
+	mpiArgs = append(mpiArgs, fs.Args()...)
+
+	req, err := mpirun.Parse(mpiArgs)
+	if err != nil {
+		return err
+	}
+	res, err := mpirun.Execute(req, c)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		data, err := json.MarshalIndent(res.Map, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	if *emitRankfile {
+		f, err := rankfile.FromMap(res.Map)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rankfile.Format(f))
+		return nil
+	}
+
+	fmt.Fprintf(out, "cluster:\n%s\n", c.Summary())
+	fmt.Fprintf(out, "abstraction level: %d\n", req.Level)
+	if req.Level != 4 {
+		fmt.Fprintf(out, "process layout:    %s\n", req.Layout)
+	}
+	fmt.Fprintf(out, "binding:           %s\n\n", req.BindPolicy)
+	fmt.Fprint(out, res.Map.Render())
+	if *byNode {
+		fmt.Fprintf(out, "\n%s", res.Map.RenderByNode(c))
+	}
+	if req.ReportBindings {
+		fmt.Fprintf(out, "\nbindings:\n%s", res.Plan.Render(c))
+	}
+	if *trace > 0 {
+		if req.Level == 4 {
+			return fmt.Errorf("-trace requires a LAMA mapping (Levels 1-3)")
+		}
+		mapper, err := core.NewMapper(c, req.Layout, req.Opts)
+		if err != nil {
+			return err
+		}
+		_, events, err := mapper.MapTraced(req.NP, *trace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\niteration trace (first %d events):\n", len(events))
+		for _, e := range events {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+
+	s := metricsSummary(c, res)
+	fmt.Fprintf(out, "\n%s", s)
+	return nil
+}
+
+func buildCluster(spec, hostfile string) (*cluster.Cluster, error) {
+	if hostfile != "" {
+		text, err := os.ReadFile(hostfile)
+		if err != nil {
+			return nil, err
+		}
+		def, _ := hw.Preset("nehalem-ep")
+		return cluster.ParseHostfile(string(text), def)
+	}
+	nStr, specStr, ok := strings.Cut(spec, "x")
+	if !ok {
+		return nil, fmt.Errorf("bad -cluster %q: want <nodes>x<spec>", spec)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("bad node count in -cluster %q", spec)
+	}
+	sp, err := hw.ParseSpec(specStr)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Homogeneous(n, sp), nil
+}
+
+func metricsSummary(c *cluster.Cluster, res *mpirun.Result) string {
+	t := metrics.NewTable("summary", "metric", "value")
+	per := res.Map.RanksByNode()
+	t.AddRow("ranks", metrics.I(res.Map.NumRanks()))
+	t.AddRow("nodes used", metrics.I(len(per)))
+	t.AddRow("oversubscribed", fmt.Sprint(res.Map.Oversubscribed()))
+	t.AddRow("sweeps", metrics.I(res.Map.Sweeps))
+	if len(res.Plan.Bindings) > 0 {
+		t.AddRow("binding width (rank 0)", metrics.I(res.Plan.Bindings[0].Width))
+	}
+	return t.String()
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunLevel3(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-np", "24", "-cluster", "2xfig2", "--",
+		"--lama-map", "scbnh", "--bind-to", "core"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"process layout:    scbnh",
+		"abstraction level: 3",
+		"node0:", "socket 1:", "[h1: 12]",
+		"binding width (rank 0)", "2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunLevel2Shortcut(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "4", "-cluster", "1xnehalem-ep", "--", "--map-by", "socket"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "abstraction level: 2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunHostfile(t *testing.T) {
+	dir := t.TempDir()
+	hf := filepath.Join(dir, "hosts")
+	if err := os.WriteFile(hf, []byte("a slots=4 spec=fig2\nb slots=4 spec=fig2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-np", "4", "-hostfile", hf, "--", "--bynode"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a") || !strings.Contains(out.String(), "2 nodes") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunRankfile(t *testing.T) {
+	dir := t.TempDir()
+	rf := filepath.Join(dir, "ranks")
+	if err := os.WriteFile(rf, []byte("rank 0=node0 slot=0\nrank 1=node1 slot=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-np", "2", "-cluster", "2xfig2", "-rankfile", rf}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "abstraction level: 4") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-np", "4", "-cluster", "junk"},                      // bad cluster syntax
+		{"-np", "4", "-cluster", "0xfig2"},                    // bad node count
+		{"-np", "4", "-cluster", "1xbogus~"},                  // bad spec
+		{"-np", "0", "-cluster", "1xfig2"},                    // bad np
+		{"-np", "4", "-cluster", "1xfig2", "--", "--nope"},    // bad mpirun arg
+		{"-np", "99", "-cluster", "1xfig2"},                   // oversubscribe
+		{"-np", "4", "-hostfile", "/does/not/exist"},          // missing hostfile
+		{"-np", "4", "-cluster", "1xfig2", "-rankfile", "/x"}, // missing rankfile
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "4", "-cluster", "1xfig2", "-json", "--", "--lama-map", "scbnh"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if decoded["layout"] != "scbnh" {
+		t.Fatalf("layout = %v", decoded["layout"])
+	}
+}
+
+func TestRunEmitRankfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "4", "-cluster", "1xfig2", "-emit-rankfile", "--", "--lama-map", "scbnh"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "rank 0=node0 slot=0") {
+		t.Fatalf("rankfile:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "\n") != 4 {
+		t.Fatalf("want 4 lines:\n%s", out.String())
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "4", "-cluster", "1xfig2", "-trace", "6", "--", "--lama-map", "scbnh"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "iteration trace") || !strings.Contains(out.String(), "mapped rank 0") {
+		t.Fatalf("trace missing:\n%s", out.String())
+	}
+	// Trace rejects rankfile mode.
+	var bad bytes.Buffer
+	err := run([]string{"-np", "1", "-cluster", "1xfig2", "-trace", "3", "--", "--rankfile-text", "rank 0=node0 slot=0"}, &bad)
+	if err == nil {
+		t.Fatal("trace with rankfile should fail")
+	}
+}

@@ -1,0 +1,209 @@
+// Command lamasim evaluates mappings: it maps a job several ways (LAMA
+// layouts, baselines, traffic-aware), costs a chosen traffic pattern on a
+// chosen network model, and reports either static communication metrics,
+// BSP application iteration times, or MPI collective completion times.
+//
+// Usage:
+//
+//	lamasim -np 64 -nodes 8 -spec nehalem-ep -pattern stencil2d -net fat-tree
+//	lamasim -np 64 -nodes 8 -pattern gtc -net torus -mode app -compute 500
+//	lamasim -np 16 -nodes 8 -mode coll -bytes 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lama/internal/appsim"
+	"lama/internal/baseline"
+	"lama/internal/cluster"
+	"lama/internal/coll"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/msgsim"
+	"lama/internal/netsim"
+	"lama/internal/torus"
+	"lama/internal/treematch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lamasim", flag.ContinueOnError)
+	np := fs.Int("np", 64, "number of processes")
+	nodes := fs.Int("nodes", 8, "number of nodes")
+	spec := fs.String("spec", "nehalem-ep", "node spec (preset or colon form)")
+	patternName := fs.String("pattern", "stencil2d", "traffic pattern (see internal/commpat)")
+	trafficPath := fs.String("traffic", "", "traffic matrix file (edge list; overrides -pattern)")
+	bytesPer := fs.Float64("bytes", 1<<20, "bytes per exchange")
+	netName := fs.String("net", "flat", "network model: flat | fat-tree | torus | dragonfly")
+	mode := fs.String("mode", "static", "report: static | app | coll | fluid")
+	compute := fs.Float64("compute", 500, "per-iteration compute time in us (mode app)")
+	iters := fs.Int("iters", 1000, "iterations (mode app)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sp, err := hw.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	c := cluster.Homogeneous(*nodes, sp)
+
+	var net netsim.Network
+	switch *netName {
+	case "flat":
+		net = netsim.NewFlat()
+	case "fat-tree":
+		net = netsim.NewFatTree(4)
+	case "torus":
+		d := torusDims(*nodes)
+		net = netsim.NewTorus3D(d)
+	case "dragonfly":
+		net = netsim.NewDragonfly(4)
+	default:
+		return fmt.Errorf("unknown network %q", *netName)
+	}
+	model := netsim.NewModel(net)
+
+	var tm *commpat.Matrix
+	if *trafficPath != "" {
+		text, err := os.ReadFile(*trafficPath)
+		if err != nil {
+			return err
+		}
+		tm, err = commpat.ParseMatrix(string(text))
+		if err != nil {
+			return err
+		}
+		if tm.Ranks() != *np {
+			return fmt.Errorf("traffic file has %d ranks but -np is %d", tm.Ranks(), *np)
+		}
+		*patternName = *trafficPath
+	} else {
+		for _, p := range commpat.Patterns() {
+			if p.Name == *patternName {
+				tm = p.Gen(*np, *bytesPer)
+			}
+		}
+		if tm == nil {
+			return fmt.Errorf("unknown pattern %q (see commpat.Patterns)", *patternName)
+		}
+	}
+
+	strategies := []struct {
+		name string
+		gen  func() (*core.Map, error)
+	}{
+		{"lama csbnh (pack)", lamaGen(c, "csbnh", *np)},
+		{"lama ncsbh (cycle)", lamaGen(c, "ncsbh", *np)},
+		{"lama scbnh (sockets)", lamaGen(c, "scbnh", *np)},
+		{"lama hcsbn (threads)", lamaGen(c, "hcsbn", *np)},
+		{"treematch", func() (*core.Map, error) { return treematch.Map(c, tm, *np) }},
+		{"random", func() (*core.Map, error) { return baseline.Random(c, 1, *np) }},
+	}
+
+	fmt.Fprintf(out, "cluster: %d x %s (%d usable PUs), network %s, pattern %s, np=%d\n\n",
+		*nodes, *spec, c.TotalUsablePUs(), net.Name(), *patternName, *np)
+
+	switch *mode {
+	case "static":
+		t := metrics.NewTable("static communication metrics",
+			"strategy", "total (ms)", "inter-node MB", "avg hops", "max link MB")
+		for _, s := range strategies {
+			m, err := s.gen()
+			if err != nil {
+				return err
+			}
+			rep, err := model.Evaluate(c, m, tm)
+			if err != nil {
+				return err
+			}
+			t.AddRow(s.name, metrics.F(rep.TotalTime/1000, 3),
+				metrics.F(rep.InterBytes/1e6, 1), metrics.F(rep.AvgHops, 2),
+				metrics.F(rep.MaxLinkLoad/1e6, 2))
+		}
+		fmt.Fprintln(out, t.String())
+	case "app":
+		t := metrics.NewTable(
+			fmt.Sprintf("BSP application, %d iterations x %.0f us compute", *iters, *compute),
+			"strategy", "iteration (us)", "comm share", "bound by")
+		for _, s := range strategies {
+			m, err := s.gen()
+			if err != nil {
+				return err
+			}
+			res, err := appsim.Run(c, m, model, tm, appsim.Config{ComputeUs: *compute, Iterations: *iters})
+			if err != nil {
+				return err
+			}
+			t.AddRow(s.name, metrics.F(res.IterUs, 1),
+				metrics.F(res.CommUs/res.IterUs*100, 1)+"%", res.BoundBy)
+		}
+		fmt.Fprintln(out, t.String())
+	case "coll":
+		t := metrics.NewTable("collective completion times (ms)",
+			"strategy", "broadcast", "allreduce-rd", "allreduce-ring", "alltoall", "barrier")
+		for _, s := range strategies {
+			m, err := s.gen()
+			if err != nil {
+				return err
+			}
+			row := []string{s.name}
+			for _, op := range []coll.Op{coll.Broadcast, coll.AllreduceRD,
+				coll.AllreduceRing, coll.Alltoall, coll.Barrier} {
+				res, err := coll.Run(op, c, m, model, *bytesPer)
+				if err != nil {
+					return err
+				}
+				row = append(row, metrics.F(res.TimeUs/1000, 3))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Fprintln(out, t.String())
+	case "fluid":
+		t := metrics.NewTable("flow-level fluid simulation (max-min fair sharing)",
+			"strategy", "makespan (ms)", "events")
+		msgs := msgsim.FromMatrix(tm)
+		for _, s := range strategies {
+			m, err := s.gen()
+			if err != nil {
+				return err
+			}
+			res, err := msgsim.Run(c, m, model, msgs)
+			if err != nil {
+				return err
+			}
+			t.AddRow(s.name, metrics.F(res.Makespan/1000, 3), metrics.I(res.Events))
+		}
+		fmt.Fprintln(out, t.String())
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}
+
+func lamaGen(c *cluster.Cluster, layout string, np int) func() (*core.Map, error) {
+	return func() (*core.Map, error) {
+		m, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return m.Map(np)
+	}
+}
+
+// torusDims factors n into a 3-D shape (x >= y >= z).
+func torusDims(n int) torus.Dims {
+	px, py, pz := commpat.Grid3D(n)
+	return torus.Dims{X: pz, Y: py, Z: px}
+}

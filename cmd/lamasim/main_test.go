@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStaticMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "32", "-nodes", "4", "-pattern", "ring"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static communication metrics", "treematch", "random", "lama csbnh"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAppMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-np", "32", "-nodes", "4", "-mode", "app",
+		"-compute", "100", "-iters", "10", "-pattern", "gtc"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BSP application") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestCollMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "16", "-nodes", "4", "-mode", "coll"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allreduce-ring") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestNetworks(t *testing.T) {
+	for _, net := range []string{"flat", "fat-tree", "torus", "dragonfly"} {
+		var out bytes.Buffer
+		if err := run([]string{"-np", "16", "-nodes", "8", "-net", net}, &out); err != nil {
+			t.Fatalf("%s: %v", net, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-net", "quantum"},
+		{"-pattern", "mystery"},
+		{"-mode", "dance"},
+		{"-spec", "bogus~"},
+		{"-np", "9999", "-nodes", "1"}, // over capacity
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestTrafficFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traffic.txt")
+	text := "ranks 8\n0 1 1000000\n1 0 1000000\n2 3 500000\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-np", "8", "-nodes", "2", "-traffic", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "traffic.txt") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	// Rank mismatch and missing file.
+	var bad bytes.Buffer
+	if err := run([]string{"-np", "9", "-nodes", "2", "-traffic", path}, &bad); err == nil {
+		t.Fatal("rank mismatch should fail")
+	}
+	if err := run([]string{"-np", "8", "-traffic", "/nope"}, &bad); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestFluidMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-np", "16", "-nodes", "2", "-mode", "fluid", "-pattern", "ring"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fluid simulation") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

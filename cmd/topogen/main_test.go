@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHomogeneousHostfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "3", "-spec", "fig2", "-slots", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "node0 slots=6 spec=") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+}
+
+func TestHeterogeneousSpecs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-specs", "nehalem-ep,bgp-node"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "spec="); n != 2 {
+		t.Fatalf("nodes = %d:\n%s", n, out.String())
+	}
+}
+
+func TestOfflineRestriction(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-spec", "fig2", "-offline", "1:socket:1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "allowed=0-5") {
+		t.Fatalf("restriction missing:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "magny-cours", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if decoded["level"] != "machine" {
+		t.Fatalf("root level = %v", decoded["level"])
+	}
+}
+
+func TestPresetsList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-presets"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nehalem-ep") {
+		t.Fatal("presets missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-spec", "bogus~"},
+		{"-specs", "fig2,bogus~"},
+		{"-nodes", "1", "-offline", "junk"},
+		{"-nodes", "1", "-offline", "0:warp:0"},
+		{"-nodes", "1", "-offline", "5:socket:0"},
+		{"-nodes", "1", "-offline", "0:socket:99"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestSyntheticSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nodes", "2", "-synthetic", "socket:2 core:4 pu:2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spec=1:2:1:1:1:1:4:2") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	var bad bytes.Buffer
+	if err := run([]string{"-synthetic", "warp:9"}, &bad); err == nil {
+		t.Fatal("bad synthetic should fail")
+	}
+}
+
+func TestTreeOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-spec", "nehalem-ep", "-tree"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "machine#0") || !strings.Contains(out.String(), "core#0 (pus 0,8)") {
+		t.Fatalf("tree:\n%s", out.String())
+	}
+}

@@ -1,0 +1,66 @@
+// Heterogeneous systems (paper §III-A, §IV-B): a core-granular allocation
+// from a resource manager turns a homogeneous pool into a heterogeneous
+// view, and the LAMA's maximal tree handles it: coordinates that do not
+// exist (or are disallowed) on a node are simply skipped.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lama"
+)
+
+func main() {
+	// A pool of four identical dual-socket nodes, managed by a scheduler.
+	spec, _ := lama.Preset("nehalem-ep")
+	pool := lama.Homogeneous(4, spec)
+	rm := lama.NewResourceManager(pool)
+
+	// Another job already holds 5 cores; our job asks for 12 more at core
+	// granularity, so it gets parts of several nodes — the paper's "half
+	// the cores of node A and half the cores of node B".
+	if _, err := rm.Alloc(lama.AllocCoreGranular, 5); err != nil {
+		log.Fatal(err)
+	}
+	alloc, err := rm.Alloc(lama.AllocCoreGranular, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("our allocation (restricted views of the pool nodes):")
+	fmt.Print(alloc.Granted.Summary())
+
+	// Add a genuinely different machine to make the system heterogeneous
+	// in hardware, not just in restrictions.
+	old, _ := lama.Preset("bgp-node")
+	oldNode := lama.FromSpecs(old).Nodes[0]
+	oldNode.Name = "old0"
+	alloc.Granted.Nodes = append(alloc.Granted.Nodes, oldNode)
+	fmt.Printf("\nwith the old node attached: homogeneous=%v\n\n", alloc.Granted.Homogeneous())
+
+	// Map one rank per available core across the mixed system. The
+	// maximal tree's socket width is 2 even though the old node has one
+	// socket; its missing coordinates are skipped, not errors.
+	usable := 0
+	for _, n := range alloc.Granted.Nodes {
+		usable += n.Topo.NumUsablePUs()
+	}
+	layout := lama.MustParseLayout("scn") // cores as leaves, PU level pruned
+	mapper, err := lama.NewMapper(alloc.Granted, layout, lama.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	np := usable / 2 // one rank per dual-thread core, one per single-thread core floor
+	m, err := mapper.Map(np)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapped %d ranks with layout %s (PU level pruned -> core leaves):\n", np, layout)
+	for node, ranks := range m.RanksByNode() {
+		fmt.Printf("  %s: %d ranks\n", alloc.Granted.Node(node).Name, len(ranks))
+	}
+
+	s := lama.Summarize(alloc.Granted, m)
+	fmt.Printf("\nsummary: %d ranks on %d nodes (%d sockets), oversubscribed=%v\n",
+		s.Ranks, s.NodesUsed, s.SocketsUsed, s.Oversubscribed)
+}

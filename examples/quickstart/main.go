@@ -1,0 +1,55 @@
+// Quickstart: the full map -> bind -> launch pipeline on the paper's
+// Figure 2 scenario — 24 processes, layout "scbnh", two nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lama"
+)
+
+func main() {
+	// A cluster of two nodes, each 2 sockets x 3 cores x 2 hardware
+	// threads (the reconstructed Figure 2 node).
+	spec, ok := lama.Preset("fig2")
+	if !ok {
+		log.Fatal("preset missing")
+	}
+	cluster := lama.Homogeneous(2, spec)
+	fmt.Print(cluster.Summary())
+
+	// 1) Mapping (paper §III-A): plan rank -> processing unit with the
+	// "scbnh" layout — scatter across sockets, then cores, fill the node,
+	// move to the next node, and only then use second hardware threads.
+	layout := lama.MustParseLayout("scbnh")
+	mapper, err := lama.NewMapper(cluster, layout, lama.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := mapper.Map(24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure 2 mapping:")
+	fmt.Print(m.RenderByNode(cluster))
+
+	// 2) Binding (paper §III-B): give each rank a specific core.
+	plan, err := lama.Bind(cluster, m, lama.BindSpecific, lama.LevelCore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbinding width at core level: %d PUs per rank\n", plan.Bindings[0].Width)
+
+	// 3) Launch: run the job in the simulated runtime and verify that no
+	// process ever escaped its binding.
+	job, err := lama.NewRuntime(cluster).Launch(m, plan, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := job.CheckEnforcement(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launched %d ranks on %d daemons; max PU occupancy %d; enforcement OK\n",
+		len(job.Procs), len(job.Daemons), job.MaxOccupancy())
+}

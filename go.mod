@@ -1,0 +1,3 @@
+module lama
+
+go 1.22

@@ -1,0 +1,169 @@
+package appsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/netsim"
+	"lama/internal/torus"
+)
+
+func setup(t *testing.T, layout string, np int) (*cluster.Cluster, *core.Map) {
+	t.Helper()
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestRunBasics(t *testing.T) {
+	c, m := setup(t, "csbnh", 24)
+	model := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(24, 100000)
+	res, err := Run(c, m, model, tm, Config{ComputeUs: 100, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterUs <= 100 || res.TotalUs != res.IterUs*10 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.CommUs <= 0 {
+		t.Fatal("no communication time")
+	}
+	if res.BoundBy != "rank-comm" && res.BoundBy != "compute" {
+		t.Fatalf("bound = %s", res.BoundBy)
+	}
+}
+
+func TestComputeBound(t *testing.T) {
+	c, m := setup(t, "csbnh", 24)
+	model := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(24, 10) // tiny messages
+	res, err := Run(c, m, model, tm, Config{ComputeUs: 1e6, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BoundBy != "compute" {
+		t.Fatalf("bound = %s, want compute", res.BoundBy)
+	}
+}
+
+func TestLinkBoundOnTorus(t *testing.T) {
+	sp, _ := hw.Preset("bgp-node")
+	d := torus.Dims{X: 4, Y: 1, Z: 1}
+	c := cluster.Homogeneous(4, sp)
+	mapper, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	m, err := mapper.Map(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netsim.NewModel(netsim.NewTorus3D(d))
+	// Scattered all-to-all on a thin ring: links saturate.
+	res, err := Run(c, m, model, commpat.AllToAll(16, 1<<22), Config{ComputeUs: 1, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommUs <= 0 {
+		t.Fatal("no comm time")
+	}
+}
+
+// TestBetterMappingFasterApp: the end-to-end property the whole repository
+// exists for — a locality-aware mapping makes the simulated application
+// finish sooner.
+func TestBetterMappingFasterApp(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	model := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(24, 1<<20)
+	cfg := Config{ComputeUs: 50, Iterations: 100}
+
+	pack, _ := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	mp, err := pack.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPack, err := Run(c, mp, model, tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cyc, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	mc, err := cyc.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCyc, err := Run(c, mc, model, tm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s := Speedup(resCyc, resPack); s <= 1 {
+		t.Fatalf("pack should beat cycle for a ring, speedup = %v", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c, m := setup(t, "csbnh", 8)
+	model := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(8, 100)
+	if _, err := Run(c, m, model, tm, Config{ComputeUs: 1, Iterations: 0}); err == nil {
+		t.Fatal("iterations=0")
+	}
+	if _, err := Run(c, m, model, tm, Config{ComputeUs: -1, Iterations: 1}); err == nil {
+		t.Fatal("negative compute")
+	}
+	if _, err := Run(c, m, model, commpat.Ring(9, 1), Config{ComputeUs: 1, Iterations: 1}); err == nil {
+		t.Fatal("rank mismatch")
+	}
+}
+
+func TestSpeedupZero(t *testing.T) {
+	if Speedup(&Result{TotalUs: 1}, &Result{}) != 0 {
+		t.Fatal("zero denominator")
+	}
+}
+
+func TestQuickAppSimMonotoneInBytes(t *testing.T) {
+	// More bytes per exchange can never make the iteration faster.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp, _ := hw.Preset("fig2")
+		c := cluster.Homogeneous(2, sp)
+		np := 4 + r.Intn(20)
+		mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+		if err != nil {
+			return false
+		}
+		m, err := mapper.Map(np)
+		if err != nil {
+			return false
+		}
+		model := netsim.NewModel(netsim.NewFlat())
+		cfg := Config{ComputeUs: float64(r.Intn(200)), Iterations: 1 + r.Intn(5)}
+		small, err := Run(c, m, model, commpat.Ring(np, 1000), cfg)
+		if err != nil {
+			return false
+		}
+		big, err := Run(c, m, model, commpat.Ring(np, 1000000), cfg)
+		if err != nil {
+			return false
+		}
+		return big.TotalUs >= small.TotalUs && big.CommUs >= small.CommUs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

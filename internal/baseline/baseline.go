@@ -1,0 +1,236 @@
+// Package baseline implements the traditional mapping strategies the paper
+// compares against (§II): the by-slot and by-node round-robin patterns all
+// MPI implementations provide, MPICH2-style pack/scatter at one topology
+// level, and a random mapper. Each is implemented independently of the
+// LAMA machinery (straightforward loop nests over the actual topologies)
+// so that equivalence tests between a baseline and the corresponding LAMA
+// layout genuinely cross-validate the algorithm.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+// slot is one mappable processing unit with its location.
+type slot struct {
+	node int
+	pu   *hw.Object
+}
+
+// place converts an ordered slot list into a core.Map, assigning ranks
+// 0..np-1 in order. It fails if np exceeds the slot count (these baselines
+// do not oversubscribe).
+func place(c *cluster.Cluster, slots []slot, np int, name string) (*core.Map, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive process count %d", np)
+	}
+	if np > len(slots) {
+		return nil, fmt.Errorf("baseline: %s: %d ranks exceed %d processing units",
+			name, np, len(slots))
+	}
+	m := &core.Map{Sweeps: 1}
+	for rank := 0; rank < np; rank++ {
+		s := slots[rank]
+		m.Placements = append(m.Placements, core.Placement{
+			Rank:     rank,
+			Node:     s.node,
+			NodeName: c.Node(s.node).Name,
+			Coords:   map[hw.Level]int{hw.LevelMachine: s.node},
+			Leaf:     s.pu,
+			PUs:      []int{s.pu.OS},
+		})
+	}
+	return m, nil
+}
+
+// nodePUs returns node i's usable PUs ordered socket-major, then core,
+// then hardware thread — the conventional "slot" order.
+func nodePUs(c *cluster.Cluster, i int) [][]*hw.Object {
+	// Grouped by thread index: first threads of every core, then second
+	// threads, etc. (ragged when cores differ in thread count).
+	node := c.Node(i)
+	var byThread [][]*hw.Object
+	for _, coreObj := range node.Topo.Objects(hw.LevelCore) {
+		ups := coreObj.UsablePUs()
+		for t, pu := range ups {
+			for len(byThread) <= t {
+				byThread = append(byThread, nil)
+			}
+			byThread[t] = append(byThread[t], pu)
+		}
+	}
+	return byThread
+}
+
+// BySlot packs ranks onto the slots of each node in turn: all first
+// hardware threads of node 0's cores, node 1's, ..., then second threads
+// (the "bunch/pack/block" pattern of §II). Equivalent to LAMA "csbnh" on
+// regular machines.
+func BySlot(c *cluster.Cluster, np int) (*core.Map, error) {
+	var slots []slot
+	maxThreads := 0
+	perNode := make([][][]*hw.Object, c.NumNodes())
+	for i := range c.Nodes {
+		perNode[i] = nodePUs(c, i)
+		if len(perNode[i]) > maxThreads {
+			maxThreads = len(perNode[i])
+		}
+	}
+	for t := 0; t < maxThreads; t++ {
+		for i := range c.Nodes {
+			if t < len(perNode[i]) {
+				for _, pu := range perNode[i][t] {
+					slots = append(slots, slot{node: i, pu: pu})
+				}
+			}
+		}
+	}
+	return place(c, slots, np, "by-slot")
+}
+
+// ByNode deals ranks round-robin across nodes (the "scatter/cyclic"
+// pattern of §II): rank r goes to node r mod N, taking that node's next
+// free slot. Equivalent to LAMA "ncsbh" on regular homogeneous machines.
+func ByNode(c *cluster.Cluster, np int) (*core.Map, error) {
+	flat := make([][]*hw.Object, c.NumNodes())
+	for i := range c.Nodes {
+		for _, group := range nodePUs(c, i) {
+			flat[i] = append(flat[i], group...)
+		}
+	}
+	cursor := make([]int, c.NumNodes())
+	var slots []slot
+	remaining := 0
+	for i := range flat {
+		remaining += len(flat[i])
+	}
+	for remaining > 0 {
+		progressed := false
+		for i := range flat {
+			if cursor[i] < len(flat[i]) {
+				slots = append(slots, slot{node: i, pu: flat[i][cursor[i]]})
+				cursor[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return place(c, slots, np, "by-node")
+}
+
+// Pack fills each object of the given level completely (all its usable
+// PUs) before moving to the next object — MPICH2's "pack at a level".
+func Pack(c *cluster.Cluster, level hw.Level, np int) (*core.Map, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("baseline: invalid level")
+	}
+	var slots []slot
+	for i, node := range c.Nodes {
+		for _, obj := range node.Topo.Objects(level) {
+			for _, pu := range obj.UsablePUs() {
+				slots = append(slots, slot{node: i, pu: pu})
+			}
+		}
+	}
+	return place(c, slots, np, "pack")
+}
+
+// Scatter deals ranks round-robin across the objects of the given level,
+// cluster-wide — MPICH2's "scatter at a level".
+func Scatter(c *cluster.Cluster, level hw.Level, np int) (*core.Map, error) {
+	if !level.Valid() {
+		return nil, fmt.Errorf("baseline: invalid level")
+	}
+	type group struct {
+		node int
+		pus  []*hw.Object
+	}
+	var groups []group
+	for i, node := range c.Nodes {
+		for _, obj := range node.Topo.Objects(level) {
+			if ups := obj.UsablePUs(); len(ups) > 0 {
+				groups = append(groups, group{node: i, pus: ups})
+			}
+		}
+	}
+	cursor := make([]int, len(groups))
+	var slots []slot
+	for {
+		progressed := false
+		for gi := range groups {
+			if cursor[gi] < len(groups[gi].pus) {
+				slots = append(slots, slot{node: groups[gi].node, pu: groups[gi].pus[cursor[gi]]})
+				cursor[gi]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return place(c, slots, np, "scatter")
+}
+
+// Random maps ranks onto a seeded random permutation of all usable PUs —
+// the placement a topology-oblivious scheduler might produce, used as the
+// pessimal baseline in the evaluation.
+func Random(c *cluster.Cluster, seed int64, np int) (*core.Map, error) {
+	var slots []slot
+	for i, node := range c.Nodes {
+		for _, pu := range node.Topo.Root.UsablePUs() {
+			slots = append(slots, slot{node: i, pu: pu})
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	return place(c, slots, np, "random")
+}
+
+// Plane implements SLURM's plane distribution (paper §II): consecutive
+// blocks of blockSize ranks are dealt round-robin across nodes, so rank
+// blocks land on node 0, node 1, ..., wrapping, while ranks within a
+// block stay together on one node's next free slots.
+func Plane(c *cluster.Cluster, blockSize, np int) (*core.Map, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("baseline: plane block size %d", blockSize)
+	}
+	flat := make([][]*hw.Object, c.NumNodes())
+	for i := range c.Nodes {
+		for _, group := range nodePUs(c, i) {
+			flat[i] = append(flat[i], group...)
+		}
+	}
+	cursor := make([]int, c.NumNodes())
+	var slots []slot
+	node := 0
+	remaining := 0
+	for i := range flat {
+		remaining += len(flat[i])
+	}
+	for remaining > 0 {
+		// Find the next node with capacity, starting from `node`.
+		tried := 0
+		for tried < c.NumNodes() && cursor[node] >= len(flat[node]) {
+			node = (node + 1) % c.NumNodes()
+			tried++
+		}
+		if tried == c.NumNodes() {
+			break
+		}
+		for k := 0; k < blockSize && cursor[node] < len(flat[node]); k++ {
+			slots = append(slots, slot{node: node, pu: flat[node][cursor[node]]})
+			cursor[node]++
+			remaining--
+		}
+		node = (node + 1) % c.NumNodes()
+	}
+	return place(c, slots, np, "plane")
+}

@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func fig2Cluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	sp, _ := hw.Preset("fig2") // 2 sockets x 3 cores x 2 PUs, sequential OS
+	return cluster.Homogeneous(nodes, sp)
+}
+
+func lamaMap(t *testing.T, c *cluster.Cluster, layout string, np int) *core.Map {
+	t.Helper()
+	m, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := m.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func samePlacement(t *testing.T, name string, a, b *core.Map) {
+	t.Helper()
+	if a.NumRanks() != b.NumRanks() {
+		t.Fatalf("%s: rank counts differ", name)
+	}
+	for i := range a.Placements {
+		pa, pb := a.Placements[i], b.Placements[i]
+		if pa.Node != pb.Node || pa.PU() != pb.PU() {
+			t.Fatalf("%s: rank %d at node %d PU %d vs node %d PU %d",
+				name, i, pa.Node, pa.PU(), pb.Node, pb.PU())
+		}
+	}
+}
+
+// TestBySlotMatchesLAMA cross-validates the independent by-slot loop nest
+// against the LAMA layout it should equal ("csbnh").
+func TestBySlotMatchesLAMA(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	for _, np := range []int{1, 6, 12, 24} {
+		got, err := BySlot(c, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		samePlacement(t, "by-slot", got, lamaMap(t, c, "csbnh", np))
+	}
+}
+
+// TestByNodeMatchesLAMA cross-validates by-node against LAMA "ncsbh".
+func TestByNodeMatchesLAMA(t *testing.T) {
+	c := fig2Cluster(t, 3)
+	for _, np := range []int{1, 5, 18, 36} {
+		got, err := ByNode(c, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(c); err != nil {
+			t.Fatal(err)
+		}
+		samePlacement(t, "by-node", got, lamaMap(t, c, "ncsbh", np))
+	}
+}
+
+func TestPackAndScatter(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	// Pack at socket level: first 6 ranks all on node0 socket0.
+	p, err := Pack(c, hw.LevelSocket, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range p.Placements {
+		if pl.Node != 0 || pl.Leaf.Ancestor(hw.LevelSocket).Logical != 0 {
+			t.Fatalf("pack rank %d escaped socket 0", pl.Rank)
+		}
+	}
+	// Scatter at socket level: 4 ranks on 4 distinct sockets.
+	s, err := Scatter(c, hw.LevelSocket, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*hw.Object]bool{}
+	for _, pl := range s.Placements {
+		sock := pl.Leaf.Ancestor(hw.LevelSocket)
+		if seen[sock] {
+			t.Fatalf("scatter reused socket %v", sock)
+		}
+		seen[sock] = true
+	}
+	// Cluster-wide socket round-robin equals LAMA "snch" (sockets vary
+	// fastest, then nodes) for the first sockets-many ranks.
+	samePlacement(t, "scatter-socket", s, lamaMap(t, c, "snch", 4))
+	if _, err := Pack(c, hw.Level(99), 1); err == nil {
+		t.Fatal("invalid level")
+	}
+	if _, err := Scatter(c, hw.Level(99), 1); err == nil {
+		t.Fatal("invalid level")
+	}
+}
+
+func TestScatterSkipsUnusableGroups(t *testing.T) {
+	c := fig2Cluster(t, 1)
+	c.Node(0).Topo.SetAvailable(hw.LevelSocket, 0, false)
+	s, err := Scatter(c, hw.LevelSocket, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range s.Placements {
+		if pl.Leaf.Ancestor(hw.LevelSocket).Logical != 1 {
+			t.Fatal("rank on offline socket")
+		}
+	}
+}
+
+func TestRandomIsValidPermutation(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	m, err := Random(c, 42, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ node, pu int }
+	seen := map[key]bool{}
+	for _, p := range m.Placements {
+		k := key{p.Node, p.PU()}
+		if seen[k] {
+			t.Fatal("random mapper reused a PU")
+		}
+		seen[k] = true
+	}
+	// Determinism for a fixed seed.
+	m2, _ := Random(c, 42, 24)
+	samePlacement(t, "random-seed", m, m2)
+	// Different seeds disagree (overwhelmingly likely).
+	m3, _ := Random(c, 43, 24)
+	diff := false
+	for i := range m.Placements {
+		if m.Placements[i].PU() != m3.Placements[i].PU() || m.Placements[i].Node != m3.Placements[i].Node {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical shuffles")
+	}
+}
+
+func TestBaselineCapacityErrors(t *testing.T) {
+	c := fig2Cluster(t, 1) // 12 PUs
+	for name, f := range map[string]func() (*core.Map, error){
+		"byslot":  func() (*core.Map, error) { return BySlot(c, 13) },
+		"bynode":  func() (*core.Map, error) { return ByNode(c, 13) },
+		"pack":    func() (*core.Map, error) { return Pack(c, hw.LevelCore, 13) },
+		"scatter": func() (*core.Map, error) { return Scatter(c, hw.LevelCore, 13) },
+		"random":  func() (*core.Map, error) { return Random(c, 1, 13) },
+	} {
+		if _, err := f(); err == nil {
+			t.Errorf("%s: over-capacity should fail", name)
+		}
+	}
+	if _, err := BySlot(c, 0); err == nil {
+		t.Error("np=0 should fail")
+	}
+}
+
+func TestBaselinesOnHeterogeneousCluster(t *testing.T) {
+	big, _ := hw.Preset("nehalem-ep")
+	small, _ := hw.Preset("bgp-node")
+	c := cluster.FromSpecs(big, small) // 16 + 4 PUs
+	m, err := ByNode(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	per := m.RanksByNode()
+	if len(per[0]) != 16 || len(per[1]) != 4 {
+		t.Fatalf("per-node = %d/%d", len(per[0]), len(per[1]))
+	}
+	m2, err := BySlot(c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneDistribution(t *testing.T) {
+	c := fig2Cluster(t, 3) // 12 PUs each
+	m, err := Plane(c, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks of 4 alternate nodes: ranks 0-3 node0, 4-7 node1, 8-11 node2.
+	for i, p := range m.Placements {
+		if p.Node != i/4 {
+			t.Fatalf("rank %d on node %d, want %d", i, p.Node, i/4)
+		}
+	}
+	// Wrap-around: the 13th-16th ranks return to node0's next slots.
+	m2, err := Plane(c, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 16; i++ {
+		if m2.Placements[i].Node != 0 {
+			t.Fatalf("rank %d on node %d, want 0", i, m2.Placements[i].Node)
+		}
+	}
+	// Block size 1 equals by-node on homogeneous machines.
+	p1, err := Plane(c, 1, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := ByNode(c, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePlacement(t, "plane-1-vs-bynode", p1, bn)
+}
+
+func TestPlaneErrors(t *testing.T) {
+	c := fig2Cluster(t, 1)
+	if _, err := Plane(c, 0, 4); err == nil {
+		t.Fatal("block size 0")
+	}
+	if _, err := Plane(c, 4, 13); err == nil {
+		t.Fatal("over capacity")
+	}
+}
+
+func TestPlaneSkipsFullNodes(t *testing.T) {
+	big, _ := hw.Preset("nehalem-ep") // 16 PUs
+	small, _ := hw.Preset("bgp-node") // 4 PUs
+	c := cluster.FromSpecs(small, big)
+	m, err := Plane(c, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	per := m.RanksByNode()
+	if len(per[0]) != 4 || len(per[1]) != 16 {
+		t.Fatalf("per node = %d/%d", len(per[0]), len(per[1]))
+	}
+}

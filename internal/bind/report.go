@@ -1,0 +1,73 @@
+package bind
+
+import (
+	"fmt"
+	"strings"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// Render prints the plan in the style of Open MPI's --report-bindings
+// output: one line per rank with a bracket group per socket, a slash-
+// separated slot per core, and one character per hardware thread —
+// 'B' where the rank is bound, '.' elsewhere. Example for a rank bound
+// to core 1 of socket 0 on a 2x(2 cores x 2 threads) node:
+//
+//	rank 3 @ node1: [../BB][../..]
+//
+// Unbound ranks (Policy None) render as "unbound".
+func (pl *Plan) Render(c *cluster.Cluster) string {
+	var sb strings.Builder
+	for i := range pl.Bindings {
+		b := &pl.Bindings[i]
+		node := c.Node(b.Node)
+		if node == nil {
+			fmt.Fprintf(&sb, "rank %d @ node?%d: unknown node\n", b.Rank, b.Node)
+			continue
+		}
+		fmt.Fprintf(&sb, "rank %d @ %s: %s\n", b.Rank, node.Name, bindingMask(node, b.CPUs))
+	}
+	return sb.String()
+}
+
+// bindingMask renders one node's socket/core/thread mask for a CPU set.
+func bindingMask(node *cluster.Node, cpus *hw.CPUSet) string {
+	if cpus == nil {
+		return "unbound"
+	}
+	var sb strings.Builder
+	for _, sock := range node.Topo.Objects(hw.LevelSocket) {
+		sb.WriteByte('[')
+		first := true
+		for _, coreObj := range coresUnder(sock) {
+			if !first {
+				sb.WriteByte('/')
+			}
+			first = false
+			for _, pu := range pusUnder(coreObj) {
+				if cpus.Contains(pu.OS) {
+					sb.WriteByte('B')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+func coresUnder(o *hw.Object) []*hw.Object { return descendants(o, hw.LevelCore) }
+func pusUnder(o *hw.Object) []*hw.Object   { return descendants(o, hw.LevelPU) }
+
+func descendants(o *hw.Object, level hw.Level) []*hw.Object {
+	if o.Level == level {
+		return []*hw.Object{o}
+	}
+	var out []*hw.Object
+	for _, c := range o.Children {
+		out = append(out, descendants(c, level)...)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func TestRenderCoreBinding(t *testing.T) {
+	sp, _ := hw.Preset("fig2") // 2 sockets x 3 cores x 2 threads
+	c := cluster.Homogeneous(1, sp)
+	mapper, _ := core.NewMapper(c, core.MustParseLayout("scbnh"), core.Options{})
+	m, err := mapper.Map(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compute(c, m, Specific, hw.LevelCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.Render(c)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	// Rank 0 on socket 0 core 0; rank 1 on socket 1 core 0 (scbnh scatter).
+	if lines[0] != "rank 0 @ node0: [BB/../..][../../..]" {
+		t.Fatalf("rank 0 mask = %q", lines[0])
+	}
+	if lines[1] != "rank 1 @ node0: [../../..][BB/../..]" {
+		t.Fatalf("rank 1 mask = %q", lines[1])
+	}
+}
+
+func TestRenderSocketAndUnbound(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(1, sp)
+	mapper, _ := core.NewMapper(c, core.MustParseLayout("scbnh"), core.Options{})
+	m, err := mapper.Map(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := Compute(c, m, Specific, hw.LevelSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sock.Render(c)); got != "rank 0 @ node0: [BB/BB/BB][../../..]" {
+		t.Fatalf("socket mask = %q", got)
+	}
+	none, err := Compute(c, m, None, hw.LevelCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(none.Render(c), "unbound") {
+		t.Fatalf("none render = %q", none.Render(c))
+	}
+}
+
+func TestRenderUnknownNode(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(1, sp)
+	plan := &Plan{Bindings: []Binding{{Rank: 0, Node: 7, CPUs: hw.NewCPUSet(0)}}}
+	if !strings.Contains(plan.Render(c), "unknown node") {
+		t.Fatal("unknown node not reported")
+	}
+}

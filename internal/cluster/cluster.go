@@ -1,0 +1,172 @@
+// Package cluster models an HPC system: a set of named compute nodes, each
+// with its own hardware topology (possibly different across nodes), slot
+// counts, and scheduler restrictions. It is the "allocated resources" view
+// that a mapping agent receives after the resource manager has granted a
+// job its nodes (paper §III-A).
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"lama/internal/hw"
+)
+
+// Node is one compute node of a cluster.
+type Node struct {
+	// Name is the host name (unique within a cluster).
+	Name string
+	// Topo is the node's hardware topology, including any availability
+	// restrictions imposed by the OS or scheduler.
+	Topo *hw.Topology
+	// Slots is the scheduler's slot count for the node: how many processes
+	// the site policy allows before the node counts as oversubscribed.
+	// Zero means "use the number of usable cores" (the common default).
+	Slots int
+}
+
+// EffectiveSlots resolves the node's slot count: an explicit count if set,
+// otherwise the number of usable cores (or usable PUs when a core-less
+// decoded topology is in use).
+func (n *Node) EffectiveSlots() int {
+	if n.Slots > 0 {
+		return n.Slots
+	}
+	cores := 0
+	for _, c := range n.Topo.Objects(hw.LevelCore) {
+		if c.Usable() && len(c.UsablePUs()) > 0 {
+			cores++
+		}
+	}
+	if cores > 0 {
+		return cores
+	}
+	return n.Topo.NumUsablePUs()
+}
+
+// Cluster is an ordered set of nodes. Node order is the logical node
+// numbering ("n" level) used by mapping algorithms.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// Homogeneous builds a cluster of n identical nodes from a spec. Nodes are
+// named node0..node(n-1).
+func Homogeneous(n int, sp hw.Spec) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive node count %d", n))
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			Name: fmt.Sprintf("node%d", i),
+			Topo: hw.New(sp),
+		})
+	}
+	return c
+}
+
+// FromSpecs builds a (possibly heterogeneous) cluster with one node per
+// spec.
+func FromSpecs(specs ...hw.Spec) *Cluster {
+	c := &Cluster{}
+	for i, sp := range specs {
+		c.Nodes = append(c.Nodes, &Node{
+			Name: fmt.Sprintf("node%d", i),
+			Topo: hw.New(sp),
+		})
+	}
+	return c
+}
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.Nodes) }
+
+// Node returns the i-th node, or nil if out of range.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.Nodes) {
+		return nil
+	}
+	return c.Nodes[i]
+}
+
+// NodeByName returns the node with the given name and its index, or
+// (nil, -1).
+func (c *Cluster) NodeByName(name string) (*Node, int) {
+	for i, n := range c.Nodes {
+		if n.Name == name {
+			return n, i
+		}
+	}
+	return nil, -1
+}
+
+// TotalPUs returns the cluster-wide PU count (available or not).
+func (c *Cluster) TotalPUs() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.Topo.NumPUs()
+	}
+	return total
+}
+
+// TotalUsablePUs returns the cluster-wide usable PU count.
+func (c *Cluster) TotalUsablePUs() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.Topo.NumUsablePUs()
+	}
+	return total
+}
+
+// TotalSlots returns the sum of effective slots across nodes.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.EffectiveSlots()
+	}
+	return total
+}
+
+// Homogeneous reports whether all nodes have structurally identical level
+// counts and availability totals. A homogeneous cluster with scheduler
+// restrictions on some nodes is reported as heterogeneous, matching the
+// paper's observation that restrictions make homogeneous hardware look
+// heterogeneous (§III-A).
+func (c *Cluster) Homogeneous() bool {
+	if len(c.Nodes) <= 1 {
+		return true
+	}
+	first := c.Nodes[0].Topo
+	for _, n := range c.Nodes[1:] {
+		for _, l := range hw.Levels {
+			if n.Topo.NumObjects(l) != first.NumObjects(l) {
+				return false
+			}
+		}
+		if n.Topo.NumUsablePUs() != first.NumUsablePUs() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the cluster.
+func (c *Cluster) Clone() *Cluster {
+	out := &Cluster{}
+	for _, n := range c.Nodes {
+		out.Nodes = append(out.Nodes, &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots})
+	}
+	return out
+}
+
+// Summary renders a short multi-line description of the cluster.
+func (c *Cluster) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d nodes, %d usable PUs, homogeneous=%v\n",
+		c.NumNodes(), c.TotalUsablePUs(), c.Homogeneous())
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&sb, "  %-8s %s\n", n.Name, n.Topo.Summary())
+	}
+	return sb.String()
+}

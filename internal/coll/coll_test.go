@@ -1,0 +1,241 @@
+package coll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/netsim"
+)
+
+func setup(t *testing.T, layout string, nodes, np int) (*cluster.Cluster, *core.Map, *netsim.Model) {
+	t.Helper()
+	sp, _ := hw.Preset("nehalem-ep")
+	c := cluster.Homogeneous(nodes, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, netsim.NewModel(netsim.NewFlat())
+}
+
+func TestBroadcastRounds(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 16)
+	res, err := Run(Broadcast, c, m, mo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 { // log2(16)
+		t.Fatalf("rounds = %d, want 4", res.Rounds)
+	}
+	if res.Messages != 15 { // binomial tree sends np-1 messages
+		t.Fatalf("messages = %d, want 15", res.Messages)
+	}
+	if res.TimeUs <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestBroadcastNonPowerOfTwo(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 11)
+	res, err := Run(Broadcast, c, m, mo, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 10 {
+		t.Fatalf("messages = %d, want 10", res.Messages)
+	}
+	if res.Rounds != 4 { // ceil(log2 11)
+		t.Fatalf("rounds = %d, want 4", res.Rounds)
+	}
+}
+
+func TestAllreduceRDRounds(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 16)
+	res, err := Run(AllreduceRD, c, m, mo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 { // log2(16), no fold rounds
+		t.Fatalf("rounds = %d, want 4", res.Rounds)
+	}
+	if res.Messages != 16*4 {
+		t.Fatalf("messages = %d, want 64", res.Messages)
+	}
+	// Non-power-of-two adds the fold rounds.
+	_, m2, _ := setup(t, "csbnh", 2, 10)
+	res2, err := Run(AllreduceRD, c, m2, mo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rounds != 3+2 { // log2(8) + fold-in + fold-out
+		t.Fatalf("rounds = %d, want 5", res2.Rounds)
+	}
+}
+
+func TestAllreduceRingRounds(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 8)
+	res, err := Run(AllreduceRing, c, m, mo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 14 { // 2*(8-1)
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	// Single rank: no communication.
+	_, m1, _ := setup(t, "csbnh", 2, 1)
+	res1, err := Run(AllreduceRing, c, m1, mo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Rounds != 0 || res1.TimeUs != 0 {
+		t.Fatalf("single-rank allreduce should be free: %+v", res1)
+	}
+}
+
+func TestAlltoallRounds(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 8)
+	res, err := Run(Alltoall, c, m, mo, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 7 || res.Messages != 8*7 {
+		t.Fatalf("rounds = %d messages = %d", res.Rounds, res.Messages)
+	}
+	// Non-power-of-two path.
+	_, m2, _ := setup(t, "csbnh", 2, 6)
+	res2, err := Run(Alltoall, c, m2, mo, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rounds != 5 || res2.Messages != 6*5 {
+		t.Fatalf("rounds = %d messages = %d", res2.Rounds, res2.Messages)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 16)
+	res, err := Run(Barrier, c, m, mo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.TimeUs <= 0 {
+		t.Fatal("latency must accumulate")
+	}
+}
+
+// TestLocalityAffectsBroadcast: with 8 ranks, packing keeps every
+// binomial-tree round on one node, while a cyclic placement puts a
+// cross-node edge in every round — the rounds are bounded by their
+// slowest exchange, so the packed broadcast must win clearly.
+func TestLocalityAffectsBroadcast(t *testing.T) {
+	sp, _ := hw.Preset("nehalem-ep")
+	c := cluster.Homogeneous(2, sp)
+	mo := netsim.NewModel(netsim.NewFlat())
+
+	pack, _ := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	mp, err := pack.Map(8) // all on node0
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	mc, err := cyc.Map(8) // alternating nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier is excluded: zero-byte rounds are latency-bound and the
+	// dissemination wraparound makes either placement defensible there.
+	for _, op := range []Op{Broadcast, AllreduceRD, AllreduceRing} {
+		rp, err := Run(op, c, mp, mo, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := Run(op, c, mc, mo, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.TimeUs >= rc.TimeUs {
+			t.Fatalf("%s: packed %v should beat cyclic %v", op, rp.TimeUs, rc.TimeUs)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c, m, mo := setup(t, "csbnh", 2, 4)
+	if _, err := Run(Op(99), c, m, mo, 1); err == nil {
+		t.Fatal("unknown op")
+	}
+	if _, err := Run(Broadcast, c, &core.Map{}, mo, 1); err == nil {
+		t.Fatal("empty map")
+	}
+	if _, err := Run(Broadcast, c, m, mo, -1); err == nil {
+		t.Fatal("negative bytes")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	names := map[Op]string{
+		Broadcast: "broadcast", AllreduceRD: "allreduce-rd",
+		AllreduceRing: "allreduce-ring", Alltoall: "alltoall", Barrier: "barrier",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d -> %q", op, op.String())
+		}
+	}
+	if Op(42).String() != "op(42)" {
+		t.Fatal("unknown op name")
+	}
+}
+
+func TestQuickCollectiveInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp, _ := hw.Preset("fig2")
+		nodes := 1 + r.Intn(3)
+		c := cluster.Homogeneous(nodes, sp)
+		np := 2 + r.Intn(nodes*12-1)
+		mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+		if err != nil {
+			return false
+		}
+		m, err := mapper.Map(np)
+		if err != nil {
+			return false
+		}
+		mo := netsim.NewModel(netsim.NewFlat())
+		// Broadcast: np-1 messages, ceil(log2 np) rounds, positive time.
+		b, err := Run(Broadcast, c, m, mo, 1024)
+		if err != nil || b.Messages != np-1 {
+			return false
+		}
+		rounds := 0
+		for span := 1; span < np; span *= 2 {
+			rounds++
+		}
+		if b.Rounds != rounds || b.TimeUs <= 0 {
+			return false
+		}
+		// Hierarchical broadcast also delivers exactly np-1 receptions.
+		h, err := RunHierarchical(Broadcast, c, m, mo, 1024)
+		if err != nil || h.Messages != np-1 {
+			return false
+		}
+		// Bigger messages cost at least as much.
+		b2, err := Run(Broadcast, c, m, mo, 1<<20)
+		return err == nil && b2.TimeUs >= b.TimeUs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package commpat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	if m.Ranks() != 4 || m.Total() != 0 || m.Pairs() != 0 {
+		t.Fatal("empty matrix")
+	}
+	m.Add(0, 1, 100)
+	m.Add(0, 1, 50)
+	m.AddSym(2, 3, 10)
+	if m.Bytes(0, 1) != 150 || m.Bytes(1, 0) != 0 {
+		t.Fatal("Add wrong")
+	}
+	if m.Bytes(2, 3) != 10 || m.Bytes(3, 2) != 10 {
+		t.Fatal("AddSym wrong")
+	}
+	if m.Total() != 170 || m.Pairs() != 3 {
+		t.Fatalf("Total=%v Pairs=%v", m.Total(), m.Pairs())
+	}
+	// Self and out-of-range traffic ignored.
+	m.Add(1, 1, 99)
+	m.Add(-1, 0, 99)
+	m.Add(0, 9, 99)
+	m.Add(0, 2, -5)
+	if m.Total() != 170 {
+		t.Fatal("invalid Add mutated matrix")
+	}
+	if m.Bytes(0, 0) != 0 || m.Bytes(-1, 2) != 0 || m.Bytes(0, 9) != 0 {
+		t.Fatal("Bytes bounds")
+	}
+	m.Scale(2)
+	if m.Total() != 340 {
+		t.Fatal("Scale wrong")
+	}
+	sum := 0.0
+	m.Each(func(i, j int, b float64) { sum += b })
+	if sum != 340 {
+		t.Fatal("Each wrong")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestGrids(t *testing.T) {
+	cases := map[int][2]int{16: {4, 4}, 12: {3, 4}, 7: {1, 7}, 64: {8, 8}}
+	for n, want := range cases {
+		px, py := Grid2D(n)
+		if px*py != n || px != want[0] || py != want[1] {
+			t.Errorf("Grid2D(%d) = %dx%d", n, px, py)
+		}
+	}
+	px, py, pz := Grid3D(64)
+	if px*py*pz != 64 || px != 4 || py != 4 || pz != 4 {
+		t.Errorf("Grid3D(64) = %dx%dx%d", px, py, pz)
+	}
+	px, py, pz = Grid3D(24)
+	if px*py*pz != 24 {
+		t.Errorf("Grid3D(24) = %dx%dx%d", px, py, pz)
+	}
+}
+
+func TestRing(t *testing.T) {
+	m := Ring(5, 10)
+	for i := 0; i < 5; i++ {
+		if m.Bytes(i, (i+1)%5) != 10 || m.Bytes(i, (i+4)%5) != 10 {
+			t.Fatalf("ring traffic wrong at %d", i)
+		}
+	}
+	if m.Pairs() != 10 {
+		t.Fatalf("pairs = %d", m.Pairs())
+	}
+}
+
+func TestStencil2D(t *testing.T) {
+	// Non-periodic 3x3: corner has 2 neighbors, center has 4.
+	m := Stencil2D(3, 3, 1, false)
+	counts := func(r int) int {
+		n := 0
+		m.Each(func(i, j int, b float64) {
+			if i == r {
+				n++
+			}
+		})
+		return n
+	}
+	if counts(0) != 2 || counts(4) != 4 || counts(8) != 2 {
+		t.Fatalf("stencil degree: corner=%d center=%d", counts(0), counts(4))
+	}
+	// Periodic: everyone has 4 neighbors.
+	p := Stencil2D(3, 3, 1, true)
+	for r := 0; r < 9; r++ {
+		n := 0
+		p.Each(func(i, j int, b float64) {
+			if i == r {
+				n++
+			}
+		})
+		if n != 4 {
+			t.Fatalf("periodic degree of %d = %d", r, n)
+		}
+	}
+}
+
+func TestStencil3DSymmetric(t *testing.T) {
+	m := Stencil3D(2, 3, 2, 5, true)
+	m.Each(func(i, j int, b float64) {
+		if m.Bytes(j, i) != b {
+			t.Fatalf("asymmetric stencil: %d->%d", i, j)
+		}
+	})
+	if m.Total() == 0 {
+		t.Fatal("empty stencil")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	m := AllToAll(4, 2)
+	if m.Pairs() != 12 || m.Total() != 24 {
+		t.Fatalf("a2a pairs=%d total=%v", m.Pairs(), m.Total())
+	}
+}
+
+func TestGTCStructure(t *testing.T) {
+	m := GTC(16, 800)
+	// Toroidal neighbors dominate.
+	if m.Bytes(0, 1) <= m.Bytes(0, 2) {
+		t.Fatal("neighbor traffic should dominate group traffic")
+	}
+	if m.Bytes(0, 15) < 800 {
+		t.Fatal("ring wraparound missing")
+	}
+	// Group members communicate.
+	if m.Bytes(0, 2) == 0 || m.Bytes(4, 6) == 0 {
+		t.Fatal("poloidal group traffic missing")
+	}
+	// No traffic across groups except ring.
+	if m.Bytes(0, 5) != 0 {
+		t.Fatal("unexpected cross-group traffic")
+	}
+}
+
+func TestNASPatternsNonEmptyAndSane(t *testing.T) {
+	for _, p := range Patterns() {
+		for _, n := range []int{8, 16, 64} {
+			m := p.Gen(n, 100)
+			if m.Ranks() != n {
+				t.Fatalf("%s(%d): ranks = %d", p.Name, n, m.Ranks())
+			}
+			if m.Total() <= 0 {
+				t.Fatalf("%s(%d): empty matrix", p.Name, n)
+			}
+			// No self traffic by construction.
+			for i := 0; i < n; i++ {
+				if m.Bytes(i, i) != 0 {
+					t.Fatalf("%s: self traffic at %d", p.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNASLUDirectional(t *testing.T) {
+	m := NASLU(16, 10) // 4x4
+	if m.Bytes(0, 1) != 10 || m.Bytes(1, 0) != 0 {
+		t.Fatal("LU should be directional (+x)")
+	}
+	if m.Bytes(0, 4) != 10 || m.Bytes(4, 0) != 0 {
+		t.Fatal("LU should be directional (+y)")
+	}
+	// Last rank sends nothing.
+	sent := 0.0
+	m.Each(func(i, j int, b float64) {
+		if i == 15 {
+			sent += b
+		}
+	})
+	if sent != 0 {
+		t.Fatal("sink rank should not send")
+	}
+}
+
+func TestRandomPairsDeterministic(t *testing.T) {
+	a := RandomPairs(10, 20, 5, 7)
+	b := RandomPairs(10, 20, 5, 7)
+	a.Each(func(i, j int, bytes float64) {
+		if b.Bytes(i, j) != bytes {
+			t.Fatal("same seed, different matrix")
+		}
+	})
+	if a.Total() == 0 {
+		t.Fatal("empty random matrix")
+	}
+}
+
+func TestQuickStencilDegreeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		px, py := 1+r.Intn(5), 1+r.Intn(5)
+		m := Stencil2D(px, py, 1, true)
+		// Periodic 5-point stencil: out-degree of every rank is at most 4
+		// and the matrix is symmetric.
+		deg := make([]int, px*py)
+		ok := true
+		m.Each(func(i, j int, b float64) {
+			deg[i]++
+			if m.Bytes(j, i) == 0 {
+				ok = false
+			}
+		})
+		for _, d := range deg {
+			if d > 4 {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package commpat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMatrix reads a traffic matrix from edge-list text:
+//
+//	ranks <N>
+//	<src> <dst> <bytes>
+//	...
+//
+// Lines starting with '#' are comments; duplicate edges accumulate. The
+// "ranks" header must come first so the matrix can be sized even when
+// high ranks have no traffic.
+func ParseMatrix(text string) (*Matrix, error) {
+	var m *Matrix
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if m == nil {
+			if len(fields) != 2 || fields[0] != "ranks" {
+				return nil, fmt.Errorf("commpat:%d: first line must be \"ranks <N>\"", lineNo+1)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("commpat:%d: bad rank count %q", lineNo+1, fields[1])
+			}
+			m = NewMatrix(n)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("commpat:%d: want \"<src> <dst> <bytes>\", got %q", lineNo+1, line)
+		}
+		src, err1 := strconv.Atoi(fields[0])
+		dst, err2 := strconv.Atoi(fields[1])
+		bytes, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("commpat:%d: bad edge %q", lineNo+1, line)
+		}
+		if src < 0 || dst < 0 || src >= m.Ranks() || dst >= m.Ranks() {
+			return nil, fmt.Errorf("commpat:%d: rank out of range in %q", lineNo+1, line)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("commpat:%d: self traffic in %q", lineNo+1, line)
+		}
+		if bytes <= 0 {
+			return nil, fmt.Errorf("commpat:%d: non-positive bytes in %q", lineNo+1, line)
+		}
+		m.Add(src, dst, bytes)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("commpat: empty matrix text")
+	}
+	return m, nil
+}
+
+// FormatMatrix renders a matrix in the ParseMatrix edge-list form, edges
+// in (src, dst) order.
+func FormatMatrix(m *Matrix) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ranks %d\n", m.Ranks())
+	m.Each(func(i, j int, bytes float64) {
+		fmt.Fprintf(&sb, "%d %d %s\n", i, j, strconv.FormatFloat(bytes, 'f', -1, 64))
+	})
+	return sb.String()
+}

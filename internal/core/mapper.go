@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// ErrOversubscribe is returned when a mapping cannot complete without
+// sharing processing units and Options.Oversubscribe is false.
+var ErrOversubscribe = errors.New("core: mapping would oversubscribe processing units")
+
+// ErrNoResources is returned when a sweep of the entire resource space
+// finds nothing mappable (e.g. everything off-lined or capped).
+var ErrNoResources = errors.New("core: no mappable resources")
+
+// Mapper plans process placements for one cluster using one process layout.
+type Mapper struct {
+	Cluster *cluster.Cluster
+	Layout  Layout
+	Opts    Options
+}
+
+// NewMapper validates and builds a mapper. The layout must include the
+// node level ("n") so that every rank is assigned to a node.
+func NewMapper(c *cluster.Cluster, layout Layout, opts Options) (*Mapper, error) {
+	if c == nil || c.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: empty cluster")
+	}
+	if !layout.Contains(hw.LevelMachine) {
+		return nil, fmt.Errorf("core: layout %q must include the node level 'n'", layout)
+	}
+	return &Mapper{Cluster: c, Layout: layout, Opts: opts}, nil
+}
+
+// run holds the state of one mapping execution. Both the recursive mapper
+// (paper Fig. 1) and the iterative reference mapper drive the same run.
+type run struct {
+	m   *Mapper
+	np  int
+	pes int
+
+	iterLevels []hw.Level // innermost first (layout order)
+	widths     []int      // iteration width per iterLevels index
+	orders     [][]int    // visiting permutation per iterLevels index
+	machineIdx int        // index of the node level within iterLevels
+	canonPos   []int      // iterLevels index -> position in canonical intra coords (-1 for node)
+	mtree      *MaximalTree
+
+	coords      []int // current iteration coordinate per iterLevels index
+	canonCoords []int // scratch: canonical intra-node coordinates
+
+	claims         map[*hw.Object]int // rank claims per leaf object
+	capCounts      map[*hw.Object]int // rank counts per capped ancestor object
+	nodeCount      []int              // ranks per node (for machine-level caps)
+	skippedOversub bool               // a leaf was skipped due to the oversubscribe rule
+
+	placements []Placement
+	sweeps     int
+
+	// trace, when non-nil, is invoked at every visited coordinate
+	// (MapTraced); rank is -1 for skip events.
+	trace func(action TraceAction, rank int)
+}
+
+// emit reports a trace event if tracing is enabled.
+func (r *run) emit(action TraceAction, rank int) {
+	if r.trace != nil {
+		r.trace(action, rank)
+	}
+}
+
+func (m *Mapper) newRun(np int) (*run, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("core: non-positive process count %d", np)
+	}
+	intra := m.Layout.IntraNode()
+	topos := make([]*hw.Topology, m.Cluster.NumNodes())
+	for i, n := range m.Cluster.Nodes {
+		topos[i] = n.Topo
+	}
+	r := &run{
+		m:          m,
+		np:         np,
+		pes:        m.Opts.pes(),
+		iterLevels: m.Layout.Levels(),
+		mtree:      NewMaximalTree(topos, intra),
+		claims:     map[*hw.Object]int{},
+		capCounts:  map[*hw.Object]int{},
+		nodeCount:  make([]int, m.Cluster.NumNodes()),
+		machineIdx: -1,
+	}
+	r.coords = make([]int, len(r.iterLevels))
+	r.canonCoords = make([]int, len(intra))
+	r.widths = make([]int, len(r.iterLevels))
+	r.canonPos = make([]int, len(r.iterLevels))
+	r.orders = make([][]int, len(r.iterLevels))
+	for i, l := range r.iterLevels {
+		if l == hw.LevelMachine {
+			r.machineIdx = i
+			r.canonPos[i] = -1
+			r.widths[i] = m.Cluster.NumNodes()
+		} else {
+			for p, il := range intra {
+				if il == l {
+					r.canonPos[i] = p
+				}
+			}
+			r.widths[i] = r.mtree.Width(r.canonPos[i])
+		}
+		perm, err := validOrder(m.Opts.orderFor(l), r.widths[i])
+		if err != nil {
+			return nil, fmt.Errorf("%v (level %s)", err, l)
+		}
+		r.orders[i] = perm
+	}
+	for _, w := range r.widths {
+		if w == 0 {
+			// A layout level with no objects anywhere (possible only with
+			// hand-decoded irregular trees): nothing is mappable.
+			return nil, r.stallError()
+		}
+	}
+	return r, nil
+}
+
+// Map executes the LAMA: the recursive loop nest of the paper's Figure 1,
+// wrapped in the outer while-loop that re-sweeps the resource space until
+// every rank is placed (or no progress is possible).
+func (m *Mapper) Map(np int) (*Map, error) {
+	r, err := m.newRun(np)
+	if err != nil {
+		return nil, err
+	}
+	for len(r.placements) < np {
+		before := len(r.placements)
+		r.inner(len(r.iterLevels) - 1)
+		r.sweeps++
+		if len(r.placements) == before {
+			return nil, r.stallError()
+		}
+	}
+	return r.finish(), nil
+}
+
+// inner is the recursive heart of the LAMA (paper Fig. 1): it iterates the
+// resources of one layout level and recurses toward the innermost level,
+// where the current coordinate tuple is mapped if it exists and is
+// available.
+func (r *run) inner(levelIdx int) {
+	for _, i := range r.orders[levelIdx] {
+		r.coords[levelIdx] = i
+		if levelIdx > 0 {
+			r.inner(levelIdx - 1)
+		} else {
+			r.tryMap()
+		}
+		if len(r.placements) == r.np {
+			return
+		}
+	}
+}
+
+// tryMap attempts to place the next rank at the current coordinates,
+// skipping coordinates that do not exist on the node, are unavailable,
+// are capped, or would oversubscribe when that is disallowed.
+func (r *run) tryMap() {
+	node := 0
+	if r.machineIdx >= 0 {
+		node = r.coords[r.machineIdx]
+	}
+	for i, c := range r.coords {
+		if p := r.canonPos[i]; p >= 0 {
+			r.canonCoords[p] = c
+		}
+	}
+	leaf := r.mtree.Lookup(node, r.canonCoords)
+	if leaf == nil {
+		r.emit(SkipNonexistent, -1)
+		return // resource does not exist on this node
+	}
+	ups := leaf.UsablePUs()
+	if len(ups) == 0 {
+		r.emit(SkipUnavailable, -1)
+		return // resource unavailable (off-lined / disallowed)
+	}
+	// Scheduler slot caps (Open MPI hostfile semantics): without
+	// --oversubscribe, a node accepts at most its slot count of ranks.
+	if r.m.Opts.RespectSlots && !r.m.Opts.Oversubscribe {
+		if r.nodeCount[node] >= r.m.Cluster.Node(node).EffectiveSlots() {
+			r.skippedOversub = true
+			r.emit(SkipCapped, -1)
+			return
+		}
+	}
+	// ALPS-style per-resource rank caps, checked before the
+	// oversubscription rule: a capped resource is unmappable regardless.
+	var capped []*hw.Object
+	for _, l := range r.iterLevels {
+		limit := r.m.Opts.capFor(l)
+		if limit <= 0 {
+			continue
+		}
+		if l == hw.LevelMachine {
+			if r.nodeCount[node] >= limit {
+				r.emit(SkipCapped, -1)
+				return
+			}
+			continue
+		}
+		obj := leaf.Ancestor(l)
+		if obj == nil {
+			continue
+		}
+		if r.capCounts[obj] >= limit {
+			r.emit(SkipCapped, -1)
+			return
+		}
+		capped = append(capped, obj)
+	}
+	prior := r.claims[leaf]
+	base := prior * r.pes
+	oversub := base+r.pes > len(ups)
+	if oversub && !r.m.Opts.Oversubscribe {
+		r.skippedOversub = true
+		r.emit(SkipOversub, -1)
+		return
+	}
+
+	pus := make([]int, r.pes)
+	for j := 0; j < r.pes; j++ {
+		pus[j] = ups[(base+j)%len(ups)].OS
+	}
+	coords := make(map[hw.Level]int, len(r.iterLevels))
+	for i, l := range r.iterLevels {
+		coords[l] = r.coords[i]
+	}
+	r.placements = append(r.placements, Placement{
+		Rank:           len(r.placements),
+		Node:           node,
+		NodeName:       r.m.Cluster.Node(node).Name,
+		Coords:         coords,
+		Leaf:           leaf,
+		PUs:            pus,
+		Oversubscribed: oversub,
+	})
+	r.emit(Mapped, len(r.placements)-1)
+	r.claims[leaf] = prior + 1
+	r.nodeCount[node]++
+	for _, obj := range capped {
+		r.capCounts[obj]++
+	}
+}
+
+func (r *run) stallError() error {
+	if r.skippedOversub {
+		return fmt.Errorf("%w: %d of %d ranks unplaced (layout %q)",
+			ErrOversubscribe, r.np-len(r.placements), r.np, r.m.Layout)
+	}
+	return fmt.Errorf("%w: %d of %d ranks unplaced (layout %q)",
+		ErrNoResources, r.np-len(r.placements), r.np, r.m.Layout)
+}
+
+func (r *run) finish() *Map {
+	return &Map{Layout: r.m.Layout, Placements: r.placements, Sweeps: r.sweeps}
+}

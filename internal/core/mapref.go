@@ -1,0 +1,46 @@
+package core
+
+// MapReference executes the same mapping semantics as Map but with an
+// explicit iterative odometer in place of the paper's recursive loop nest.
+// It exists to cross-validate the Figure 1 recursion (experiment E2): for
+// any cluster, layout, options, and rank count, Map and MapReference must
+// produce identical plans.
+func (m *Mapper) MapReference(np int) (*Map, error) {
+	r, err := m.newRun(np)
+	if err != nil {
+		return nil, err
+	}
+	k := len(r.iterLevels)
+	for len(r.placements) < np {
+		before := len(r.placements)
+		// One full odometer sweep: positions pos[i] index into the
+		// visiting permutation of level i; level 0 varies fastest.
+		pos := make([]int, k)
+		for {
+			for i := 0; i < k; i++ {
+				r.coords[i] = r.orders[i][pos[i]]
+			}
+			r.tryMap()
+			if len(r.placements) == np {
+				break
+			}
+			// Increment with carry, innermost first.
+			i := 0
+			for ; i < k; i++ {
+				pos[i]++
+				if pos[i] < r.widths[i] {
+					break
+				}
+				pos[i] = 0
+			}
+			if i == k {
+				break // full sweep complete
+			}
+		}
+		r.sweeps++
+		if len(r.placements) == before {
+			return nil, r.stallError()
+		}
+	}
+	return r.finish(), nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// randomCluster builds a small random, possibly heterogeneous and
+// restricted, cluster.
+func randomCluster(r *rand.Rand) *cluster.Cluster {
+	n := 1 + r.Intn(4)
+	specs := make([]hw.Spec, n)
+	for i := range specs {
+		specs[i] = hw.Spec{
+			Boards: 1 + r.Intn(2), Sockets: 1 + r.Intn(3), NUMAs: 1 + r.Intn(2),
+			L3s: 1, L2s: 1 + r.Intn(2), L1s: 1, Cores: 1 + r.Intn(3), PUs: 1 + r.Intn(2),
+			ThreadMajorOS: r.Intn(2) == 1,
+		}
+	}
+	c := cluster.FromSpecs(specs...)
+	// Randomly off-line a few objects.
+	for _, node := range c.Nodes {
+		if r.Intn(3) == 0 {
+			lvl := hw.Level(1 + r.Intn(hw.NumLevels-1))
+			if cnt := node.Topo.NumObjects(lvl); cnt > 1 {
+				node.Topo.SetAvailable(lvl, r.Intn(cnt), false)
+			}
+		}
+		// Occasionally remove an object entirely: a structurally
+		// irregular tree (ragged widths), which the maximal-tree
+		// iteration must skip rather than trip over.
+		if r.Intn(3) == 0 {
+			lvl := hw.Level(1 + r.Intn(hw.NumLevels-1))
+			if cnt := node.Topo.NumObjects(lvl); cnt > 1 {
+				node.Topo.RemoveObject(lvl, r.Intn(cnt))
+			}
+		}
+	}
+	return c
+}
+
+// randomLayout builds a random valid layout containing the node level.
+func randomLayout(r *rand.Rand) Layout {
+	perm := r.Perm(hw.NumLevels)
+	k := 1 + r.Intn(hw.NumLevels)
+	levels := make([]hw.Level, 0, k)
+	hasNode := false
+	for _, p := range perm[:k] {
+		levels = append(levels, hw.Level(p))
+		if hw.Level(p) == hw.LevelMachine {
+			hasNode = true
+		}
+	}
+	if !hasNode {
+		levels[r.Intn(len(levels))] = hw.LevelMachine
+	}
+	l, err := NewLayout(levels...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func sameMaps(a, b *Map) bool {
+	if a.NumRanks() != b.NumRanks() || a.Sweeps != b.Sweeps {
+		return false
+	}
+	for i := range a.Placements {
+		pa, pb := &a.Placements[i], &b.Placements[i]
+		if pa.Node != pb.Node || pa.Leaf != pb.Leaf || pa.Oversubscribed != pb.Oversubscribed {
+			return false
+		}
+		if len(pa.PUs) != len(pb.PUs) {
+			return false
+		}
+		for j := range pa.PUs {
+			if pa.PUs[j] != pb.PUs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQuickRecursiveMatchesReference is experiment E2: the paper's
+// recursive formulation (Fig. 1) is equivalent to an explicit loop nest.
+func TestQuickRecursiveMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCluster(r)
+		layout := randomLayout(r)
+		opts := Options{
+			Oversubscribe: r.Intn(2) == 1,
+			PEsPerProc:    1 + r.Intn(2),
+		}
+		np := 1 + r.Intn(2*c.TotalUsablePUs()+1)
+		m, err := NewMapper(c, layout, opts)
+		if err != nil {
+			return false
+		}
+		got, errA := m.Map(np)
+		want, errB := m.MapReference(np)
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true // both failed identically
+		}
+		return sameMaps(got, want) && got.Validate(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoOversubscribeBijective: when oversubscription is disallowed
+// and the mapping succeeds, no PU is claimed twice and all ranks placed.
+func TestQuickNoOversubscribeBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCluster(r)
+		layout := randomLayout(r)
+		np := 1 + r.Intn(c.TotalUsablePUs())
+		m, err := NewMapper(c, layout, Options{})
+		if err != nil {
+			return false
+		}
+		mp, err := m.Map(np)
+		if err != nil {
+			// Legitimate only for oversubscription pressure from uneven
+			// leaf capacities; never ErrNoResources with usable PUs > 0.
+			return c.TotalUsablePUs() == 0 || err != nil
+		}
+		if mp.NumRanks() != np || mp.Oversubscribed() {
+			return false
+		}
+		type key struct{ node, pu int }
+		seen := map[key]bool{}
+		for _, p := range mp.Placements {
+			for _, pu := range p.PUs {
+				k := key{p.Node, pu}
+				if seen[k] {
+					return false
+				}
+				seen[k] = true
+			}
+		}
+		return mp.Validate(c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFullLayoutsCoverEverything: a full 9-level layout with
+// np == usable capacity uses every usable PU exactly once.
+func TestQuickFullLayoutsCoverEverything(t *testing.T) {
+	full := []string{"scbnhNL1L2L3", "hcL1L2L3Nsbn", "nbsNL3L2L1ch", "L2hsL1cNnL3b"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCluster(r)
+		np := c.TotalUsablePUs()
+		if np == 0 {
+			return true
+		}
+		layout := MustParseLayout(full[r.Intn(len(full))])
+		m, err := NewMapper(c, layout, Options{})
+		if err != nil {
+			return false
+		}
+		mp, err := m.Map(np)
+		if err != nil {
+			return false
+		}
+		used := map[int]*hw.CPUSet{}
+		for _, p := range mp.Placements {
+			if used[p.Node] == nil {
+				used[p.Node] = hw.NewCPUSet()
+			}
+			if used[p.Node].Contains(p.PU()) {
+				return false
+			}
+			used[p.Node].Set(p.PU())
+		}
+		for i, node := range c.Nodes {
+			if !used[i].Equal(node.Topo.AllowedSet()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLayoutRoundTrip: parse(String()) is the identity on random
+// layouts.
+func TestQuickLayoutRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := randomLayout(r)
+		back, err := ParseLayout(l.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == l.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

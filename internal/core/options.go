@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"lama/internal/hw"
+)
+
+// IterOrder produces the visiting order of the child indices at one level:
+// given the iteration width it returns a permutation of 0..width-1.
+// The paper's default is ascending logical order (Fig. 1 line 13); custom
+// end-user orders are explicitly supported (§IV-A).
+type IterOrder func(width int) []int
+
+// SequentialOrder visits indices in ascending order (the default).
+func SequentialOrder(width int) []int {
+	out := make([]int, width)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ReverseOrder visits indices in descending order.
+func ReverseOrder(width int) []int {
+	out := make([]int, width)
+	for i := range out {
+		out[i] = width - 1 - i
+	}
+	return out
+}
+
+// validOrder checks that ord(width) is a permutation of 0..width-1.
+func validOrder(ord IterOrder, width int) ([]int, error) {
+	perm := ord(width)
+	if len(perm) != width {
+		return nil, fmt.Errorf("core: iteration order returned %d indices for width %d", len(perm), width)
+	}
+	seen := make([]bool, width)
+	for _, v := range perm {
+		if v < 0 || v >= width || seen[v] {
+			return nil, fmt.Errorf("core: iteration order is not a permutation of 0..%d", width-1)
+		}
+		seen[v] = true
+	}
+	return perm, nil
+}
+
+// Options tune the mapping run.
+type Options struct {
+	// PEsPerProc is the number of processing elements (smallest PUs) each
+	// rank claims; 1 when zero. Multi-threaded applications set this so a
+	// rank owns several PUs (paper §III-A "assign multiple processing
+	// resources to each process").
+	PEsPerProc int
+
+	// Oversubscribe permits placing more claims on a resource than it has
+	// PUs. When false (the HPC default, §III-A), a mapping that would
+	// share any PU fails with ErrOversubscribe.
+	Oversubscribe bool
+
+	// RespectSlots caps the ranks placed on each node at the node's
+	// scheduler slot count (Node.EffectiveSlots), the way Open MPI honors
+	// hostfile slots. Oversubscribe lifts the cap, mirroring
+	// --oversubscribe. Ignored when Oversubscribe is true.
+	RespectSlots bool
+
+	// MaxPerResource optionally caps how many ranks may land on any single
+	// object of a level (an ALPS-style restriction, §II). Zero or missing
+	// entries mean unlimited.
+	MaxPerResource map[hw.Level]int
+
+	// IterOrder optionally overrides the per-level visiting order; levels
+	// not present use SequentialOrder.
+	IterOrder map[hw.Level]IterOrder
+}
+
+func (o Options) pes() int {
+	if o.PEsPerProc <= 0 {
+		return 1
+	}
+	return o.PEsPerProc
+}
+
+func (o Options) orderFor(level hw.Level) IterOrder {
+	if o.IterOrder != nil {
+		if ord, ok := o.IterOrder[level]; ok && ord != nil {
+			return ord
+		}
+	}
+	return SequentialOrder
+}
+
+func (o Options) capFor(level hw.Level) int {
+	if o.MaxPerResource == nil {
+		return 0
+	}
+	return o.MaxPerResource[level]
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lama/internal/hw"
+)
+
+// TraceAction classifies what the mapping iteration did at one coordinate.
+type TraceAction int
+
+const (
+	// Mapped: a rank was placed at the coordinate.
+	Mapped TraceAction = iota
+	// SkipNonexistent: the coordinate does not exist on the node (maximal
+	// tree wider than the node's actual topology).
+	SkipNonexistent
+	// SkipUnavailable: the resource exists but is off-lined/disallowed.
+	SkipUnavailable
+	// SkipOversub: placing would oversubscribe and that is disallowed.
+	SkipOversub
+	// SkipCapped: an ALPS-style per-resource cap or the node slot cap was
+	// reached.
+	SkipCapped
+)
+
+// String names the action.
+func (a TraceAction) String() string {
+	switch a {
+	case Mapped:
+		return "mapped"
+	case SkipNonexistent:
+		return "skip-nonexistent"
+	case SkipUnavailable:
+		return "skip-unavailable"
+	case SkipOversub:
+		return "skip-oversubscribe"
+	case SkipCapped:
+		return "skip-capped"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// TraceEvent is one coordinate visit during mapping.
+type TraceEvent struct {
+	// Coords is the visited iteration coordinate per layout level.
+	Coords map[hw.Level]int
+	// Action says what happened there.
+	Action TraceAction
+	// Rank is the placed rank for Mapped events, -1 otherwise.
+	Rank int
+	// Sweep is the 0-based resource-space sweep number.
+	Sweep int
+}
+
+// String renders the event like "sweep 0 s=1 c=0 n=0 h=0 -> mapped rank 1".
+func (e TraceEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep %d ", e.Sweep)
+	for _, l := range hw.Levels {
+		if v, ok := e.Coords[l]; ok {
+			fmt.Fprintf(&sb, "%s=%d ", l.Abbrev(), v)
+		}
+	}
+	fmt.Fprintf(&sb, "-> %s", e.Action)
+	if e.Action == Mapped {
+		fmt.Fprintf(&sb, " rank %d", e.Rank)
+	}
+	return sb.String()
+}
+
+// MapTraced is Map with an iteration trace: it records what happened at
+// every visited coordinate (up to maxEvents; 0 means unlimited), which
+// makes layout behaviour on heterogeneous or restricted systems
+// inspectable ("why did rank 7 land there?").
+func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
+	r, err := m.newRun(np)
+	if err != nil {
+		return nil, nil, err
+	}
+	var events []TraceEvent
+	r.trace = func(action TraceAction, rank int) {
+		if maxEvents > 0 && len(events) >= maxEvents {
+			return
+		}
+		coords := make(map[hw.Level]int, len(r.iterLevels))
+		for i, l := range r.iterLevels {
+			coords[l] = r.coords[i]
+		}
+		events = append(events, TraceEvent{
+			Coords: coords, Action: action, Rank: rank, Sweep: r.sweeps,
+		})
+	}
+	for len(r.placements) < np {
+		before := len(r.placements)
+		r.inner(len(r.iterLevels) - 1)
+		r.sweeps++
+		if len(r.placements) == before {
+			return nil, events, r.stallError()
+		}
+	}
+	return r.finish(), events, nil
+}

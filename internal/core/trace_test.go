@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+func TestMapTracedMatchesMap(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	mapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{})
+	plain, err := mapper.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, events, err := mapper.MapTraced(24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMaps(plain, traced) {
+		t.Fatal("traced map differs from plain map")
+	}
+	// 24 mapped events in rank order, no skips on a full regular machine.
+	mapped := 0
+	for _, e := range events {
+		if e.Action == Mapped {
+			if e.Rank != mapped {
+				t.Fatalf("mapped ranks out of order: %v", e)
+			}
+			mapped++
+		} else {
+			t.Fatalf("unexpected skip on regular machine: %v", e)
+		}
+	}
+	if mapped != 24 {
+		t.Fatalf("mapped events = %d", mapped)
+	}
+}
+
+func TestMapTracedSkipReasons(t *testing.T) {
+	big, _ := hw.Preset("nehalem-ep")
+	small, _ := hw.Preset("bgp-node")
+	c := cluster.FromSpecs(big, small)
+	c.Node(0).Topo.SetAvailable(hw.LevelCore, 0, false)
+	mapper, _ := NewMapper(c, MustParseLayout("scnh"), Options{})
+	_, events, err := mapper.MapTraced(18, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[TraceAction]int{}
+	for _, e := range events {
+		seen[e.Action]++
+	}
+	if seen[SkipNonexistent] == 0 {
+		t.Fatalf("expected skip-nonexistent on heterogeneous cluster: %v", seen)
+	}
+	if seen[SkipUnavailable] == 0 {
+		t.Fatalf("expected skip-unavailable with an offline core: %v", seen)
+	}
+	if seen[Mapped] != 18 {
+		t.Fatalf("mapped = %d", seen[Mapped])
+	}
+}
+
+func TestMapTracedOversubAndCaps(t *testing.T) {
+	c := fig2Cluster(t, 1)
+	m1, _ := NewMapper(c, MustParseLayout("scbnh"), Options{})
+	if _, events, err := m1.MapTraced(13, 0); err == nil {
+		t.Fatal("should fail")
+	} else {
+		found := false
+		for _, e := range events {
+			if e.Action == SkipOversub {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("no skip-oversubscribe events recorded")
+		}
+	}
+	m2, _ := NewMapper(c, MustParseLayout("scbnh"),
+		Options{MaxPerResource: map[hw.Level]int{hw.LevelSocket: 1}})
+	_, events, err := m2.MapTraced(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = events
+	m3, _ := NewMapper(c, MustParseLayout("scbnh"),
+		Options{MaxPerResource: map[hw.Level]int{hw.LevelMachine: 1}})
+	if _, events, err := m3.MapTraced(2, 0); err == nil {
+		t.Fatal("node cap should stall")
+	} else {
+		capped := 0
+		for _, e := range events {
+			if e.Action == SkipCapped {
+				capped++
+			}
+		}
+		if capped == 0 {
+			t.Fatal("no skip-capped events")
+		}
+	}
+}
+
+func TestMapTracedEventLimit(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	mapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{})
+	_, events, err := mapper.MapTraced(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{
+		Coords: map[hw.Level]int{hw.LevelSocket: 1, hw.LevelMachine: 0},
+		Action: Mapped, Rank: 3, Sweep: 0,
+	}
+	s := e.String()
+	for _, want := range []string{"sweep 0", "s=1", "n=0", "mapped rank 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	skip := TraceEvent{Coords: map[hw.Level]int{}, Action: SkipUnavailable, Rank: -1}
+	if !strings.Contains(skip.String(), "skip-unavailable") {
+		t.Fatal("skip rendering")
+	}
+	if !strings.HasPrefix(TraceAction(9).String(), "action(") {
+		t.Fatal("unknown action")
+	}
+}

@@ -1,0 +1,186 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/mpirun"
+	"lama/internal/orte"
+)
+
+func init() {
+	register("E10", "§III-B: binding widths and oversubscription", runE10)
+	register("E11", "§V: CLI abstraction levels 1-4", runE11)
+}
+
+// runE10 reproduces the binding-step semantics: binding widths at each
+// level, oversubscription detection at the mapping step, multi-PU ranks,
+// and launch-time enforcement (no migration under single-PU binding).
+func runE10(Options) ([]*metrics.Table, error) {
+	sp, _ := hw.Preset("nehalem-ep") // 2s x (1 NUMA, 1 L3, 4 L2) x 1c x 2t
+	c := cluster.Homogeneous(2, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("scbnh"), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapper.Map(8)
+	if err != nil {
+		return nil, err
+	}
+
+	t1 := metrics.NewTable("E10a / binding width by bind-to level (nehalem-ep, np=8)",
+		"bind-to", "policy", "width (PUs)", "migrations at launch")
+	rt := orte.NewRuntime(c)
+	rows := []struct {
+		name   string
+		policy bind.Policy
+		level  hw.Level
+	}{
+		{"none", bind.None, hw.LevelCore},
+		{"limited", bind.Limited, hw.LevelCore},
+		{"socket", bind.Specific, hw.LevelSocket},
+		{"numa", bind.Specific, hw.LevelNUMA},
+		{"l2", bind.Specific, hw.LevelL2},
+		{"core", bind.Specific, hw.LevelCore},
+		{"hwthread", bind.Specific, hw.LevelPU},
+	}
+	for _, row := range rows {
+		plan, err := bind.Compute(c, m, row.policy, row.level)
+		if err != nil {
+			return nil, err
+		}
+		job, err := rt.Launch(m, plan, 16)
+		if err != nil {
+			return nil, err
+		}
+		if err := job.CheckEnforcement(); err != nil {
+			return nil, err
+		}
+		mig := 0
+		for _, p := range job.Procs {
+			mig += p.Migrations()
+		}
+		width := "unbound"
+		if plan.Bindings[0].Width > 0 {
+			width = metrics.I(plan.Bindings[0].Width)
+		}
+		t1.AddRow(row.name, row.policy.String(), width, metrics.I(mig))
+	}
+
+	// Oversubscription detection.
+	t2 := metrics.NewTable("E10b / oversubscription detection (32 PUs total)",
+		"np", "oversubscribe opt", "result", "flagged ranks", "sweeps")
+	for _, trial := range []struct {
+		np    int
+		allow bool
+	}{
+		{32, false}, {33, false}, {33, true}, {48, true},
+	} {
+		mp, err := core.NewMapper(c, core.MustParseLayout("scbnh"),
+			core.Options{Oversubscribe: trial.allow})
+		if err != nil {
+			return nil, err
+		}
+		mm, err := mp.Map(trial.np)
+		switch {
+		case errors.Is(err, core.ErrOversubscribe):
+			t2.AddRow(metrics.I(trial.np), fmt.Sprint(trial.allow),
+				"rejected (ErrOversubscribe)", "-", "-")
+		case err != nil:
+			return nil, err
+		default:
+			flagged := 0
+			for i := range mm.Placements {
+				if mm.Placements[i].Oversubscribed {
+					flagged++
+				}
+			}
+			t2.AddRow(metrics.I(trial.np), fmt.Sprint(trial.allow),
+				"mapped", metrics.I(flagged), metrics.I(mm.Sweeps))
+		}
+	}
+
+	// Multi-PU ranks: pe=2 at core leaves gives every rank a whole core.
+	mp2, err := core.NewMapper(c, core.MustParseLayout("scn"), core.Options{PEsPerProc: 2})
+	if err != nil {
+		return nil, err
+	}
+	m2, err := mp2.Map(16)
+	if err != nil {
+		return nil, err
+	}
+	plan2, err := bind.Compute(c, m2, bind.Specific, hw.LevelPU)
+	if err != nil {
+		return nil, err
+	}
+	t3 := metrics.NewTable("E10c / multi-PU ranks (pe=2, layout scn, np=16)",
+		"ranks", "PUs per rank", "binding width", "oversubscribed")
+	t3.AddRow(metrics.I(m2.NumRanks()), metrics.I(len(m2.Placements[0].PUs)),
+		metrics.I(plan2.Bindings[0].Width), fmt.Sprint(m2.Oversubscribed()))
+	return []*metrics.Table{t1, t2, t3}, nil
+}
+
+// runE11 reproduces the four CLI abstraction levels and verifies that
+// Levels 1 and 2 lower onto exactly the Level 3 plans.
+func runE11(Options) ([]*metrics.Table, error) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+
+	t := metrics.NewTable("E11 / CLI abstraction levels (np=8, 2 nodes)",
+		"level", "arguments", "effective layout", "rank0", "rank1", "equals Level 3")
+	cases := []struct {
+		level string
+		args  []string
+	}{
+		{"1", []string{"-np", "8"}},
+		{"2", []string{"-np", "8", "--byslot"}},
+		{"2", []string{"-np", "8", "--bynode"}},
+		{"2", []string{"-np", "8", "--map-by", "socket"}},
+		{"3", []string{"-np", "8", "--lama-map", "scbnh"}},
+		{"4", []string{"-np", "8", "--rankfile-text",
+			"rank 0=node0 slot=0\nrank 1=node1 slot=0:1\nrank 2=node0 slot=1:0-1\nrank 3=node1 slot=6-7\n" +
+				"rank 4=node0 slot=4\nrank 5=node1 slot=5\nrank 6=node0 slot=1:2\nrank 7=node1 slot=0:0"}},
+	}
+	for _, cs := range cases {
+		req, err := mpirun.Parse(cs.args)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mpirun.Execute(req, c)
+		if err != nil {
+			return nil, err
+		}
+		layout := "(rankfile)"
+		equal := "n/a"
+		if req.Level != 4 {
+			layout = req.Layout.String()
+			// Re-run through Level 3 explicitly and compare.
+			req3, err := mpirun.Parse([]string{"-np", "8", "--lama-map", layout})
+			if err != nil {
+				return nil, err
+			}
+			res3, err := mpirun.Execute(req3, c)
+			if err != nil {
+				return nil, err
+			}
+			equal = "yes"
+			for i := range res.Map.Placements {
+				a, b := res.Map.Placements[i], res3.Map.Placements[i]
+				if a.Node != b.Node || a.PU() != b.PU() {
+					equal = "NO"
+				}
+			}
+		}
+		desc := func(i int) string {
+			p := res.Map.Placements[i]
+			return fmt.Sprintf("%s/pu%d", p.NodeName, p.PU())
+		}
+		t.AddRow(metrics.I(req.Level), fmt.Sprint(cs.args), layout, desc(0), desc(1), equal)
+	}
+	return []*metrics.Table{t}, nil
+}

@@ -1,0 +1,131 @@
+package exper
+
+import (
+	"lama/internal/baseline"
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/netsim"
+	"lama/internal/torus"
+)
+
+func init() {
+	register("E9", "§II comparators: by-node/by-slot/MPICH2/BlueGene-XYZT vs LAMA", runE9)
+}
+
+// runE9 compares the LAMA against its related-work comparators on a torus
+// machine (a BlueGene/P-like installation): equivalence where a baseline
+// is expressible as a layout, and communication cost (including torus link
+// congestion) where strategies genuinely differ.
+func runE9(Options) ([]*metrics.Table, error) {
+	sp, _ := hw.Preset("bgp-node") // 4 single-thread cores
+	dims := torus.Dims{X: 4, Y: 4, Z: 2}
+	c := cluster.Homogeneous(dims.Size(), sp)
+	np := dims.Size() * 4 // 128: fully packed
+
+	// Part 1: equivalence. By-slot == LAMA csbnh, by-node == LAMA ncsbh,
+	// torus txyz == by-slot on the linearized node order.
+	t1 := metrics.NewTable("E9a / baseline equals its LAMA layout (np=128, 32 nodes)",
+		"baseline", "LAMA layout", "identical placements")
+	check := func(name, layout string, base *core.Map) error {
+		mapper, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+		if err != nil {
+			return err
+		}
+		m, err := mapper.Map(np)
+		if err != nil {
+			return err
+		}
+		same := "yes"
+		for i := range m.Placements {
+			if m.Placements[i].Node != base.Placements[i].Node ||
+				m.Placements[i].PU() != base.Placements[i].PU() {
+				same = "NO"
+				break
+			}
+		}
+		t1.AddRow(name, layout, same)
+		return nil
+	}
+	bySlot, err := baseline.BySlot(c, np)
+	if err != nil {
+		return nil, err
+	}
+	if err := check("by-slot", "csbnh", bySlot); err != nil {
+		return nil, err
+	}
+	byNode, err := baseline.ByNode(c, np)
+	if err != nil {
+		return nil, err
+	}
+	if err := check("by-node", "ncsbh", byNode); err != nil {
+		return nil, err
+	}
+	txyz, err := torus.Map(c, dims, "txyz", np)
+	if err != nil {
+		return nil, err
+	}
+	if err := check("torus txyz", "csbnh", txyz); err != nil {
+		return nil, err
+	}
+
+	// Part 2: cost comparison on torus-aware patterns.
+	mo := netsim.NewModel(netsim.NewTorus3D(dims))
+	px, py, pz := commpat.Grid3D(np)
+	patterns := []struct {
+		name string
+		tm   *commpat.Matrix
+	}{
+		{"stencil3d", commpat.Stencil3D(px, py, pz, 1<<20, true)},
+		{"alltoall", commpat.AllToAll(np, 1<<18)},
+	}
+	strategies := []struct {
+		name string
+		gen  func() (*core.Map, error)
+	}{
+		{"LAMA csbnh (pack)", func() (*core.Map, error) {
+			m, _ := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+			return m.Map(np)
+		}},
+		{"LAMA ncsbh (cycle)", func() (*core.Map, error) {
+			m, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+			return m.Map(np)
+		}},
+		{"torus xyzt", func() (*core.Map, error) { return torus.Map(c, dims, "xyzt", np) }},
+		{"torus txyz", func() (*core.Map, error) { return torus.Map(c, dims, "txyz", np) }},
+		{"mpich2 pack@socket", func() (*core.Map, error) { return baseline.Pack(c, hw.LevelSocket, np) }},
+		{"random", func() (*core.Map, error) { return baseline.Random(c, 1, np) }},
+	}
+	out := []*metrics.Table{t1}
+	for _, p := range patterns {
+		t2 := metrics.NewTable("E9b / strategy cost on "+p.name+" (3-D torus network)",
+			"strategy", "total time (ms)", "hop-bytes (MB-hops)", "max link load (MB)", "vs random")
+		rnd, err := baseline.Random(c, 1, np)
+		if err != nil {
+			return nil, err
+		}
+		rndRep, err := mo.Evaluate(c, rnd, p.tm)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range strategies {
+			m, err := s.gen()
+			if err != nil {
+				return nil, err
+			}
+			rep, err := mo.Evaluate(c, m, p.tm)
+			if err != nil {
+				return nil, err
+			}
+			t2.AddRow(s.name,
+				metrics.F(rep.TotalTime/1000, 2),
+				metrics.F(rep.HopBytes/1e6, 1),
+				metrics.F(rep.MaxLinkLoad/1e6, 1),
+				metrics.Pct(rep.TotalTime, rndRep.TotalTime))
+		}
+		out = append(out, t2)
+	}
+	return out, nil
+}

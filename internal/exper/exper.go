@@ -1,0 +1,56 @@
+// Package exper implements the experiment harness: one entry per exhibit
+// of the paper (Table I, Figure 1, Figure 2, the 362,880-permutation
+// claim) plus the simulator-backed realizations of the paper's cited
+// motivation (GTC, NAS placement sensitivity) and of its system claims
+// (heterogeneity, scalability, binding, CLI levels). See DESIGN.md §4 for
+// the experiment index and EXPERIMENTS.md for recorded results.
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/metrics"
+)
+
+// Options tune experiment scale.
+type Options struct {
+	// Full enables the exhaustive variants (e.g. all 362,880 layouts in
+	// E4 instead of a deterministic sample).
+	Full bool
+	// Seed drives the randomized experiments.
+	Seed int64
+}
+
+// Experiment is one runnable exhibit reproduction.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E3").
+	ID string
+	// Exhibit names the paper exhibit reproduced.
+	Exhibit string
+	// Run executes the experiment and returns its result tables.
+	Run func(Options) ([]*metrics.Table, error)
+}
+
+var registry []Experiment
+
+func register(id, exhibit string, run func(Options) ([]*metrics.Table, error)) {
+	registry = append(registry, Experiment{ID: id, Exhibit: exhibit, Run: run})
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exper: unknown experiment %q", id)
+}

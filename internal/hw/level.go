@@ -1,0 +1,111 @@
+package hw
+
+import "fmt"
+
+// Level identifies a hardware resource level in a node's topology tree.
+// The declaration order is the canonical containment order used by every
+// simulated topology: a Machine contains Boards, a Board contains Sockets,
+// and so on down to PUs (hardware threads). See DESIGN.md §6.
+type Level int
+
+const (
+	// LevelMachine is a server node ("n" in a process layout).
+	LevelMachine Level = iota
+	// LevelBoard is a motherboard ("b").
+	LevelBoard
+	// LevelSocket is a processor socket ("s").
+	LevelSocket
+	// LevelNUMA is a NUMA memory locality domain ("N").
+	LevelNUMA
+	// LevelL3 is an L3 cache ("L3").
+	LevelL3
+	// LevelL2 is an L2 cache ("L2").
+	LevelL2
+	// LevelL1 is an L1 cache ("L1").
+	LevelL1
+	// LevelCore is a processor core ("c").
+	LevelCore
+	// LevelPU is a hardware thread ("h"), the smallest processing unit.
+	LevelPU
+
+	// NumLevels is the number of distinct resource levels.
+	NumLevels = int(LevelPU) + 1
+)
+
+// Levels lists all levels in canonical containment order (outermost first).
+var Levels = [NumLevels]Level{
+	LevelMachine, LevelBoard, LevelSocket, LevelNUMA,
+	LevelL3, LevelL2, LevelL1, LevelCore, LevelPU,
+}
+
+// abbrevs follows Table I of the paper.
+var abbrevs = [NumLevels]string{"n", "b", "s", "N", "L3", "L2", "L1", "c", "h"}
+
+var levelNames = [NumLevels]string{
+	"machine", "board", "socket", "numa", "l3", "l2", "l1", "core", "pu",
+}
+
+var levelDescriptions = [NumLevels]string{
+	"Server node",
+	"Motherboard",
+	"Processor socket",
+	"NUMA memory locality",
+	"L3 cache",
+	"L2 cache",
+	"L1 cache",
+	"Processor core (on a socket)",
+	"Hardware thread (e.g., hyperthread)",
+}
+
+// Abbrev returns the process-layout abbreviation for the level
+// (paper Table I): n, b, s, N, L3, L2, L1, c, h.
+func (l Level) Abbrev() string {
+	if !l.Valid() {
+		return "?"
+	}
+	return abbrevs[l]
+}
+
+// String returns a lower-case human-readable level name.
+func (l Level) String() string {
+	if !l.Valid() {
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// Description returns the Table I description of the level.
+func (l Level) Description() string {
+	if !l.Valid() {
+		return "unknown"
+	}
+	return levelDescriptions[l]
+}
+
+// Valid reports whether l is one of the defined levels.
+func (l Level) Valid() bool { return l >= LevelMachine && l <= LevelPU }
+
+// Depth returns the canonical containment depth (machine=0 ... pu=8).
+func (l Level) Depth() int { return int(l) }
+
+// LevelByAbbrev maps a Table I abbreviation back to its Level.
+// Abbreviations are case-sensitive: "n" is the node and "N" the NUMA domain.
+func LevelByAbbrev(tok string) (Level, bool) {
+	for i, a := range abbrevs {
+		if a == tok {
+			return Level(i), true
+		}
+	}
+	return 0, false
+}
+
+// LevelByName maps a lower-case level name ("socket", "core", ...) to its
+// Level.
+func LevelByName(name string) (Level, bool) {
+	for i, n := range levelNames {
+		if n == name {
+			return Level(i), true
+		}
+	}
+	return 0, false
+}

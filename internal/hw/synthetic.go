@@ -1,0 +1,86 @@
+package hw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSynthetic parses an hwloc-style synthetic topology description:
+// space-separated "<level>:<count>" elements from outer to inner, e.g.
+//
+//	"board:1 socket:2 numa:1 l3:1 l2:4 core:1 pu:2"
+//	"socket:4 core:6 pu:1"
+//
+// Levels may be omitted (width 1) but must appear in canonical containment
+// order; counts are children-per-parent, as in hwloc. The machine level is
+// implicit.
+func ParseSynthetic(text string) (Spec, error) {
+	sp := Spec{Boards: 1, Sockets: 1, NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: 1, PUs: 1}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("hw: empty synthetic description")
+	}
+	last := LevelMachine
+	for _, f := range fields {
+		name, countStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("hw: synthetic element %q: want <level>:<count>", f)
+		}
+		level, ok := LevelByName(strings.ToLower(name))
+		if !ok {
+			return Spec{}, fmt.Errorf("hw: synthetic element %q: unknown level %q", f, name)
+		}
+		if level == LevelMachine {
+			return Spec{}, fmt.Errorf("hw: machine level is implicit in synthetic descriptions")
+		}
+		if level <= last {
+			return Spec{}, fmt.Errorf("hw: synthetic levels out of order: %s after %s", level, last)
+		}
+		last = level
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count < 1 {
+			return Spec{}, fmt.Errorf("hw: synthetic element %q: bad count", f)
+		}
+		switch level {
+		case LevelBoard:
+			sp.Boards = count
+		case LevelSocket:
+			sp.Sockets = count
+		case LevelNUMA:
+			sp.NUMAs = count
+		case LevelL3:
+			sp.L3s = count
+		case LevelL2:
+			sp.L2s = count
+		case LevelL1:
+			sp.L1s = count
+		case LevelCore:
+			sp.Cores = count
+		case LevelPU:
+			sp.PUs = count
+		}
+	}
+	return sp, nil
+}
+
+// FormatSynthetic renders a spec in synthetic form, omitting width-1
+// levels (except that at least "pu:<n>" is always emitted).
+func FormatSynthetic(sp Spec) string {
+	type item struct {
+		level Level
+		count int
+	}
+	items := []item{
+		{LevelBoard, sp.Boards}, {LevelSocket, sp.Sockets}, {LevelNUMA, sp.NUMAs},
+		{LevelL3, sp.L3s}, {LevelL2, sp.L2s}, {LevelL1, sp.L1s},
+		{LevelCore, sp.Cores}, {LevelPU, sp.PUs},
+	}
+	var parts []string
+	for _, it := range items {
+		if it.count > 1 || it.level == LevelPU {
+			parts = append(parts, fmt.Sprintf("%s:%d", it.level, it.count))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,94 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSynthetic(t *testing.T) {
+	sp, err := ParseSynthetic("board:1 socket:2 numa:1 l3:1 l2:4 core:1 pu:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Sockets != 2 || sp.L2s != 4 || sp.PUs != 2 || sp.TotalPUs() != 16 {
+		t.Fatalf("sp = %+v", sp)
+	}
+	// Omitted levels default to width 1.
+	sp2, err := ParseSynthetic("socket:4 core:6 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.Boards != 1 || sp2.TotalPUs() != 24 {
+		t.Fatalf("sp2 = %+v", sp2)
+	}
+	// Case-insensitive level names.
+	if _, err := ParseSynthetic("Socket:2 PU:2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyntheticErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"socket",            // no count
+		"warp:2",            // unknown level
+		"machine:1",         // machine is implicit
+		"core:2 socket:2",   // out of order
+		"socket:2 socket:2", // repeated
+		"socket:0",          // non-positive
+		"socket:x",          // non-numeric
+	} {
+		if _, err := ParseSynthetic(bad); err == nil {
+			t.Errorf("ParseSynthetic(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatSyntheticRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		sp, _ := Preset(name)
+		text := FormatSynthetic(sp)
+		back, err := ParseSynthetic(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse %q: %v", name, text, err)
+		}
+		// ThreadMajorOS is not part of the synthetic form; compare shape.
+		back.ThreadMajorOS = sp.ThreadMajorOS
+		if back != sp {
+			t.Fatalf("%s: %q round-tripped to %+v, want %+v", name, text, back, sp)
+		}
+	}
+}
+
+func TestQuickSyntheticRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := randomSpec(r)
+		sp.ThreadMajorOS = false
+		back, err := ParseSynthetic(FormatSynthetic(sp))
+		return err == nil && back == sp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsersNeverPanic feeds adversarial strings to every parser in
+// the package; they may error but must not panic.
+func TestQuickParsersNeverPanic(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseSynthetic(s)
+		_, _ = ParseSpec(s)
+		_, _ = ParseCPUSet(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

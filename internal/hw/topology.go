@@ -1,0 +1,292 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec declares a regular single-node topology by the number of children
+// each object has at every containment depth. A width of 1 makes the level
+// structurally transparent (present but trivial), which is how
+// architectures that lack a level (e.g. no L3) are expressed.
+type Spec struct {
+	Boards  int // boards per machine
+	Sockets int // sockets per board
+	NUMAs   int // NUMA domains per socket
+	L3s     int // L3 caches per NUMA domain
+	L2s     int // L2 caches per L3
+	L1s     int // L1 caches per L2
+	Cores   int // cores per L1
+	PUs     int // hardware threads per core
+
+	// ThreadMajorOS, when true, numbers PU OS indices thread-major the way
+	// Linux often does (all first hyperthreads 0..C-1, then all second
+	// hyperthreads C..2C-1). When false, PUs are numbered sequentially in
+	// tree order (core 0 holds PUs 0..T-1).
+	ThreadMajorOS bool
+}
+
+// widths returns the per-level child widths indexed by Level depth.
+// Index 0 (machine) is unused and set to 1.
+func (sp Spec) widths() [NumLevels]int {
+	return [NumLevels]int{
+		1, sp.Boards, sp.Sockets, sp.NUMAs, sp.L3s, sp.L2s, sp.L1s, sp.Cores, sp.PUs,
+	}
+}
+
+// Validate checks that all widths are at least 1.
+func (sp Spec) Validate() error {
+	w := sp.widths()
+	for d := 1; d < NumLevels; d++ {
+		if w[d] < 1 {
+			return fmt.Errorf("hw: spec has non-positive width %d for %s", w[d], Level(d))
+		}
+	}
+	return nil
+}
+
+// TotalPUs returns the number of PUs a machine built from the spec has.
+func (sp Spec) TotalPUs() int {
+	n := 1
+	for _, w := range sp.widths() {
+		n *= w
+	}
+	return n
+}
+
+// TotalCores returns the number of cores a machine built from the spec has.
+func (sp Spec) TotalCores() int { return sp.TotalPUs() / sp.PUs }
+
+// String renders the spec compactly, e.g. "1b x 2s x 1N x 1L3 x 4L2 x 1L1 x 1c x 2h".
+func (sp Spec) String() string {
+	w := sp.widths()
+	parts := make([]string, 0, NumLevels-1)
+	for d := 1; d < NumLevels; d++ {
+		parts = append(parts, fmt.Sprintf("%d%s", w[d], Level(d).Abbrev()))
+	}
+	return strings.Join(parts, " x ")
+}
+
+// Topology is a single node's hardware tree plus per-level indexes.
+type Topology struct {
+	// Root is the machine object.
+	Root *Object
+
+	byLevel [NumLevels][]*Object
+}
+
+// New builds a regular topology tree from the spec. It panics if the spec
+// is invalid (programmer error); use Spec.Validate to check first.
+func New(sp Spec) *Topology {
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+	widths := sp.widths()
+	t := &Topology{}
+	counters := [NumLevels]int{}
+	var build func(level Level, parent *Object, rank int) *Object
+	build = func(level Level, parent *Object, rank int) *Object {
+		o := &Object{
+			Level:     level,
+			Logical:   counters[level],
+			Rank:      rank,
+			OS:        -1,
+			Parent:    parent,
+			Available: true,
+		}
+		counters[level]++
+		t.byLevel[level] = append(t.byLevel[level], o)
+		if level < LevelPU {
+			next := level + 1
+			o.Children = make([]*Object, widths[next])
+			for i := range o.Children {
+				o.Children[i] = build(next, o, i)
+			}
+		}
+		return o
+	}
+	t.Root = build(LevelMachine, nil, 0)
+
+	// Assign PU OS indices.
+	pus := t.byLevel[LevelPU]
+	if sp.ThreadMajorOS {
+		cores := len(t.byLevel[LevelCore])
+		for _, pu := range pus {
+			core := pu.Parent
+			pu.OS = pu.Rank*cores + core.Logical
+		}
+	} else {
+		for i, pu := range pus {
+			pu.OS = i
+		}
+	}
+	return t
+}
+
+// Objects returns all objects at the given level in logical order. The
+// returned slice must not be modified.
+func (t *Topology) Objects(level Level) []*Object { return t.byLevel[level] }
+
+// NumObjects returns the number of objects at the given level.
+func (t *Topology) NumObjects(level Level) int { return len(t.byLevel[level]) }
+
+// NumPUs returns the total number of PUs (available or not).
+func (t *Topology) NumPUs() int { return len(t.byLevel[LevelPU]) }
+
+// NumUsablePUs returns the number of PUs whose ancestor chain is available.
+func (t *Topology) NumUsablePUs() int { return len(t.Root.UsablePUs()) }
+
+// ObjectAt returns the object with the given machine-wide logical index at
+// a level, or nil if out of range.
+func (t *Topology) ObjectAt(level Level, logical int) *Object {
+	objs := t.byLevel[level]
+	if logical < 0 || logical >= len(objs) {
+		return nil
+	}
+	return objs[logical]
+}
+
+// PUByOS returns the PU object with the given OS index, or nil.
+func (t *Topology) PUByOS(os int) *Object {
+	for _, pu := range t.byLevel[LevelPU] {
+		if pu.OS == os {
+			return pu
+		}
+	}
+	return nil
+}
+
+// MaxChildren returns the largest number of children any object at the
+// given level has (0 for PUs). This is the per-level width used when
+// assembling a maximal tree.
+func (t *Topology) MaxChildren(level Level) int {
+	max := 0
+	for _, o := range t.byLevel[level] {
+		if len(o.Children) > max {
+			max = len(o.Children)
+		}
+	}
+	return max
+}
+
+// CommonAncestorLevel returns the level of the lowest common ancestor of
+// the PUs with OS indices a and b. Identical indices return LevelPU.
+// Unknown indices return LevelMachine.
+func (t *Topology) CommonAncestorLevel(a, b int) Level {
+	if a == b {
+		return LevelPU
+	}
+	pa, pb := t.PUByOS(a), t.PUByOS(b)
+	if pa == nil || pb == nil {
+		return LevelMachine
+	}
+	seen := map[*Object]bool{}
+	for x := pa; x != nil; x = x.Parent {
+		seen[x] = true
+	}
+	for x := pb; x != nil; x = x.Parent {
+		if seen[x] {
+			return x.Level
+		}
+	}
+	return LevelMachine
+}
+
+// SetAvailable marks the object at (level, logical) available or not.
+// It returns false if no such object exists.
+func (t *Topology) SetAvailable(level Level, logical int, avail bool) bool {
+	o := t.ObjectAt(level, logical)
+	if o == nil {
+		return false
+	}
+	o.Available = avail
+	return true
+}
+
+// Restrict marks unavailable every PU whose OS index is outside allowed,
+// simulating a scheduler or cgroup restriction (paper §III-A). Interior
+// objects are left available; they become effectively unusable when all of
+// their PUs are disallowed.
+func (t *Topology) Restrict(allowed *CPUSet) {
+	for _, pu := range t.byLevel[LevelPU] {
+		if !allowed.Contains(pu.OS) {
+			pu.Available = false
+		}
+	}
+}
+
+// AllowedSet returns the CPUSet of usable PU OS indices.
+func (t *Topology) AllowedSet() *CPUSet { return t.Root.UsablePUSet() }
+
+// RemoveObject structurally removes the object at (level, logical) and its
+// subtree, renumbering logical indices and sibling ranks, to model truly
+// irregular hardware (e.g. a board with a missing socket). The machine root
+// cannot be removed. It returns false if no such object exists.
+func (t *Topology) RemoveObject(level Level, logical int) bool {
+	o := t.ObjectAt(level, logical)
+	if o == nil || o.Parent == nil {
+		return false
+	}
+	p := o.Parent
+	kept := p.Children[:0]
+	for _, c := range p.Children {
+		if c != o {
+			kept = append(kept, c)
+		}
+	}
+	p.Children = kept
+	t.reindex()
+	return true
+}
+
+// reindex rebuilds per-level indexes, logical numbers, sibling ranks, and
+// clears cached PU sets after a structural mutation.
+func (t *Topology) reindex() {
+	for l := range t.byLevel {
+		t.byLevel[l] = t.byLevel[l][:0]
+	}
+	var walk func(o *Object, rank int)
+	walk = func(o *Object, rank int) {
+		o.Rank = rank
+		o.Logical = len(t.byLevel[o.Level])
+		o.puset = nil
+		t.byLevel[o.Level] = append(t.byLevel[o.Level], o)
+		for i, c := range o.Children {
+			walk(c, i)
+		}
+	}
+	walk(t.Root, 0)
+}
+
+// Clone returns a deep copy of the topology (objects, availability,
+// numbering).
+func (t *Topology) Clone() *Topology {
+	c := &Topology{}
+	var copyObj func(o *Object, parent *Object) *Object
+	copyObj = func(o *Object, parent *Object) *Object {
+		n := &Object{
+			Level:     o.Level,
+			Logical:   o.Logical,
+			Rank:      o.Rank,
+			OS:        o.OS,
+			Parent:    parent,
+			Available: o.Available,
+		}
+		c.byLevel[n.Level] = append(c.byLevel[n.Level], n)
+		n.Children = make([]*Object, len(o.Children))
+		for i, ch := range o.Children {
+			n.Children[i] = copyObj(ch, n)
+		}
+		return n
+	}
+	c.Root = copyObj(t.Root, nil)
+	return c
+}
+
+// Summary renders a one-line shape summary such as
+// "2 sockets, 8 cores, 16 PUs (14 usable)".
+func (t *Topology) Summary() string {
+	return fmt.Sprintf("%d boards, %d sockets, %d numas, %d cores, %d PUs (%d usable)",
+		t.NumObjects(LevelBoard), t.NumObjects(LevelSocket), t.NumObjects(LevelNUMA),
+		t.NumObjects(LevelCore), t.NumPUs(), t.NumUsablePUs())
+}

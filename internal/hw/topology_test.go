@@ -1,0 +1,432 @@
+package hw
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func nehalem(t *testing.T) *Topology {
+	t.Helper()
+	sp, ok := Preset("nehalem-ep")
+	if !ok {
+		t.Fatal("missing preset")
+	}
+	return New(sp)
+}
+
+func TestLevelTable(t *testing.T) {
+	// Paper Table I: the nine levels and their abbreviations.
+	want := map[Level]string{
+		LevelMachine: "n", LevelBoard: "b", LevelSocket: "s",
+		LevelCore: "c", LevelPU: "h",
+		LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelNUMA: "N",
+	}
+	if len(want) != NumLevels {
+		t.Fatalf("expected %d levels", NumLevels)
+	}
+	for l, ab := range want {
+		if l.Abbrev() != ab {
+			t.Errorf("%s abbrev = %q, want %q", l, l.Abbrev(), ab)
+		}
+		got, ok := LevelByAbbrev(ab)
+		if !ok || got != l {
+			t.Errorf("LevelByAbbrev(%q) = %v,%v", ab, got, ok)
+		}
+		byName, ok := LevelByName(l.String())
+		if !ok || byName != l {
+			t.Errorf("LevelByName(%q) failed", l.String())
+		}
+		if l.Description() == "" || l.Description() == "unknown" {
+			t.Errorf("%s missing description", l)
+		}
+	}
+	// Case sensitivity: n is node, N is NUMA.
+	if l, _ := LevelByAbbrev("n"); l != LevelMachine {
+		t.Error("n must be machine")
+	}
+	if l, _ := LevelByAbbrev("N"); l != LevelNUMA {
+		t.Error("N must be NUMA")
+	}
+	if _, ok := LevelByAbbrev("x"); ok {
+		t.Error("x must be unknown")
+	}
+	if Level(-1).Valid() || Level(NumLevels).Valid() {
+		t.Error("Valid wrong")
+	}
+	if Level(-1).Abbrev() != "?" || Level(-1).Description() != "unknown" {
+		t.Error("invalid level rendering")
+	}
+}
+
+func TestSpecValidateAndCounts(t *testing.T) {
+	sp := Spec{Boards: 1, Sockets: 2, NUMAs: 1, L3s: 1, L2s: 4, L1s: 1, Cores: 1, PUs: 2}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.TotalPUs() != 16 || sp.TotalCores() != 8 {
+		t.Fatalf("TotalPUs=%d TotalCores=%d", sp.TotalPUs(), sp.TotalCores())
+	}
+	bad := sp
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero width must fail validation")
+	}
+	if sp.String() == "" {
+		t.Fatal("empty spec string")
+	}
+}
+
+func TestNewTopologyShape(t *testing.T) {
+	topo := nehalem(t)
+	wantCounts := map[Level]int{
+		LevelMachine: 1, LevelBoard: 1, LevelSocket: 2, LevelNUMA: 2,
+		LevelL3: 2, LevelL2: 8, LevelL1: 8, LevelCore: 8, LevelPU: 16,
+	}
+	for l, n := range wantCounts {
+		if got := topo.NumObjects(l); got != n {
+			t.Errorf("NumObjects(%s) = %d, want %d", l, got, n)
+		}
+	}
+	if topo.NumPUs() != 16 || topo.NumUsablePUs() != 16 {
+		t.Fatal("PU counts wrong")
+	}
+	// Logical indices are dense per level.
+	for _, l := range Levels {
+		for i, o := range topo.Objects(l) {
+			if o.Logical != i {
+				t.Fatalf("%s logical %d at position %d", l, o.Logical, i)
+			}
+			if o.Level != l {
+				t.Fatalf("level mismatch")
+			}
+		}
+	}
+	// Parent/child integrity and ranks.
+	for _, l := range Levels[1:] {
+		for _, o := range topo.Objects(l) {
+			if o.Parent == nil {
+				t.Fatalf("%v has no parent", o)
+			}
+			if o.Parent.Children[o.Rank] != o {
+				t.Fatalf("%v rank inconsistent", o)
+			}
+		}
+	}
+}
+
+func TestThreadMajorOSNumbering(t *testing.T) {
+	topo := nehalem(t) // ThreadMajorOS: true, 8 cores, 2 threads
+	core0 := topo.ObjectAt(LevelCore, 0)
+	got := core0.PUSet().String()
+	if got != "0,8" {
+		t.Fatalf("core0 PUs = %q, want \"0,8\"", got)
+	}
+	seq := New(Spec{Boards: 1, Sockets: 2, NUMAs: 1, L3s: 1, L2s: 4, L1s: 1, Cores: 1, PUs: 2})
+	if got := seq.ObjectAt(LevelCore, 0).PUSet().String(); got != "0-1" {
+		t.Fatalf("sequential core0 PUs = %q, want \"0-1\"", got)
+	}
+	// All OS indices distinct and dense in both numberings.
+	for _, tp := range []*Topology{topo, seq} {
+		seen := NewCPUSet()
+		for _, pu := range tp.Objects(LevelPU) {
+			if seen.Contains(pu.OS) {
+				t.Fatalf("duplicate OS index %d", pu.OS)
+			}
+			seen.Set(pu.OS)
+		}
+		if !seen.Equal(CPUSetRange(0, tp.NumPUs()-1)) {
+			t.Fatalf("OS indices not dense: %v", seen)
+		}
+	}
+}
+
+func TestObjectQueries(t *testing.T) {
+	topo := nehalem(t)
+	pu := topo.PUByOS(9) // thread-major: core 1, second thread
+	if pu == nil {
+		t.Fatal("PUByOS failed")
+	}
+	if pu.Ancestor(LevelCore).Logical != 1 {
+		t.Fatalf("PU 9 core = %v", pu.Ancestor(LevelCore))
+	}
+	if pu.Ancestor(LevelSocket).Logical != 0 {
+		t.Fatalf("PU 9 socket = %v", pu.Ancestor(LevelSocket))
+	}
+	if pu.Ancestor(LevelMachine) != topo.Root {
+		t.Fatal("machine ancestor")
+	}
+	if topo.Root.Ancestor(LevelCore) != nil {
+		t.Fatal("descending Ancestor should be nil")
+	}
+	if topo.ObjectAt(LevelSocket, 5) != nil || topo.ObjectAt(LevelSocket, -1) != nil {
+		t.Fatal("out-of-range ObjectAt")
+	}
+	if topo.PUByOS(99) != nil {
+		t.Fatal("unknown OS index")
+	}
+	if s := topo.ObjectAt(LevelSocket, 1).String(); s != "socket#1" {
+		t.Fatalf("String = %q", s)
+	}
+	var nilObj *Object
+	if nilObj.String() != "<nil>" {
+		t.Fatal("nil object String")
+	}
+}
+
+func TestCommonAncestorLevel(t *testing.T) {
+	topo := nehalem(t) // thread-major: PUs k and k+8 share a core
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, LevelPU},
+		{0, 8, LevelCore},  // same core, two threads
+		{0, 1, LevelL3},    // neighbor cores share L3 (L2/L1 private)
+		{0, 4, LevelBoard}, // different sockets: LCA is the board
+		{0, 99, LevelMachine},
+	}
+	for _, c := range cases {
+		if got := topo.CommonAncestorLevel(c.a, c.b); got != c.want {
+			t.Errorf("LCA(%d,%d) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAvailabilityAndRestrict(t *testing.T) {
+	topo := nehalem(t)
+	// Off-line socket 1: 8 PUs become unusable.
+	if !topo.SetAvailable(LevelSocket, 1, false) {
+		t.Fatal("SetAvailable failed")
+	}
+	if topo.NumUsablePUs() != 8 {
+		t.Fatalf("usable = %d, want 8", topo.NumUsablePUs())
+	}
+	if topo.SetAvailable(LevelSocket, 7, false) {
+		t.Fatal("SetAvailable on missing object should be false")
+	}
+	pu := topo.PUByOS(4) // socket 1 territory
+	if pu.Usable() {
+		t.Fatal("PU under offline socket must be unusable")
+	}
+	if got := pu.UsablePUs(); got != nil {
+		t.Fatal("UsablePUs under offline ancestor must be empty")
+	}
+	topo.SetAvailable(LevelSocket, 1, true)
+
+	// Scheduler restriction to PUs 0-5.
+	topo.Restrict(CPUSetRange(0, 5))
+	if topo.NumUsablePUs() != 6 {
+		t.Fatalf("after restrict usable = %d", topo.NumUsablePUs())
+	}
+	if got := topo.AllowedSet().String(); got != "0-5" {
+		t.Fatalf("AllowedSet = %q", got)
+	}
+}
+
+func TestRemoveObjectIrregular(t *testing.T) {
+	topo := nehalem(t)
+	if !topo.RemoveObject(LevelCore, 3) {
+		t.Fatal("RemoveObject failed")
+	}
+	if topo.NumObjects(LevelCore) != 7 || topo.NumPUs() != 14 {
+		t.Fatalf("after removal: cores=%d pus=%d", topo.NumObjects(LevelCore), topo.NumPUs())
+	}
+	// Logical renumbering is dense again.
+	for i, c := range topo.Objects(LevelCore) {
+		if c.Logical != i {
+			t.Fatalf("core logical %d at %d", c.Logical, i)
+		}
+	}
+	// MaxChildren reflects irregularity: some L1 has 1 core, all do... here
+	// each L1 had exactly 1 core, so one L1 now has 0.
+	if got := topo.MaxChildren(LevelL1); got != 1 {
+		t.Fatalf("MaxChildren(L1) = %d", got)
+	}
+	if topo.RemoveObject(LevelMachine, 0) {
+		t.Fatal("must not remove root")
+	}
+	if topo.RemoveObject(LevelCore, 99) {
+		t.Fatal("must not remove missing object")
+	}
+}
+
+func TestClone(t *testing.T) {
+	topo := nehalem(t)
+	topo.SetAvailable(LevelCore, 2, false)
+	c := topo.Clone()
+	if c.NumPUs() != topo.NumPUs() || c.NumUsablePUs() != topo.NumUsablePUs() {
+		t.Fatal("clone shape mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	c.SetAvailable(LevelSocket, 0, false)
+	if topo.ObjectAt(LevelSocket, 0).Available == false {
+		t.Fatal("clone aliases original")
+	}
+	if topo.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	topo := nehalem(t)
+	topo.SetAvailable(LevelCore, 5, false)
+	data, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPUs() != topo.NumPUs() || back.NumUsablePUs() != topo.NumUsablePUs() {
+		t.Fatalf("round trip: pus %d/%d usable %d/%d",
+			back.NumPUs(), topo.NumPUs(), back.NumUsablePUs(), topo.NumUsablePUs())
+	}
+	for _, l := range Levels {
+		if back.NumObjects(l) != topo.NumObjects(l) {
+			t.Fatalf("level %s count mismatch", l)
+		}
+	}
+	// OS indices preserved.
+	for i, pu := range topo.Objects(LevelPU) {
+		if back.Objects(LevelPU)[i].OS != pu.OS {
+			t.Fatal("OS index lost")
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	var tp Topology
+	for _, bad := range []string{
+		`{"level":"sprocket"}`,
+		`{"level":"core"}`,
+		`{"level":"machine","children":[{"level":"machine"}]}`,
+		`{"level":"machine","children":[{"level":"pu","children":[{"level":"pu"}]}]}`,
+		`{`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &tp); err == nil {
+			t.Errorf("decoding %q should fail", bad)
+		}
+	}
+}
+
+func TestParseSpecForms(t *testing.T) {
+	sp, err := ParseSpec("nehalem-ep")
+	if err != nil || sp.Sockets != 2 {
+		t.Fatalf("preset parse: %v %+v", err, sp)
+	}
+	sp, err = ParseSpec("2:4:2")
+	if err != nil || sp.Sockets != 2 || sp.Cores != 4 || sp.PUs != 2 || sp.Boards != 1 {
+		t.Fatalf("short parse: %v %+v", err, sp)
+	}
+	sp, err = ParseSpec("2:2:1:1:4:1:1:2")
+	if err != nil || sp.Boards != 2 || sp.L2s != 4 {
+		t.Fatalf("full parse: %v %+v", err, sp)
+	}
+	if got := FormatSpec(sp); got != "2:2:1:1:4:1:1:2" {
+		t.Fatalf("FormatSpec = %q", got)
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:1:1", "1:2:3:4"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+	if len(PresetNames()) < 5 {
+		t.Fatal("expected several presets")
+	}
+	for _, name := range PresetNames() {
+		sp, ok := Preset(name)
+		if !ok {
+			t.Fatalf("preset %q vanished", name)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+// randomSpec produces a small random valid spec.
+func randomSpec(r *rand.Rand) Spec {
+	w := func(max int) int { return 1 + r.Intn(max) }
+	return Spec{
+		Boards: w(2), Sockets: w(4), NUMAs: w(2), L3s: w(2),
+		L2s: w(3), L1s: w(2), Cores: w(3), PUs: w(4),
+		ThreadMajorOS: r.Intn(2) == 1,
+	}
+}
+
+func TestQuickTopologyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := randomSpec(r)
+		topo := New(sp)
+		// PU count matches spec product.
+		if topo.NumPUs() != sp.TotalPUs() {
+			return false
+		}
+		// Level counts multiply down the tree.
+		w := sp.widths()
+		want := 1
+		for d := 0; d < NumLevels; d++ {
+			want *= w[d]
+			if topo.NumObjects(Level(d)) != want {
+				return false
+			}
+		}
+		// Every PU OS index unique and in range; PUSet of root is full.
+		if !topo.Root.PUSet().Equal(CPUSetRange(0, topo.NumPUs()-1)) {
+			return false
+		}
+		// JSON round trip preserves shape.
+		data, err := json.Marshal(topo)
+		if err != nil {
+			return false
+		}
+		var back Topology
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.NumPUs() == topo.NumPUs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRestrictMonotone(t *testing.T) {
+	// Restricting can only shrink the usable set, and AllowedSet is always
+	// a subset of the restriction mask.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		topo := New(randomSpec(r))
+		before := topo.NumUsablePUs()
+		mask := randomSet(r, topo.NumPUs())
+		topo.Restrict(mask)
+		after := topo.NumUsablePUs()
+		return after <= before && topo.AllowedSet().IsSubset(mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	topo := nehalem(t)
+	topo.SetAvailable(LevelCore, 1, false)
+	out := topo.RenderTree()
+	for _, want := range []string{"machine#0", "socket#1", "core#0 (pus 0,8)", "core#1", "[offline]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RenderTree missing %q:\n%s", want, out)
+		}
+	}
+	// Restricted PUs show a usable subset.
+	topo2 := nehalem(t)
+	topo2.Restrict(CPUSetRange(0, 7))
+	out2 := topo2.RenderTree()
+	if !strings.Contains(out2, "[usable") {
+		t.Fatalf("restricted render:\n%s", out2)
+	}
+}

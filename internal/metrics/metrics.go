@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+// MapSummary aggregates structural qualities of a mapping plan,
+// independent of any traffic pattern.
+type MapSummary struct {
+	// Ranks is the number of placed ranks.
+	Ranks int
+	// NodesUsed is the number of distinct nodes hosting at least one rank.
+	NodesUsed int
+	// MaxPerNode and MinPerNode describe the node-level balance (MinPerNode
+	// counts only used nodes).
+	MaxPerNode, MinPerNode int
+	// SocketsUsed is the number of distinct (node, socket) pairs used.
+	SocketsUsed int
+	// Oversubscribed reports PU sharing.
+	Oversubscribed bool
+	// AvgNeighborLevel is the mean LCA depth of consecutive ranks placed
+	// on the same node (higher = closer); 0 when no such pairs exist.
+	AvgNeighborLevel float64
+}
+
+// Summarize computes a MapSummary.
+func Summarize(c *cluster.Cluster, m *core.Map) MapSummary {
+	s := MapSummary{Ranks: m.NumRanks(), Oversubscribed: m.Oversubscribed()}
+	perNode := m.RanksByNode()
+	s.NodesUsed = len(perNode)
+	s.MinPerNode = m.NumRanks() + 1
+	for _, ranks := range perNode {
+		if len(ranks) > s.MaxPerNode {
+			s.MaxPerNode = len(ranks)
+		}
+		if len(ranks) < s.MinPerNode {
+			s.MinPerNode = len(ranks)
+		}
+	}
+	if s.NodesUsed == 0 {
+		s.MinPerNode = 0
+	}
+	sockets := map[[2]int]bool{}
+	for i := range m.Placements {
+		p := &m.Placements[i]
+		if p.Leaf != nil {
+			if sock := p.Leaf.Ancestor(hw.LevelSocket); sock != nil {
+				sockets[[2]int{p.Node, sock.Logical}] = true
+			}
+		}
+	}
+	s.SocketsUsed = len(sockets)
+
+	depthSum, pairs := 0, 0
+	for i := 1; i < m.NumRanks(); i++ {
+		a, b := &m.Placements[i-1], &m.Placements[i]
+		if a.Node != b.Node {
+			continue
+		}
+		level := c.Node(a.Node).Topo.CommonAncestorLevel(a.PU(), b.PU())
+		depthSum += level.Depth()
+		pairs++
+	}
+	if pairs > 0 {
+		s.AvgNeighborLevel = float64(depthSum) / float64(pairs)
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every row's "value" column starts at the same offset.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "1") && !strings.HasPrefix(lines[4][idx:], "22") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+	// Extra cells beyond headers are ignored in render.
+	tb2 := NewTable("", "a")
+	tb2.AddRow("x", "y", "z")
+	if strings.Contains(tb2.String(), "==") {
+		t.Fatal("untitled table should not print a title")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" || I(42) != "42" {
+		t.Fatal("F/I")
+	}
+	if Pct(80, 100) != "+20.0%" {
+		t.Fatalf("Pct = %s", Pct(80, 100))
+	}
+	if Pct(120, 100) != "-20.0%" {
+		t.Fatalf("Pct = %s", Pct(120, 100))
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Fatal("Pct zero baseline")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 ranks pack exactly the first hardware threads of node0's 6 cores.
+	m, err := mapper.Map(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(c, m)
+	if s.Ranks != 6 || s.NodesUsed != 1 || s.MaxPerNode != 6 || s.MinPerNode != 6 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.SocketsUsed != 2 {
+		t.Fatalf("sockets used = %d", s.SocketsUsed)
+	}
+	if s.Oversubscribed {
+		t.Fatal("not oversubscribed")
+	}
+	// Packed consecutive ranks are close: average LCA depth should be at
+	// least board level.
+	if s.AvgNeighborLevel < float64(hw.LevelBoard.Depth()) {
+		t.Fatalf("AvgNeighborLevel = %v", s.AvgNeighborLevel)
+	}
+
+	// Scattered mapping uses both nodes evenly.
+	mapper2, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	m2, err := mapper2.Map(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := Summarize(c, m2)
+	if s2.NodesUsed != 2 || s2.MaxPerNode != 4 || s2.MinPerNode != 4 {
+		t.Fatalf("summary2 = %+v", s2)
+	}
+	// Consecutive ranks never share a node under by-node: no pairs.
+	if s2.AvgNeighborLevel != 0 {
+		t.Fatalf("AvgNeighborLevel = %v", s2.AvgNeighborLevel)
+	}
+}

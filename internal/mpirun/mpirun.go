@@ -1,0 +1,327 @@
+// Package mpirun implements the four command-line abstraction levels the
+// paper's Open MPI implementation exposes (§V):
+//
+//	Level 1: no mapping/binding options — sensible defaults.
+//	Level 2: simple, common patterns (--bynode, --byslot, --map-by socket, ...).
+//	Level 3: raw LAMA process layouts (--lama-map scbnh).
+//	Level 4: irregular patterns via a rankfile (--rankfile file).
+//
+// Levels 1 and 2 are shortcuts that lower onto Level 3 layouts, exactly as
+// in the paper; Level 4 bypasses the LAMA.
+package mpirun
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/rankfile"
+)
+
+// Shortcut layouts: the Level 2 vocabulary and the Level 3 layout each
+// pattern lowers to.
+var shortcuts = map[string]string{
+	"slot":     "csbnh", // pack cores within a node, then next node
+	"core":     "csbnh",
+	"node":     "ncsbh", // round-robin nodes
+	"socket":   "scbnh", // scatter across sockets (the paper's example)
+	"board":    "bscnh", // scatter across boards
+	"numa":     "Ncsbnh",
+	"hwthread": "hcsbn", // pack hardware threads
+	"l2":       "L2csbnh",
+	"l3":       "L3csbnh",
+}
+
+// ShortcutLayout returns the Level 3 layout string a Level 2 pattern name
+// lowers to.
+func ShortcutLayout(name string) (string, bool) {
+	l, ok := shortcuts[name]
+	return l, ok
+}
+
+// ShortcutNames returns the supported Level 2 pattern names.
+func ShortcutNames() []string {
+	out := make([]string, 0, len(shortcuts))
+	for n := range shortcuts {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Request is a fully parsed launch request.
+type Request struct {
+	// NP is the number of processes to launch.
+	NP int
+	// Level is the abstraction level used (1-4).
+	Level int
+	// Layout is the process layout (Levels 1-3).
+	Layout core.Layout
+	// Rankfile is the parsed rankfile (Level 4), nil otherwise.
+	Rankfile *rankfile.File
+	// Opts are the mapping options.
+	Opts core.Options
+	// BindPolicy and BindLevel describe the requested binding. BindCount
+	// (from --lama-bind "<count><level>") widens a Specific binding to
+	// several consecutive objects; 0/1 means one.
+	BindPolicy bind.Policy
+	BindLevel  hw.Level
+	BindCount  int
+	// ReportBindings requests an Open MPI-style binding report
+	// (--report-bindings).
+	ReportBindings bool
+}
+
+// Parse interprets an mpirun-style argument list:
+//
+//	-np N                 process count (required)
+//	--bynode | --byslot   Level 2 shortcuts
+//	--map-by <pattern>    Level 2 shortcut by name (socket, core, numa, ...)
+//	--lama-map <layout>   Level 3 raw LAMA layout
+//	--rankfile-text <s>   Level 4 irregular placements (inline text)
+//	--bind-to <level>     none | board | socket | numa | l1|l2|l3 | core | hwthread
+//	--bind-limited        limited-set binding
+//	--pe N                processing elements per process
+//	--oversubscribe       allow PU sharing
+//	--max-per <level>=<n> ALPS-style per-resource rank cap
+func Parse(args []string) (*Request, error) {
+	req := &Request{Level: 1, BindPolicy: bind.None, BindLevel: hw.LevelCore}
+	var mapSpec string
+	mapLevel := 1
+
+	next := func(i *int, flag string) (string, error) {
+		*i++
+		if *i >= len(args) {
+			return "", fmt.Errorf("mpirun: %s requires a value", flag)
+		}
+		return args[*i], nil
+	}
+	setMap := func(level int, spec string) error {
+		if mapLevel > 1 {
+			return fmt.Errorf("mpirun: conflicting mapping options")
+		}
+		mapLevel = level
+		mapSpec = spec
+		return nil
+	}
+
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; arg {
+		case "-np", "--np", "-n":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			np, err := strconv.Atoi(v)
+			if err != nil || np <= 0 {
+				return nil, fmt.Errorf("mpirun: bad process count %q", v)
+			}
+			req.NP = np
+		case "--bynode":
+			if err := setMap(2, shortcuts["node"]); err != nil {
+				return nil, err
+			}
+		case "--byslot":
+			if err := setMap(2, shortcuts["slot"]); err != nil {
+				return nil, err
+			}
+		case "--map-by":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			layout, ok := shortcuts[v]
+			if !ok {
+				return nil, fmt.Errorf("mpirun: unknown --map-by pattern %q (want one of %s)",
+					v, strings.Join(ShortcutNames(), ", "))
+			}
+			if err := setMap(2, layout); err != nil {
+				return nil, err
+			}
+		case "--lama-map":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			if err := setMap(3, v); err != nil {
+				return nil, err
+			}
+		case "--rankfile-text":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			if err := setMap(4, ""); err != nil {
+				return nil, err
+			}
+			f, err := rankfile.Parse(v)
+			if err != nil {
+				return nil, err
+			}
+			req.Rankfile = f
+		case "--bind-to":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			if v == "none" {
+				req.BindPolicy = bind.None
+				continue
+			}
+			level, ok := bindLevel(v)
+			if !ok {
+				return nil, fmt.Errorf("mpirun: unknown --bind-to target %q", v)
+			}
+			req.BindPolicy = bind.Specific
+			req.BindLevel = level
+		case "--lama-bind":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			level, count, err := bind.ParseWidthSpec(v)
+			if err != nil {
+				return nil, err
+			}
+			req.BindPolicy = bind.Specific
+			req.BindLevel = level
+			req.BindCount = count
+		case "--bind-limited":
+			req.BindPolicy = bind.Limited
+		case "--report-bindings":
+			req.ReportBindings = true
+		case "--pe":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			pe, err := strconv.Atoi(v)
+			if err != nil || pe <= 0 {
+				return nil, fmt.Errorf("mpirun: bad --pe %q", v)
+			}
+			req.Opts.PEsPerProc = pe
+		case "--oversubscribe":
+			req.Opts.Oversubscribe = true
+		case "--respect-slots":
+			req.Opts.RespectSlots = true
+		case "--max-per":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			name, cnt, ok := strings.Cut(v, "=")
+			if !ok {
+				return nil, fmt.Errorf("mpirun: --max-per wants <level>=<n>, got %q", v)
+			}
+			level, ok := bindLevel(name)
+			if !ok {
+				if name == "node" {
+					level = hw.LevelMachine
+					ok = true
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("mpirun: unknown --max-per level %q", name)
+			}
+			n, err := strconv.Atoi(cnt)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("mpirun: bad --max-per count %q", cnt)
+			}
+			if req.Opts.MaxPerResource == nil {
+				req.Opts.MaxPerResource = map[hw.Level]int{}
+			}
+			req.Opts.MaxPerResource[level] = n
+		default:
+			return nil, fmt.Errorf("mpirun: unknown option %q", arg)
+		}
+	}
+	if req.NP <= 0 {
+		return nil, fmt.Errorf("mpirun: -np is required")
+	}
+	req.Level = mapLevel
+	if mapLevel != 4 {
+		if mapLevel == 1 {
+			mapSpec = shortcuts["slot"] // Level 1 default: by-slot
+		}
+		layout, err := core.ParseLayout(mapSpec)
+		if err != nil {
+			return nil, err
+		}
+		req.Layout = layout
+	}
+	return req, nil
+}
+
+// bindLevel maps a --bind-to target name to a Level.
+func bindLevel(name string) (hw.Level, bool) {
+	switch name {
+	case "board":
+		return hw.LevelBoard, true
+	case "socket":
+		return hw.LevelSocket, true
+	case "numa":
+		return hw.LevelNUMA, true
+	case "l1":
+		return hw.LevelL1, true
+	case "l2":
+		return hw.LevelL2, true
+	case "l3":
+		return hw.LevelL3, true
+	case "core":
+		return hw.LevelCore, true
+	case "hwthread":
+		return hw.LevelPU, true
+	default:
+		return 0, false
+	}
+}
+
+// Result is a fully planned launch: map plus binding plan.
+type Result struct {
+	Map  *core.Map
+	Plan *bind.Plan
+}
+
+// Execute plans the request against a cluster: it maps (via the LAMA or
+// the rankfile) and computes bindings.
+func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
+	var m *core.Map
+	var err error
+	if req.Level == 4 {
+		m, err = rankfile.Apply(req.Rankfile, c)
+		if err != nil {
+			return nil, err
+		}
+		if m.NumRanks() != req.NP {
+			return nil, fmt.Errorf("mpirun: rankfile has %d ranks but -np is %d", m.NumRanks(), req.NP)
+		}
+		if m.Oversubscribed() && !req.Opts.Oversubscribe {
+			return nil, core.ErrOversubscribe
+		}
+	} else {
+		mapper, err := core.NewMapper(c, req.Layout, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err = mapper.Map(req.NP)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var plan *bind.Plan
+	if req.BindPolicy == bind.Specific && req.BindCount > 1 {
+		plan, err = bind.ComputeWidth(c, m, req.BindLevel, req.BindCount)
+	} else {
+		plan, err = bind.Compute(c, m, req.BindPolicy, req.BindLevel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Check(c); err != nil {
+		return nil, err
+	}
+	return &Result{Map: m, Plan: plan}, nil
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import "fmt"
+
+// Dragonfly is a two-tier group-based network: nodes belong to groups of
+// GroupSize; within a group every pair is one (local) hop, and between
+// groups a message takes local -> global -> local (three hops), with the
+// global links tapered by the Taper factor. It models the low-diameter
+// topologies that started displacing tori around the paper's era.
+type Dragonfly struct {
+	// GroupSize is the number of nodes per group.
+	GroupSize int
+	// LocalLat and GlobalLat are per-hop latencies in µs.
+	LocalLat, GlobalLat float64
+	// BW is the local-link bandwidth in bytes/µs; global links provide
+	// BW/Taper.
+	BW float64
+	// Taper is the global-link bandwidth taper (>= 1).
+	Taper float64
+}
+
+// NewDragonfly returns a dragonfly with Aries-like relative parameters.
+func NewDragonfly(groupSize int) *Dragonfly {
+	return &Dragonfly{GroupSize: groupSize, LocalLat: 0.6, GlobalLat: 1.2, BW: 4000, Taper: 2}
+}
+
+// Name implements Network.
+func (d *Dragonfly) Name() string { return fmt.Sprintf("dragonfly(%d)", d.GroupSize) }
+
+func (d *Dragonfly) group(n int) int {
+	if d.GroupSize <= 0 {
+		return n
+	}
+	return n / d.GroupSize
+}
+
+// Hops implements Network: 1 within a group, 3 across groups.
+func (d *Dragonfly) Hops(a, b int) int {
+	switch {
+	case a == b:
+		return 0
+	case d.group(a) == d.group(b):
+		return 1
+	default:
+		return 3
+	}
+}
+
+// Latency implements Network.
+func (d *Dragonfly) Latency(a, b int) float64 {
+	switch d.Hops(a, b) {
+	case 0:
+		return 0
+	case 1:
+		return d.LocalLat
+	default:
+		return 2*d.LocalLat + d.GlobalLat
+	}
+}
+
+// Bandwidth implements Network.
+func (d *Dragonfly) Bandwidth(a, b int) float64 {
+	if d.group(a) == d.group(b) {
+		return d.BW
+	}
+	taper := d.Taper
+	if taper < 1 {
+		taper = 1
+	}
+	return d.BW / taper
+}

@@ -1,0 +1,93 @@
+package netsim
+
+import "fmt"
+
+// MatrixNet is a network defined by explicit per-node-pair latency and
+// bandwidth tables — the form a site would produce by measurement (or an
+// ACPI SLIT-style distance table), for when none of the analytic models
+// fits the machine.
+type MatrixNet struct {
+	lat [][]float64 // µs
+	bw  [][]float64 // bytes/µs
+}
+
+// NewMatrixNet validates and wraps the tables: both must be n x n, with
+// zero diagonal latency, positive off-diagonal latency, and positive
+// bandwidth everywhere it can be used.
+func NewMatrixNet(latUs, bwBytesPerUs [][]float64) (*MatrixNet, error) {
+	n := len(latUs)
+	if n == 0 || len(bwBytesPerUs) != n {
+		return nil, fmt.Errorf("netsim: matrix network needs two n x n tables")
+	}
+	for i := 0; i < n; i++ {
+		if len(latUs[i]) != n || len(bwBytesPerUs[i]) != n {
+			return nil, fmt.Errorf("netsim: row %d is not length %d", i, n)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				if latUs[i][j] != 0 {
+					return nil, fmt.Errorf("netsim: nonzero self latency at %d", i)
+				}
+				continue
+			}
+			if latUs[i][j] <= 0 {
+				return nil, fmt.Errorf("netsim: non-positive latency %d->%d", i, j)
+			}
+			if bwBytesPerUs[i][j] <= 0 {
+				return nil, fmt.Errorf("netsim: non-positive bandwidth %d->%d", i, j)
+			}
+		}
+	}
+	return &MatrixNet{lat: latUs, bw: bwBytesPerUs}, nil
+}
+
+// Name implements Network.
+func (m *MatrixNet) Name() string { return fmt.Sprintf("matrix(%d)", len(m.lat)) }
+
+// Latency implements Network; out-of-range nodes get the worst latency in
+// the table (conservative).
+func (m *MatrixNet) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if a < 0 || b < 0 || a >= len(m.lat) || b >= len(m.lat) {
+		worst := 0.0
+		for i := range m.lat {
+			for j := range m.lat[i] {
+				if m.lat[i][j] > worst {
+					worst = m.lat[i][j]
+				}
+			}
+		}
+		return worst
+	}
+	return m.lat[a][b]
+}
+
+// Bandwidth implements Network.
+func (m *MatrixNet) Bandwidth(a, b int) float64 {
+	if a < 0 || b < 0 || a >= len(m.bw) || b >= len(m.bw) {
+		best := 0.0
+		for i := range m.bw {
+			for j := range m.bw[i] {
+				if i != j && (best == 0 || m.bw[i][j] < best) {
+					best = m.bw[i][j]
+				}
+			}
+		}
+		return best
+	}
+	if a == b {
+		return m.bw[a][b] // unused; Evaluate treats same-node intra-node
+	}
+	return m.bw[a][b]
+}
+
+// Hops implements Network: without structure information every distinct
+// pair counts as one hop, so hop-bytes degenerates to inter-node bytes.
+func (m *MatrixNet) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}

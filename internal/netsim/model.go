@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"fmt"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+// IntraParams is the intra-node cost model: the latency (µs) and bandwidth
+// (bytes/µs) of an exchange whose two PUs have their lowest common
+// ancestor at a given level. Deeper LCAs (shared caches) are faster.
+type IntraParams struct {
+	Lat [hw.NumLevels]float64
+	BW  [hw.NumLevels]float64
+}
+
+// DefaultIntra returns parameters loosely calibrated to a 2011-era NUMA
+// server: shared-cache communication is several times cheaper than
+// cross-socket, which in turn beats nothing but the network.
+func DefaultIntra() IntraParams {
+	var p IntraParams
+	set := func(l hw.Level, lat, bw float64) {
+		p.Lat[l] = lat
+		p.BW[l] = bw
+	}
+	set(hw.LevelPU, 0.05, 40000)     // same PU (self-send buffers)
+	set(hw.LevelCore, 0.08, 30000)   // sibling hardware threads
+	set(hw.LevelL1, 0.10, 28000)     // shared L1
+	set(hw.LevelL2, 0.15, 24000)     // shared L2
+	set(hw.LevelL3, 0.30, 18000)     // shared L3
+	set(hw.LevelNUMA, 0.45, 10000)   // same NUMA domain
+	set(hw.LevelSocket, 0.60, 8000)  // same socket, cross NUMA
+	set(hw.LevelBoard, 0.90, 5000)   // cross socket
+	set(hw.LevelMachine, 1.20, 4000) // cross board
+	return p
+}
+
+// Model evaluates communication costs for mapped jobs.
+type Model struct {
+	Intra IntraParams
+	Net   Network
+}
+
+// NewModel builds a model with default intra-node parameters.
+func NewModel(net Network) *Model {
+	return &Model{Intra: DefaultIntra(), Net: net}
+}
+
+// Report summarizes the communication cost of one traffic matrix under
+// one mapping.
+type Report struct {
+	// TotalTime is the sum over communicating pairs of latency +
+	// bytes/bandwidth, in µs (a volume-weighted cost, not a schedule).
+	TotalTime float64
+	// MaxRankTime is the largest per-rank send+receive time, a proxy for
+	// the application's critical path.
+	MaxRankTime float64
+	// IntraBytes and InterBytes split traffic by node locality.
+	IntraBytes float64
+	InterBytes float64
+	// HopBytes is the classic Σ bytes × network hops metric over
+	// inter-node traffic.
+	HopBytes float64
+	// AvgHops is HopBytes / InterBytes (0 when all traffic is local).
+	AvgHops float64
+	// MaxLinkLoad and MeanLinkLoad are per-link congestion figures for
+	// networks that model links (torus); zero otherwise.
+	MaxLinkLoad  float64
+	MeanLinkLoad float64
+}
+
+// PairCost returns the cost in µs of moving the given bytes between two
+// mapped ranks.
+func (mo *Model) PairCost(c *cluster.Cluster, m *core.Map, a, b int, bytes float64) (float64, error) {
+	if a < 0 || b < 0 || a >= m.NumRanks() || b >= m.NumRanks() {
+		return 0, fmt.Errorf("netsim: rank out of range (%d, %d)", a, b)
+	}
+	pa, pb := &m.Placements[a], &m.Placements[b]
+	if pa.Node != pb.Node {
+		return mo.Net.Latency(pa.Node, pb.Node) + bytes/mo.Net.Bandwidth(pa.Node, pb.Node), nil
+	}
+	level := c.Node(pa.Node).Topo.CommonAncestorLevel(pa.PU(), pb.PU())
+	return mo.Intra.Lat[level] + bytes/mo.Intra.BW[level], nil
+}
+
+// Evaluate computes the full report for a traffic matrix under a mapping.
+// The matrix rank count must match the map's.
+func (mo *Model) Evaluate(c *cluster.Cluster, m *core.Map, tm *commpat.Matrix) (*Report, error) {
+	if tm.Ranks() != m.NumRanks() {
+		return nil, fmt.Errorf("netsim: traffic has %d ranks, map has %d", tm.Ranks(), m.NumRanks())
+	}
+	rep := &Report{}
+	perRank := make([]float64, m.NumRanks())
+	flows := map[[2]int]float64{} // node pair -> bytes (for congestion)
+	var firstErr error
+	tm.Each(func(i, j int, bytes float64) {
+		cost, err := mo.PairCost(c, m, i, j, bytes)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		rep.TotalTime += cost
+		perRank[i] += cost
+		perRank[j] += cost
+		ni, nj := m.Placements[i].Node, m.Placements[j].Node
+		if ni == nj {
+			rep.IntraBytes += bytes
+		} else {
+			rep.InterBytes += bytes
+			hops := float64(mo.Net.Hops(ni, nj))
+			rep.HopBytes += bytes * hops
+			flows[[2]int{ni, nj}] += bytes
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, t := range perRank {
+		if t > rep.MaxRankTime {
+			rep.MaxRankTime = t
+		}
+	}
+	if rep.InterBytes > 0 {
+		rep.AvgHops = rep.HopBytes / rep.InterBytes
+	}
+	if t3, ok := mo.Net.(*Torus3D); ok {
+		rep.MaxLinkLoad, rep.MeanLinkLoad = t3.LinkLoads(flows)
+	}
+	return rep, nil
+}

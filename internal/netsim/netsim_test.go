@@ -1,0 +1,361 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/torus"
+)
+
+func fig2Cluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	sp, _ := hw.Preset("fig2")
+	return cluster.Homogeneous(nodes, sp)
+}
+
+func mapJob(t *testing.T, c *cluster.Cluster, layout string, np int) *core.Map {
+	t.Helper()
+	m, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := m.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestFlatNetwork(t *testing.T) {
+	n := NewFlat()
+	if n.Name() != "flat" {
+		t.Fatal("name")
+	}
+	if n.Latency(0, 0) != 0 || n.Hops(0, 0) != 0 {
+		t.Fatal("self traffic should be free")
+	}
+	if n.Latency(0, 5) != n.Latency(3, 9) || n.Hops(0, 5) != 1 {
+		t.Fatal("flat must be uniform")
+	}
+	if n.Bandwidth(0, 1) <= 0 {
+		t.Fatal("bandwidth")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	ft := NewFatTree(4)
+	if ft.Hops(0, 0) != 0 || ft.Hops(0, 3) != 2 || ft.Hops(0, 4) != 4 {
+		t.Fatalf("hops: %d %d %d", ft.Hops(0, 0), ft.Hops(0, 3), ft.Hops(0, 4))
+	}
+	if ft.Latency(0, 3) >= ft.Latency(0, 4) {
+		t.Fatal("inter-leaf latency should exceed intra-leaf")
+	}
+	if ft.Bandwidth(0, 3) <= ft.Bandwidth(0, 4) {
+		t.Fatal("oversubscription should reduce inter-leaf bandwidth")
+	}
+	if ft.Name() == "" {
+		t.Fatal("name")
+	}
+	// Oversub < 1 is clamped.
+	ft2 := &FatTree{LeafSize: 2, LinkLat: 1, BW: 100, Oversub: 0}
+	if ft2.Bandwidth(0, 3) != 100 {
+		t.Fatal("oversub clamp")
+	}
+}
+
+func TestTorusNetworkAndRouting(t *testing.T) {
+	d := torus.Dims{X: 4, Y: 4, Z: 2}
+	tn := NewTorus3D(d)
+	if tn.Hops(0, 0) != 0 {
+		t.Fatal("self hops")
+	}
+	a := d.NodeIndex(torus.Coord{X: 0, Y: 0, Z: 0})
+	b := d.NodeIndex(torus.Coord{X: 3, Y: 2, Z: 1})
+	// Wraparound x: 1 hop; y: 2 hops; z: 1 hop.
+	if tn.Hops(a, b) != 4 {
+		t.Fatalf("hops = %d, want 4", tn.Hops(a, b))
+	}
+	route := tn.Route(a, b)
+	if len(route) != 4 {
+		t.Fatalf("route length = %d, want 4", len(route))
+	}
+	// Dimension order: x link(s) first, then y, then z.
+	if route[0].axis != 0 || route[1].axis != 1 || route[3].axis != 2 {
+		t.Fatalf("route not dimension-ordered: %+v", route)
+	}
+	// Wraparound direction: x goes negative (0 -> 3 is one hop backwards).
+	if route[0].dir != -1 {
+		t.Fatalf("x direction = %d, want -1", route[0].dir)
+	}
+	if got := tn.Route(a, a); len(got) != 0 {
+		t.Fatal("self route should be empty")
+	}
+	if tn.Latency(a, b) != 4*tn.LinkLat {
+		t.Fatal("latency per hop")
+	}
+}
+
+func TestTorusLinkLoads(t *testing.T) {
+	d := torus.Dims{X: 4, Y: 1, Z: 1}
+	tn := NewTorus3D(d)
+	// Two flows crossing the same link 1->2: 0->2 (via 1) and 1->2.
+	flows := map[[2]int]float64{
+		{0, 2}: 100,
+		{1, 2}: 50,
+	}
+	maxLoad, meanLoad := tn.LinkLoads(flows)
+	if maxLoad != 150 {
+		t.Fatalf("max link load = %v, want 150 (shared 1->2 link)", maxLoad)
+	}
+	if meanLoad <= 0 || meanLoad > maxLoad {
+		t.Fatalf("mean = %v", meanLoad)
+	}
+	if mx, mn := tn.LinkLoads(nil); mx != 0 || mn != 0 {
+		t.Fatal("empty flows")
+	}
+	// Self flows ignored.
+	if mx, _ := tn.LinkLoads(map[[2]int]float64{{2, 2}: 10}); mx != 0 {
+		t.Fatal("self flow routed")
+	}
+}
+
+func TestDefaultIntraMonotone(t *testing.T) {
+	p := DefaultIntra()
+	// Deeper LCA (closer PUs) must be at least as fast in both latency
+	// and bandwidth.
+	for l := hw.LevelBoard; l <= hw.LevelPU; l++ {
+		if p.Lat[l] > p.Lat[l-1] {
+			t.Fatalf("latency not monotone at %s", l)
+		}
+		if p.BW[l] < p.BW[l-1] {
+			t.Fatalf("bandwidth not monotone at %s", l)
+		}
+	}
+}
+
+func TestPairCostLocality(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	m := mapJob(t, c, "csbnh", 24) // pack
+	mo := NewModel(NewFlat())
+	// Ranks 0,1 share a... csbnh: rank0 PU0 (core0), rank1 PU2 (core1):
+	// same socket. Ranks 0 and 12 (h=1 pass): rank12 = PU1, same core.
+	sameCore, err := mo.PairCost(c, m, 0, 12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSocket, err := mo.PairCost(c, m, 0, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossSocket, err := mo.PairCost(c, m, 0, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossNode, err := mo.PairCost(c, m, 0, 6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sameCore < sameSocket && sameSocket < crossSocket && crossSocket < crossNode) {
+		t.Fatalf("locality ordering violated: %v %v %v %v",
+			sameCore, sameSocket, crossSocket, crossNode)
+	}
+	if _, err := mo.PairCost(c, m, 0, 99, 1); err == nil {
+		t.Fatal("rank bounds")
+	}
+}
+
+func TestEvaluateSplitsTraffic(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	m := mapJob(t, c, "csbnh", 24)
+	mo := NewModel(NewFlat())
+	tm := commpat.Ring(24, 1000)
+	rep, err := mo.Evaluate(c, m, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IntraBytes+rep.InterBytes != tm.Total() {
+		t.Fatalf("traffic split %v + %v != %v", rep.IntraBytes, rep.InterBytes, tm.Total())
+	}
+	if rep.TotalTime <= 0 || rep.MaxRankTime <= 0 {
+		t.Fatal("times must be positive")
+	}
+	if rep.MaxRankTime > rep.TotalTime {
+		t.Fatal("per-rank time exceeds total")
+	}
+	if rep.AvgHops != 1 {
+		t.Fatalf("flat AvgHops = %v", rep.AvgHops)
+	}
+	// Size mismatch.
+	if _, err := mo.Evaluate(c, m, commpat.Ring(10, 1)); err == nil {
+		t.Fatal("rank mismatch should fail")
+	}
+}
+
+// TestPackingBeatsScatterForRing is the paper's core motivation: a
+// locality-friendly placement of a nearest-neighbor app beats a scattered
+// one.
+func TestPackingBeatsScatterForRing(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	tm := commpat.Ring(24, 100000)
+	mo := NewModel(NewFlat())
+
+	pack := mapJob(t, c, "csbnh", 24) // consecutive ranks share sockets
+	scat := mapJob(t, c, "ncsbh", 24) // consecutive ranks alternate nodes
+
+	rp, err := mo.Evaluate(c, pack, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := mo.Evaluate(c, scat, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.InterBytes >= rs.InterBytes {
+		t.Fatalf("packing should keep more traffic on-node: %v vs %v",
+			rp.InterBytes, rs.InterBytes)
+	}
+	if rp.TotalTime >= rs.TotalTime {
+		t.Fatalf("packing should be cheaper: %v vs %v", rp.TotalTime, rs.TotalTime)
+	}
+}
+
+func TestEvaluateTorusCongestion(t *testing.T) {
+	sp, _ := hw.Preset("bgp-node")
+	d := torus.Dims{X: 4, Y: 2, Z: 1}
+	c := cluster.Homogeneous(d.Size(), sp)
+	m, err := torus.Map(c, d, "txyz", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := NewModel(NewTorus3D(d))
+	rep, err := mo.Evaluate(c, m, commpat.AllToAll(32, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxLinkLoad <= 0 || rep.MeanLinkLoad <= 0 {
+		t.Fatal("torus congestion missing")
+	}
+	if rep.MaxLinkLoad < rep.MeanLinkLoad {
+		t.Fatal("max < mean")
+	}
+	if rep.AvgHops <= 1 {
+		t.Fatalf("torus a2a AvgHops = %v, want > 1", rep.AvgHops)
+	}
+	if math.IsNaN(rep.TotalTime) {
+		t.Fatal("NaN cost")
+	}
+}
+
+func TestMatrixNet(t *testing.T) {
+	lat := [][]float64{
+		{0, 2, 5},
+		{2, 0, 5},
+		{5, 5, 0},
+	}
+	bw := [][]float64{
+		{1, 1000, 500},
+		{1000, 1, 500},
+		{500, 500, 1},
+	}
+	n, err := NewMatrixNet(lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Latency(0, 1) != 2 || n.Latency(0, 2) != 5 || n.Latency(1, 1) != 0 {
+		t.Fatal("latency lookups")
+	}
+	if n.Bandwidth(0, 2) != 500 {
+		t.Fatal("bandwidth lookup")
+	}
+	if n.Hops(0, 1) != 1 || n.Hops(2, 2) != 0 {
+		t.Fatal("hops")
+	}
+	if n.Name() != "matrix(3)" {
+		t.Fatalf("name = %s", n.Name())
+	}
+	// Out-of-range: conservative worst latency / slowest bandwidth.
+	if n.Latency(0, 9) != 5 {
+		t.Fatalf("oob latency = %v", n.Latency(0, 9))
+	}
+	if n.Bandwidth(0, 9) != 500 {
+		t.Fatalf("oob bandwidth = %v", n.Bandwidth(0, 9))
+	}
+	// Works end to end in a model.
+	sp, _ := hw.Preset("bgp-node")
+	c := cluster.Homogeneous(3, sp)
+	mapper, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	m, err := mapper.Map(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewModel(n).Evaluate(c, m, commpat.Ring(12, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalTime <= 0 || rep.InterBytes <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestMatrixNetErrors(t *testing.T) {
+	good := [][]float64{{0, 1}, {1, 0}}
+	cases := []struct {
+		lat, bw [][]float64
+	}{
+		{nil, nil},
+		{good, [][]float64{{1, 1}}},          // bw wrong size
+		{[][]float64{{0, 1}}, good},          // ragged lat
+		{[][]float64{{1, 1}, {1, 0}}, good},  // nonzero diagonal
+		{[][]float64{{0, 0}, {1, 0}}, good},  // zero latency
+		{good, [][]float64{{1, 0}, {1, 1}}},  // zero bandwidth
+		{good, [][]float64{{1, -2}, {1, 1}}}, // negative bandwidth
+	}
+	for i, c := range cases {
+		if _, err := NewMatrixNet(c.lat, c.bw); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDragonfly(t *testing.T) {
+	df := NewDragonfly(4)
+	if df.Name() != "dragonfly(4)" {
+		t.Fatal("name")
+	}
+	if df.Hops(0, 0) != 0 || df.Hops(0, 3) != 1 || df.Hops(0, 4) != 3 {
+		t.Fatalf("hops: %d %d %d", df.Hops(0, 0), df.Hops(0, 3), df.Hops(0, 4))
+	}
+	if df.Latency(0, 0) != 0 {
+		t.Fatal("self latency")
+	}
+	if df.Latency(0, 3) >= df.Latency(0, 4) {
+		t.Fatal("cross-group latency should exceed intra-group")
+	}
+	if df.Bandwidth(0, 3) <= df.Bandwidth(0, 4) {
+		t.Fatal("global taper should reduce bandwidth")
+	}
+	// Taper clamp and degenerate group size.
+	df2 := &Dragonfly{GroupSize: 0, LocalLat: 1, GlobalLat: 2, BW: 100, Taper: 0}
+	if df2.Bandwidth(0, 1) != 100 {
+		t.Fatal("taper clamp")
+	}
+	// End to end.
+	sp, _ := hw.Preset("bgp-node")
+	c := cluster.Homogeneous(8, sp)
+	mapper, _ := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	m, err := mapper.Map(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewModel(NewDragonfly(4)).Evaluate(c, m, commpat.AllToAll(32, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgHops <= 1 || rep.AvgHops >= 3 {
+		t.Fatalf("a2a AvgHops = %v, want between 1 and 3", rep.AvgHops)
+	}
+}

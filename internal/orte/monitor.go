@@ -1,0 +1,154 @@
+package orte
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/bind"
+	"lama/internal/core"
+)
+
+// ProcState is a launched process's final state.
+type ProcState int
+
+const (
+	// Done means the process ran all its steps.
+	Done ProcState = iota
+	// Failed means the process died (injected failure).
+	Failed
+	// Killed means the run-time terminated the process after detecting
+	// another rank's failure.
+	Killed
+)
+
+// String names the state.
+func (s ProcState) String() string {
+	switch s {
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Killed:
+		return "killed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Failure injects the death of a rank at a step (0-based).
+type Failure struct {
+	Rank int
+	Step int
+}
+
+// Outcome describes one rank's fate in a monitored run.
+type Outcome struct {
+	Rank  int
+	State ProcState
+	// Steps is the number of steps the process actually executed.
+	Steps int
+}
+
+// MonitorReport is the result of a monitored (fault-injecting) launch.
+type MonitorReport struct {
+	// Outcomes has one entry per rank, ordered by rank.
+	Outcomes []Outcome
+	// FirstFailure is the earliest injected failure, or nil.
+	FirstFailure *Failure
+	// DetectionSteps is how many steps after the first failure the last
+	// survivor was terminated (the routed-tree propagation delay).
+	DetectionSteps int
+}
+
+// LaunchMonitored runs the job like Launch but with fault injection and
+// the run-time's monitoring role (paper §III: run-time environments
+// "launch and monitor groups of processes"): when a rank dies, its node's
+// daemon notices on the next step and the abort propagates to the other
+// daemons over the routed tree, after which every surviving process is
+// killed. With no failures it behaves like Launch and all ranks are Done.
+func (rt *Runtime) LaunchMonitored(m *core.Map, plan *bind.Plan, steps int, failures []Failure) (*Job, *MonitorReport, error) {
+	job, err := rt.Launch(m, plan, steps)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &MonitorReport{}
+	for _, p := range job.Procs {
+		report.Outcomes = append(report.Outcomes, Outcome{Rank: p.Rank, State: Done, Steps: len(p.History)})
+	}
+	if len(failures) == 0 {
+		return job, report, nil
+	}
+
+	// Validate and find the first failure.
+	sorted := append([]Failure(nil), failures...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Step < sorted[j].Step })
+	for _, f := range sorted {
+		if f.Rank < 0 || f.Rank >= len(job.Procs) {
+			return nil, nil, fmt.Errorf("orte: failure for unknown rank %d", f.Rank)
+		}
+		if f.Step < 0 || f.Step >= steps {
+			return nil, nil, fmt.Errorf("orte: failure step %d out of range [0,%d)", f.Step, steps)
+		}
+	}
+	first := sorted[0]
+	report.FirstFailure = &first
+
+	// Detection: the local daemon notices one step later; remote daemons
+	// learn over the binomial routed tree, one tree round per step.
+	spawn, err := SimulateSpawn(maxInt(1, len(job.Daemons)), BinomialSpawn, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.DetectionSteps = 1 + spawn.Rounds
+	killStepLocal := first.Step + 1
+	killStepRemote := first.Step + report.DetectionSteps
+
+	failed := map[int]int{} // rank -> fail step
+	for _, f := range sorted {
+		if prev, ok := failed[f.Rank]; !ok || f.Step < prev {
+			failed[f.Rank] = f.Step
+		}
+	}
+	failNode := job.Procs[first.Rank].Node
+	for i := range report.Outcomes {
+		o := &report.Outcomes[i]
+		p := job.Procs[o.Rank]
+		switch {
+		case hasFailure(failed, o.Rank):
+			o.State = Failed
+			o.Steps = minInt(failed[o.Rank], steps)
+		case p.Node == failNode:
+			o.State = Killed
+			o.Steps = minInt(killStepLocal, steps)
+		default:
+			o.State = Killed
+			o.Steps = minInt(killStepRemote, steps)
+		}
+		// A process that would finish before the abort reaches it is Done.
+		if o.State == Killed && o.Steps >= steps {
+			o.State = Done
+			o.Steps = steps
+		}
+		p.History = p.History[:o.Steps]
+	}
+	return job, report, nil
+}
+
+func hasFailure(m map[int]int, rank int) bool {
+	_, ok := m[rank]
+	return ok
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package orte
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func monitoredSetup(t *testing.T, nodes, np int) (*Runtime, *core.Map, *bind.Plan) {
+	t.Helper()
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(nodes, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := bind.Compute(c, m, bind.Specific, hw.LevelPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRuntime(c), m, plan
+}
+
+func TestMonitoredNoFailures(t *testing.T) {
+	rt, m, plan := monitoredSetup(t, 2, 24)
+	job, rep, err := rt.LaunchMonitored(m, plan, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstFailure != nil {
+		t.Fatal("no failure expected")
+	}
+	for _, o := range rep.Outcomes {
+		if o.State != Done || o.Steps != 20 {
+			t.Fatalf("outcome = %+v", o)
+		}
+	}
+	if err := job.CheckEnforcement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitoredFailurePropagation(t *testing.T) {
+	// 24 ranks on 2 nodes, csbnh: ranks 0-5,12-17 on node0; 6-11,18-23 on
+	// node1. Kill rank 0 at step 5.
+	rt, m, plan := monitoredSetup(t, 2, 24)
+	job, rep, err := rt.LaunchMonitored(m, plan, 50, []Failure{{Rank: 0, Step: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstFailure == nil || rep.FirstFailure.Rank != 0 {
+		t.Fatalf("first failure = %+v", rep.FirstFailure)
+	}
+	if rep.DetectionSteps < 2 {
+		t.Fatalf("detection = %d", rep.DetectionSteps)
+	}
+	var failed, killedLocal, killedRemote int
+	for _, o := range rep.Outcomes {
+		p := job.Procs[o.Rank]
+		switch o.State {
+		case Failed:
+			failed++
+			if o.Steps != 5 {
+				t.Fatalf("failed rank ran %d steps", o.Steps)
+			}
+		case Killed:
+			if p.Node == 0 {
+				killedLocal++
+				if o.Steps != 6 {
+					t.Fatalf("local kill at step %d, want 6", o.Steps)
+				}
+			} else {
+				killedRemote++
+				if o.Steps != 5+rep.DetectionSteps {
+					t.Fatalf("remote kill at step %d, want %d", o.Steps, 5+rep.DetectionSteps)
+				}
+			}
+		case Done:
+			t.Fatalf("rank %d finished despite abort", o.Rank)
+		}
+		if len(p.History) != o.Steps {
+			t.Fatalf("history not truncated: %d vs %d", len(p.History), o.Steps)
+		}
+	}
+	if failed != 1 || killedLocal != 11 || killedRemote != 12 {
+		t.Fatalf("failed=%d local=%d remote=%d", failed, killedLocal, killedRemote)
+	}
+}
+
+func TestMonitoredLateFailureLetsOthersFinish(t *testing.T) {
+	rt, m, plan := monitoredSetup(t, 2, 4)
+	_, rep, err := rt.LaunchMonitored(m, plan, 10, []Failure{{Rank: 0, Step: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The abort reaches others at/after step 10, so they complete.
+	for _, o := range rep.Outcomes {
+		if o.Rank == 0 {
+			if o.State != Failed {
+				t.Fatal("rank 0 should fail")
+			}
+			continue
+		}
+		if o.State != Done || o.Steps != 10 {
+			t.Fatalf("outcome = %+v", o)
+		}
+	}
+}
+
+func TestMonitoredMultipleFailuresEarliestWins(t *testing.T) {
+	rt, m, plan := monitoredSetup(t, 2, 8)
+	_, rep, err := rt.LaunchMonitored(m, plan, 50, []Failure{
+		{Rank: 3, Step: 20}, {Rank: 1, Step: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstFailure.Rank != 1 || rep.FirstFailure.Step != 4 {
+		t.Fatalf("first = %+v", rep.FirstFailure)
+	}
+	// Both injected ranks are reported failed.
+	if rep.Outcomes[1].State != Failed || rep.Outcomes[3].State != Failed {
+		t.Fatal("injected ranks must be Failed")
+	}
+}
+
+func TestMonitoredErrors(t *testing.T) {
+	rt, m, plan := monitoredSetup(t, 1, 4)
+	if _, _, err := rt.LaunchMonitored(m, plan, 10, []Failure{{Rank: 9, Step: 1}}); err == nil {
+		t.Fatal("unknown rank")
+	}
+	if _, _, err := rt.LaunchMonitored(m, plan, 10, []Failure{{Rank: 0, Step: 10}}); err == nil {
+		t.Fatal("step out of range")
+	}
+	if _, _, err := rt.LaunchMonitored(m, plan, 10, []Failure{{Rank: 0, Step: -1}}); err == nil {
+		t.Fatal("negative step")
+	}
+}
+
+func TestProcStateStrings(t *testing.T) {
+	if Done.String() != "done" || Failed.String() != "failed" || Killed.String() != "killed" {
+		t.Fatal("names")
+	}
+	if !strings.HasPrefix(ProcState(7).String(), "state(") {
+		t.Fatal("unknown")
+	}
+}

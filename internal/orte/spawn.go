@@ -1,0 +1,70 @@
+package orte
+
+import "fmt"
+
+// SpawnProtocol selects how the run-time environment contacts the per-node
+// daemons when launching a job (paper §III: "parallel run-time
+// environments can launch and monitor groups of processes across nodes").
+type SpawnProtocol int
+
+const (
+	// LinearSpawn has the head node process contact every daemon itself,
+	// one after another — simple, O(n) time.
+	LinearSpawn SpawnProtocol = iota
+	// BinomialSpawn propagates the launch command down a binomial tree of
+	// daemons — O(log n) rounds, the scalable routed topology ORTE uses.
+	BinomialSpawn
+)
+
+// String names the protocol.
+func (p SpawnProtocol) String() string {
+	switch p {
+	case LinearSpawn:
+		return "linear"
+	case BinomialSpawn:
+		return "binomial"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// SpawnStats describes a simulated daemon-spawn wave.
+type SpawnStats struct {
+	// Nodes is the number of daemons launched.
+	Nodes int
+	// Rounds is the number of sequential communication steps.
+	Rounds int
+	// Messages is the total number of launch messages sent.
+	Messages int
+	// TimeUs is Rounds x the per-message latency.
+	TimeUs float64
+}
+
+// SimulateSpawn models launching daemons on n nodes with the given
+// protocol, assuming a uniform per-message latency (µs). Both protocols
+// send exactly n messages; they differ in how many proceed in parallel.
+func SimulateSpawn(n int, proto SpawnProtocol, latencyUs float64) (*SpawnStats, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("orte: non-positive node count %d", n)
+	}
+	if latencyUs <= 0 {
+		return nil, fmt.Errorf("orte: non-positive latency")
+	}
+	s := &SpawnStats{Nodes: n, Messages: n}
+	switch proto {
+	case LinearSpawn:
+		s.Rounds = n
+	case BinomialSpawn:
+		// Round k doubles the number of informed participants (head node
+		// plus daemons): after r rounds, 2^r participants.
+		informed := 1
+		for informed < n+1 {
+			informed *= 2
+			s.Rounds++
+		}
+	default:
+		return nil, fmt.Errorf("orte: unknown spawn protocol %v", proto)
+	}
+	s.TimeUs = float64(s.Rounds) * latencyUs
+	return s, nil
+}

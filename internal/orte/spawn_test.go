@@ -1,0 +1,69 @@
+package orte
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearSpawn(t *testing.T) {
+	s, err := SimulateSpawn(100, LinearSpawn, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 100 || s.Messages != 100 || s.TimeUs != 5000 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBinomialSpawn(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 7: 3, 8: 4, 15: 4, 1023: 10, 1024: 11}
+	for n, rounds := range cases {
+		s, err := SimulateSpawn(n, BinomialSpawn, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Rounds != rounds {
+			t.Errorf("n=%d rounds = %d, want %d", n, s.Rounds, rounds)
+		}
+		if s.Messages != n {
+			t.Errorf("n=%d messages = %d", n, s.Messages)
+		}
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	if _, err := SimulateSpawn(0, LinearSpawn, 1); err == nil {
+		t.Fatal("n=0")
+	}
+	if _, err := SimulateSpawn(1, LinearSpawn, 0); err == nil {
+		t.Fatal("latency=0")
+	}
+	if _, err := SimulateSpawn(1, SpawnProtocol(9), 1); err == nil {
+		t.Fatal("unknown protocol")
+	}
+}
+
+func TestSpawnProtocolStrings(t *testing.T) {
+	if LinearSpawn.String() != "linear" || BinomialSpawn.String() != "binomial" {
+		t.Fatal("names")
+	}
+	if !strings.HasPrefix(SpawnProtocol(9).String(), "protocol(") {
+		t.Fatal("unknown name")
+	}
+}
+
+func TestQuickBinomialNeverSlower(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%4096) + 1
+		lin, err1 := SimulateSpawn(n, LinearSpawn, 10)
+		bin, err2 := SimulateSpawn(n, BinomialSpawn, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bin.Rounds <= lin.Rounds && bin.Messages == lin.Messages
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

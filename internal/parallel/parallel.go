@@ -1,0 +1,86 @@
+// Package parallel provides the small fan-out helper the experiment
+// harness uses to sweep layout spaces concurrently: a bounded worker pool
+// over an index range with first-error collection.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) using at most `workers`
+// goroutines (GOMAXPROCS when workers <= 0). It waits for all calls to
+// finish and returns the error of the smallest index that failed; other
+// errors are discarded. A panicking fn crashes the program, as it would in
+// a plain loop.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs gen(i) for every i in [0, n) concurrently and returns the
+// results in index order, or the first error.
+func Map[T any](n, workers int, gen func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := gen(i)
+		if err != nil {
+			return fmt.Errorf("parallel: index %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		var count int64
+		seen := make([]int32, 500)
+		err := ForEach(500, workers, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 500 {
+			t.Fatalf("workers=%d: count = %d", workers, count)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(100, 8, func(i int) error {
+		switch i {
+		case 90:
+			return errB
+		case 10:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want errA (smallest failing index)", err)
+	}
+	// Sequential path too.
+	err = ForEach(100, 1, func(i int) error {
+		if i == 10 {
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatal("sequential error lost")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(50, 7, func(i int) (string, error) {
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("out[%d] = %s", i, v)
+		}
+	}
+	if _, err := Map(10, 2, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("error lost")
+	}
+}
+
+func TestQuickForEachCompleteness(t *testing.T) {
+	f := func(nRaw uint8, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		workers := int(wRaw%8) + 1
+		var sum int64
+		if err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt64(&sum, int64(i))
+			return nil
+		}); err != nil {
+			return false
+		}
+		return sum == int64(n*(n-1)/2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

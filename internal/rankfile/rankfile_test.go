@@ -1,0 +1,246 @@
+package rankfile
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	sp, _ := hw.Preset("fig2") // 2 sockets x 3 cores x 2 PUs, sequential OS
+	return cluster.Homogeneous(2, sp)
+}
+
+const sample = `
+# an irregular layout
+rank 0=node0 slot=1:0
+rank 1=node1 slot=0,3
+rank 2=node0 slot=*
+rank 3=node1 slot=0:1-2
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entries) != 4 {
+		t.Fatalf("entries = %d", len(f.Entries))
+	}
+	e0 := f.Entries[0]
+	if e0.Host != "node0" || e0.Socket != 1 || len(e0.Cores) != 1 || e0.Cores[0] != 0 {
+		t.Fatalf("entry 0 = %+v", e0)
+	}
+	e1 := f.Entries[1]
+	if e1.CPUs == nil || e1.CPUs.String() != "0,3" {
+		t.Fatalf("entry 1 = %+v", e1)
+	}
+	if !f.Entries[2].Any {
+		t.Fatal("entry 2 should be *")
+	}
+	e3 := f.Entries[3]
+	if e3.Socket != 0 || len(e3.Cores) != 2 {
+		t.Fatalf("entry 3 = %+v", e3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comment only":   "# hi",
+		"no rank prefix": "rnk 0=a slot=0",
+		"no slot":        "rank 0=a",
+		"no equals":      "rank 0 a slot=0",
+		"bad rank":       "rank x=a slot=0",
+		"negative rank":  "rank -1=a slot=0",
+		"empty host":     "rank 0= slot=0",
+		"bad socket":     "rank 0=a slot=x:0",
+		"bad cores":      "rank 0=a slot=0:x",
+		"empty cores":    "rank 0=a slot=0:",
+		"bad cpuset":     "rank 0=a slot=9-1",
+		"duplicate":      "rank 0=a slot=0\nrank 0=a slot=1",
+		"sparse ranks":   "rank 0=a slot=0\nrank 2=a slot=1",
+	}
+	for name, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", name, text)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	c := testCluster(t)
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Apply(f, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// rank 0: node0 socket1 core0 -> PUs 6,7
+	p0 := m.Placements[0]
+	if p0.Node != 0 || len(p0.PUs) != 2 || p0.PUs[0] != 6 || p0.PUs[1] != 7 {
+		t.Fatalf("rank0 = %+v", p0)
+	}
+	// rank 1: node1 raw PUs 0,3
+	p1 := m.Placements[1]
+	if p1.Node != 1 || len(p1.PUs) != 2 || p1.PUs[0] != 0 || p1.PUs[1] != 3 {
+		t.Fatalf("rank1 = %+v", p1)
+	}
+	// rank 2: all 12 PUs of node0
+	if len(m.Placements[2].PUs) != 12 {
+		t.Fatalf("rank2 PUs = %v", m.Placements[2].PUs)
+	}
+	// rank 3: node1 socket0 cores 1-2 -> PUs 2,3,4,5; overlaps rank1's PU 3.
+	p3 := m.Placements[3]
+	if len(p3.PUs) != 4 {
+		t.Fatalf("rank3 = %+v", p3)
+	}
+	if !m.Oversubscribed() {
+		t.Fatal("PU 3 of node1 is shared; map must be oversubscribed")
+	}
+	if !p1.Oversubscribed && !p3.Oversubscribed {
+		t.Fatal("sharing ranks must be flagged")
+	}
+	// rank 2 overlaps rank 0 on node0 (slot=* covers everything).
+	if !m.Placements[2].Oversubscribed || !m.Placements[0].Oversubscribed {
+		t.Fatal("slot=* rank shares node0 PUs")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	c := testCluster(t)
+	cases := []string{
+		"rank 0=ghost slot=0",   // unknown host
+		"rank 0=node0 slot=99",  // missing PU
+		"rank 0=node0 slot=5:0", // missing socket
+		"rank 0=node0 slot=0:7", // missing core in socket
+	}
+	for _, text := range cases {
+		f, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if _, err := Apply(f, c); err == nil {
+			t.Errorf("Apply(%q) should fail", text)
+		}
+	}
+	// Unavailable resources are rejected.
+	c2 := testCluster(t)
+	c2.Node(0).Topo.Restrict(hw.CPUSetRange(6, 11)) // socket 0 off
+	for _, text := range []string{
+		"rank 0=node0 slot=0",   // PU 0 unavailable
+		"rank 0=node0 slot=0:0", // core 0 of socket 0 unavailable
+	} {
+		f, _ := Parse(text)
+		if _, err := Apply(f, c2); err == nil {
+			t.Errorf("Apply(%q) on restricted node should fail", text)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(f)
+	f2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", text, err)
+	}
+	if len(f2.Entries) != len(f.Entries) {
+		t.Fatal("entry count changed")
+	}
+	for i := range f.Entries {
+		a, b := f.Entries[i], f2.Entries[i]
+		if a.Rank != b.Rank || a.Host != b.Host || a.Any != b.Any || a.Socket != b.Socket {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if !strings.Contains(text, "rank 3=node1 slot=0:1-2") {
+		t.Fatalf("Format output:\n%s", text)
+	}
+}
+
+func TestApplyMatchesLAMAForRegularPattern(t *testing.T) {
+	// A rankfile spelling out by-socket-scatter PU placements must agree
+	// with what the equivalent regular pattern produces for claimed PUs.
+	c := testCluster(t)
+	text := `rank 0=node0 slot=0
+rank 1=node0 slot=6
+rank 2=node0 slot=2
+rank 3=node0 slot=8`
+	f, _ := Parse(text)
+	m, err := Apply(f, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{0, 6, 2, 8} {
+		if m.Placements[i].PU() != want {
+			t.Fatalf("rank %d PU = %d, want %d", i, m.Placements[i].PU(), want)
+		}
+	}
+	if m.Oversubscribed() {
+		t.Fatal("distinct PUs")
+	}
+}
+
+func TestFromMapRoundTrip(t *testing.T) {
+	c := testCluster(t)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("scbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FromMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted text parses and re-applies to identical PU claims.
+	f2, err := Parse(Format(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Apply(f2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Placements {
+		a, b := m.Placements[i], back.Placements[i]
+		if a.Node != b.Node || a.PU() != b.PU() || len(a.PUs) != len(b.PUs) {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, a.PUs, b.PUs)
+		}
+	}
+	if back.Oversubscribed() {
+		t.Fatal("round trip introduced sharing")
+	}
+}
+
+func TestFromMapErrors(t *testing.T) {
+	if _, err := FromMap(nil); err == nil {
+		t.Fatal("nil map")
+	}
+	if _, err := FromMap(&core.Map{}); err == nil {
+		t.Fatal("empty map")
+	}
+	bad := &core.Map{Placements: []core.Placement{{Rank: 0, NodeName: "a"}}}
+	if _, err := FromMap(bad); err == nil {
+		t.Fatal("no PUs")
+	}
+	bad2 := &core.Map{Placements: []core.Placement{{Rank: 0, PUs: []int{0}}}}
+	if _, err := FromMap(bad2); err == nil {
+		t.Fatal("no node name")
+	}
+}

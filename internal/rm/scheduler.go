@@ -1,0 +1,184 @@
+package rm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchedPolicy selects the queueing discipline of the simulated batch
+// scheduler.
+type SchedPolicy int
+
+const (
+	// FIFO starts jobs strictly in arrival order: the queue head blocks
+	// everything behind it until it fits.
+	FIFO SchedPolicy = iota
+	// Backfill lets later jobs that fit start while the head waits
+	// (aggressive backfill without reservations — it maximizes
+	// utilization at the cost of fragmenting allocations).
+	Backfill
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Backfill:
+		return "backfill"
+	default:
+		return fmt.Sprintf("sched(%d)", int(p))
+	}
+}
+
+// JobSpec describes one batch job: core demand and runtime.
+type JobSpec struct {
+	// ID identifies the job; Cores is its slot demand; Duration its
+	// runtime in scheduler time units. Arrival is its submit time.
+	ID       int
+	Cores    int
+	Duration float64
+	Arrival  float64
+}
+
+// JobOutcome reports one scheduled job.
+type JobOutcome struct {
+	ID    int
+	Start float64
+	End   float64
+	// Wait is Start - Arrival.
+	Wait float64
+	// NodesSpanned is how many nodes the core-granular allocation touched
+	// — the fragmentation measure that degrades mapping locality.
+	NodesSpanned int
+}
+
+// ScheduleResult summarizes a simulated queue run.
+type ScheduleResult struct {
+	Outcomes []JobOutcome // ordered by job ID
+	Makespan float64
+	AvgWait  float64
+	// AvgSpan is the mean NodesSpanned over jobs.
+	AvgSpan float64
+}
+
+// Schedule runs an event-driven simulation of the job queue against the
+// manager's pool using core-granular allocations. The manager must be
+// fresh (no live allocations). Jobs are processed by the policy; the
+// simulation is deterministic.
+func (m *Manager) Schedule(policy SchedPolicy, jobs []JobSpec) (*ScheduleResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("rm: no jobs to schedule")
+	}
+	if m.LiveAllocations() != 0 {
+		return nil, fmt.Errorf("rm: pool busy: %d live allocations", m.LiveAllocations())
+	}
+	totalCores := m.TotalFreeCores()
+	for _, j := range jobs {
+		if j.Cores <= 0 || j.Duration <= 0 || j.Arrival < 0 {
+			return nil, fmt.Errorf("rm: invalid job %d (cores=%d duration=%v arrival=%v)",
+				j.ID, j.Cores, j.Duration, j.Arrival)
+		}
+		if j.Cores > totalCores {
+			return nil, fmt.Errorf("rm: job %d wants %d cores, pool has %d", j.ID, j.Cores, totalCores)
+		}
+	}
+
+	queue := append([]JobSpec(nil), jobs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+
+	type running struct {
+		spec  JobSpec
+		alloc *Allocation
+		end   float64
+	}
+	var active []running
+	outcomes := map[int]JobOutcome{}
+	now := 0.0
+
+	tryStart := func() error {
+		for len(queue) > 0 {
+			started := false
+			limit := 1
+			if policy == Backfill {
+				limit = len(queue)
+			}
+			for qi := 0; qi < limit && qi < len(queue); qi++ {
+				j := queue[qi]
+				if j.Arrival > now {
+					if policy == FIFO {
+						break
+					}
+					continue
+				}
+				alloc, err := m.Alloc(CoreGranular, j.Cores)
+				if err != nil {
+					continue
+				}
+				active = append(active, running{spec: j, alloc: alloc, end: now + j.Duration})
+				outcomes[j.ID] = JobOutcome{
+					ID: j.ID, Start: now, End: now + j.Duration,
+					Wait:         now - j.Arrival,
+					NodesSpanned: alloc.Granted.NumNodes(),
+				}
+				queue = append(queue[:qi], queue[qi+1:]...)
+				started = true
+				break
+			}
+			if !started {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	for len(queue) > 0 || len(active) > 0 {
+		if err := tryStart(); err != nil {
+			return nil, err
+		}
+		// Advance time to the next event: earliest completion or arrival.
+		next := -1.0
+		for _, r := range active {
+			if next < 0 || r.end < next {
+				next = r.end
+			}
+		}
+		for _, j := range queue {
+			if j.Arrival > now && (next < 0 || j.Arrival < next) {
+				next = j.Arrival
+			}
+		}
+		if next < 0 {
+			return nil, fmt.Errorf("rm: scheduler stuck at t=%v with %d queued", now, len(queue))
+		}
+		now = next
+		// Complete finished jobs.
+		kept := active[:0]
+		for _, r := range active {
+			if r.end <= now {
+				if err := m.Release(r.alloc); err != nil {
+					return nil, err
+				}
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		active = kept
+	}
+
+	res := &ScheduleResult{Makespan: now}
+	ids := make([]int, 0, len(outcomes))
+	for id := range outcomes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		o := outcomes[id]
+		res.Outcomes = append(res.Outcomes, o)
+		res.AvgWait += o.Wait
+		res.AvgSpan += float64(o.NodesSpanned)
+	}
+	res.AvgWait /= float64(len(res.Outcomes))
+	res.AvgSpan /= float64(len(res.Outcomes))
+	return res, nil
+}

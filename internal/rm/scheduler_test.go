@@ -1,0 +1,139 @@
+package rm
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+func schedPool(t *testing.T, nodes int) *Manager {
+	t.Helper()
+	sp, _ := hw.Preset("nehalem-ep") // 8 cores per node
+	return NewManager(cluster.Homogeneous(nodes, sp))
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	m := schedPool(t, 2) // 16 cores
+	jobs := []JobSpec{
+		{ID: 0, Cores: 16, Duration: 10},
+		{ID: 1, Cores: 1, Duration: 1},
+		{ID: 2, Cores: 1, Duration: 1},
+	}
+	res, err := m.Schedule(FIFO, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO: job 0 hogs everything; 1 and 2 start at t=10.
+	if res.Outcomes[0].Start != 0 || res.Outcomes[1].Start != 10 || res.Outcomes[2].Start != 10 {
+		t.Fatalf("starts: %+v", res.Outcomes)
+	}
+	if res.Makespan != 11 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if m.LiveAllocations() != 0 {
+		t.Fatal("allocations leaked")
+	}
+}
+
+func TestBackfillLetsSmallJobsThrough(t *testing.T) {
+	m := schedPool(t, 2) // 16 cores
+	jobs := []JobSpec{
+		{ID: 0, Cores: 10, Duration: 10}, // leaves 6 free
+		{ID: 1, Cores: 12, Duration: 5},  // cannot start: head of remaining queue
+		{ID: 2, Cores: 4, Duration: 2},   // backfills into the 6 free cores
+	}
+	fifo, err := schedPool(t, 2).Schedule(FIFO, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := m.Schedule(Backfill, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO: job 2 waits behind job 1 (starts at 15). Backfill: job 2
+	// starts immediately.
+	if fifo.Outcomes[2].Start <= bf.Outcomes[2].Start {
+		t.Fatalf("backfill should start job 2 earlier: fifo %v vs bf %v",
+			fifo.Outcomes[2].Start, bf.Outcomes[2].Start)
+	}
+	if bf.Outcomes[2].Start != 0 {
+		t.Fatalf("job 2 should backfill at t=0, got %v", bf.Outcomes[2].Start)
+	}
+	if bf.AvgWait >= fifo.AvgWait {
+		t.Fatalf("backfill wait %v should beat fifo %v", bf.AvgWait, fifo.AvgWait)
+	}
+}
+
+func TestBackfillFragmentsAllocations(t *testing.T) {
+	// Two 4-core jobs, then release one, then a 8-core job: the survivor
+	// leaves holes so the big job spans 2 nodes.
+	m := schedPool(t, 2)
+	jobs := []JobSpec{
+		{ID: 0, Cores: 4, Duration: 10},
+		{ID: 1, Cores: 4, Duration: 1},
+		{ID: 2, Cores: 8, Duration: 2, Arrival: 2},
+	}
+	res, err := m.Schedule(Backfill, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=2, node0 has 4 busy (job 0) + 4 released (job 1 done at t=1);
+	// job 2 takes node0's 4 free + node1's first 4: spans 2 nodes.
+	if res.Outcomes[2].NodesSpanned != 2 {
+		t.Fatalf("job 2 spans %d nodes, want 2", res.Outcomes[2].NodesSpanned)
+	}
+	if res.AvgSpan <= 1 {
+		t.Fatalf("avg span = %v", res.AvgSpan)
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	m := schedPool(t, 1)
+	jobs := []JobSpec{
+		{ID: 0, Cores: 2, Duration: 1, Arrival: 5},
+	}
+	res, err := m.Schedule(FIFO, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[0].Start != 5 || res.Outcomes[0].Wait != 0 {
+		t.Fatalf("outcome = %+v", res.Outcomes[0])
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	m := schedPool(t, 1)
+	if _, err := m.Schedule(FIFO, nil); err == nil {
+		t.Fatal("no jobs")
+	}
+	if _, err := m.Schedule(FIFO, []JobSpec{{ID: 0, Cores: 0, Duration: 1}}); err == nil {
+		t.Fatal("zero cores")
+	}
+	if _, err := m.Schedule(FIFO, []JobSpec{{ID: 0, Cores: 1, Duration: 0}}); err == nil {
+		t.Fatal("zero duration")
+	}
+	if _, err := m.Schedule(FIFO, []JobSpec{{ID: 0, Cores: 1, Duration: 1, Arrival: -1}}); err == nil {
+		t.Fatal("negative arrival")
+	}
+	if _, err := m.Schedule(FIFO, []JobSpec{{ID: 0, Cores: 99, Duration: 1}}); err == nil {
+		t.Fatal("over pool capacity")
+	}
+	// Busy pool rejected.
+	if _, err := m.Alloc(CoreGranular, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Schedule(FIFO, []JobSpec{{ID: 0, Cores: 1, Duration: 1}}); err == nil {
+		t.Fatal("busy pool")
+	}
+}
+
+func TestSchedPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || Backfill.String() != "backfill" {
+		t.Fatal("names")
+	}
+	if !strings.HasPrefix(SchedPolicy(9).String(), "sched(") {
+		t.Fatal("unknown")
+	}
+}

@@ -1,0 +1,145 @@
+package torus
+
+import (
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+func bgCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	sp, _ := hw.Preset("bgp-node") // 4 cores, 1 thread
+	return cluster.Homogeneous(nodes, sp)
+}
+
+func TestDims(t *testing.T) {
+	d := Dims{X: 2, Y: 3, Z: 4}
+	if d.Size() != 24 {
+		t.Fatal("size")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Dims{X: 0, Y: 1, Z: 1}).Validate() == nil {
+		t.Fatal("invalid dims accepted")
+	}
+	for n := 0; n < d.Size(); n++ {
+		if got := d.NodeIndex(d.CoordOf(n)); got != n {
+			t.Fatalf("round trip node %d -> %d", n, got)
+		}
+	}
+}
+
+func TestHopDistanceWraparound(t *testing.T) {
+	d := Dims{X: 4, Y: 4, Z: 4}
+	a := d.NodeIndex(Coord{0, 0, 0})
+	b := d.NodeIndex(Coord{3, 0, 0})
+	if got := d.HopDistance(a, b); got != 1 {
+		t.Fatalf("wraparound distance = %d, want 1", got)
+	}
+	c := d.NodeIndex(Coord{2, 2, 2})
+	if got := d.HopDistance(a, c); got != 6 {
+		t.Fatalf("distance = %d, want 6", got)
+	}
+	if d.HopDistance(a, a) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	for _, ok := range []string{"xyzt", "tzyx", "XYZT", "tXzY"} {
+		if err := ParseOrder(ok); err != nil {
+			t.Errorf("ParseOrder(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "xyztt", "xxyz", "abcd"} {
+		if err := ParseOrder(bad); err == nil {
+			t.Errorf("ParseOrder(%q) should fail", bad)
+		}
+	}
+	if got := len(Orders()); got != 24 {
+		t.Fatalf("Orders = %d, want 24", got)
+	}
+	seen := map[string]bool{}
+	for _, o := range Orders() {
+		if err := ParseOrder(o); err != nil || seen[o] {
+			t.Fatalf("bad generated order %q", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestMapXYZT(t *testing.T) {
+	d := Dims{X: 2, Y: 2, Z: 1}
+	c := bgCluster(t, 4)
+	m, err := Map(c, d, "xyzt", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// x fastest: ranks 0-3 walk nodes 0,1,2,3 on PU 0; ranks 4-7 on PU 1.
+	wantNodes := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	wantPUs := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for i, p := range m.Placements {
+		if p.Node != wantNodes[i] || p.PU() != wantPUs[i] {
+			t.Fatalf("rank %d: node %d PU %d, want node %d PU %d",
+				i, p.Node, p.PU(), wantNodes[i], wantPUs[i])
+		}
+	}
+}
+
+func TestMapTXYZPacksNode(t *testing.T) {
+	d := Dims{X: 2, Y: 2, Z: 1}
+	c := bgCluster(t, 4)
+	m, err := Map(c, d, "txyz", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t fastest: ranks 0-3 fill node 0's PUs, 4-7 fill node 1.
+	for i, p := range m.Placements {
+		if p.Node != i/4 || p.PU() != i%4 {
+			t.Fatalf("rank %d: node %d PU %d", i, p.Node, p.PU())
+		}
+	}
+}
+
+func TestMapSkipsShortNodes(t *testing.T) {
+	big, _ := hw.Preset("bgp-node") // 4 PUs
+	c := cluster.FromSpecs(big, big)
+	c.Nodes[1].Topo.Restrict(hw.CPUSetRange(0, 1)) // node1 has only 2 PUs
+	d := Dims{X: 2, Y: 1, Z: 1}
+	m, err := Map(c, d, "txyz", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.RanksByNode()
+	if len(per[0]) != 4 || len(per[1]) != 2 {
+		t.Fatalf("per-node = %d/%d", len(per[0]), len(per[1]))
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	d := Dims{X: 2, Y: 2, Z: 1}
+	c := bgCluster(t, 4)
+	if _, err := Map(c, Dims{}, "xyzt", 1); err == nil {
+		t.Fatal("bad dims")
+	}
+	if _, err := Map(c, d, "qqqq", 1); err == nil {
+		t.Fatal("bad order")
+	}
+	if _, err := Map(bgCluster(t, 3), d, "xyzt", 1); err == nil {
+		t.Fatal("node count mismatch")
+	}
+	if _, err := Map(c, d, "xyzt", 0); err == nil {
+		t.Fatal("np=0")
+	}
+	if _, err := Map(c, d, "xyzt", 17); err == nil {
+		t.Fatal("over capacity")
+	}
+}

@@ -1,0 +1,191 @@
+// Package treematch implements a simplified traffic-aware hierarchical
+// mapper in the spirit of TreeMatch (Jeannot & Mercier, "Near-Optimal
+// Placement of MPI Processes on Hierarchical NUMA Architectures" — the
+// paper's reference [3]). Where the LAMA applies a user-chosen regular
+// pattern obliviously to the application, TreeMatch reads the
+// application's communication matrix and recursively partitions the ranks
+// down the hardware tree so that heavily-communicating ranks share the
+// deepest possible subtree.
+//
+// It serves two roles here: (1) the related-work comparator for the
+// extension experiment E12, quantifying what pattern-oblivious mapping
+// leaves on the table for irregular applications, and (2) a demonstration
+// that the hw/cluster substrate supports mappers beyond the LAMA.
+package treematch
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+// Map places np ranks onto the cluster guided by the traffic matrix,
+// greedily maximizing the traffic kept inside each topology subtree. It
+// never oversubscribes; np must not exceed the cluster's usable PUs, and
+// the traffic matrix must cover exactly np ranks.
+func Map(c *cluster.Cluster, tm *commpat.Matrix, np int) (*core.Map, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("treematch: non-positive process count %d", np)
+	}
+	if tm.Ranks() != np {
+		return nil, fmt.Errorf("treematch: traffic has %d ranks, want %d", tm.Ranks(), np)
+	}
+	if cap := c.TotalUsablePUs(); np > cap {
+		return nil, fmt.Errorf("treematch: %d ranks exceed %d usable PUs", np, cap)
+	}
+
+	all := make([]int, np)
+	for i := range all {
+		all[i] = i
+	}
+
+	// Top level: partition ranks across nodes.
+	bins := make([]bin, 0, c.NumNodes())
+	for i, node := range c.Nodes {
+		capacity := node.Topo.NumUsablePUs()
+		if capacity > 0 {
+			bins = append(bins, bin{idx: i, capacity: capacity})
+		}
+	}
+	groups := partition(tm, all, bins)
+
+	m := &core.Map{Sweeps: 1}
+	placements := make([]core.Placement, np)
+	for bi, ranks := range groups {
+		nodeIdx := bins[bi].idx
+		node := c.Node(nodeIdx)
+		assignSubtree(tm, node.Topo.Root, ranks, func(rank int, pu *hw.Object) {
+			placements[rank] = core.Placement{
+				Rank:     rank,
+				Node:     nodeIdx,
+				NodeName: node.Name,
+				Coords:   map[hw.Level]int{hw.LevelMachine: nodeIdx},
+				Leaf:     pu,
+				PUs:      []int{pu.OS},
+			}
+		})
+	}
+	m.Placements = placements
+	return m, nil
+}
+
+// bin is one partition target with a PU capacity.
+type bin struct {
+	idx      int
+	capacity int
+}
+
+// assignSubtree recursively partitions ranks across obj's children by
+// usable capacity, bottoming out by pairing ranks with PUs.
+func assignSubtree(tm *commpat.Matrix, obj *hw.Object, ranks []int, emit func(rank int, pu *hw.Object)) {
+	if len(ranks) == 0 {
+		return
+	}
+	if obj.Level == hw.LevelPU {
+		// Exactly one rank can land here (capacities guarantee it).
+		emit(ranks[0], obj)
+		return
+	}
+	// Transparent levels (single usable child) recurse directly.
+	var kids []*hw.Object
+	for _, ch := range obj.Children {
+		if ch.Available && len(ch.UsablePUs()) > 0 {
+			kids = append(kids, ch)
+		}
+	}
+	if len(kids) == 1 {
+		assignSubtree(tm, kids[0], ranks, emit)
+		return
+	}
+	bins := make([]bin, len(kids))
+	for i, ch := range kids {
+		bins[i] = bin{idx: i, capacity: len(ch.UsablePUs())}
+	}
+	for bi, group := range partition(tm, ranks, bins) {
+		assignSubtree(tm, kids[bi], group, emit)
+	}
+}
+
+// partition splits ranks into per-bin groups, greedily: each bin is seeded
+// with the unassigned rank having the largest total traffic, then grown by
+// repeatedly adding the unassigned rank with the most traffic to the bin's
+// current members, until the bin holds its share. Shares are computed
+// proportionally to capacities so that small bins are not starved.
+func partition(tm *commpat.Matrix, ranks []int, bins []bin) [][]int {
+	groups := make([][]int, len(bins))
+	unassigned := map[int]bool{}
+	for _, r := range ranks {
+		unassigned[r] = true
+	}
+	remaining := len(ranks)
+
+	// Shares: fill bins in order, each taking min(capacity, what's left).
+	// (Traffic-aware seeding below decides *which* ranks, not how many.)
+	shares := make([]int, len(bins))
+	left := remaining
+	for i, b := range bins {
+		take := b.capacity
+		if take > left {
+			take = left
+		}
+		shares[i] = take
+		left -= take
+	}
+
+	for i := range bins {
+		for len(groups[i]) < shares[i] {
+			var pick int
+			if len(groups[i]) == 0 {
+				pick = heaviestRank(tm, unassigned)
+			} else {
+				pick = bestAffinity(tm, unassigned, groups[i])
+			}
+			groups[i] = append(groups[i], pick)
+			delete(unassigned, pick)
+		}
+		sort.Ints(groups[i])
+	}
+	return groups
+}
+
+// heaviestRank returns the unassigned rank with the largest total traffic
+// (ties broken by lowest rank for determinism).
+func heaviestRank(tm *commpat.Matrix, unassigned map[int]bool) int {
+	best, bestW := -1, -1.0
+	for r := 0; r < tm.Ranks(); r++ {
+		if !unassigned[r] {
+			continue
+		}
+		w := 0.0
+		for o := 0; o < tm.Ranks(); o++ {
+			w += tm.Bytes(r, o) + tm.Bytes(o, r)
+		}
+		if w > bestW {
+			best, bestW = r, w
+		}
+	}
+	return best
+}
+
+// bestAffinity returns the unassigned rank with the most traffic to the
+// group's members (ties broken by lowest rank).
+func bestAffinity(tm *commpat.Matrix, unassigned map[int]bool, group []int) int {
+	best, bestW := -1, -1.0
+	for r := 0; r < tm.Ranks(); r++ {
+		if !unassigned[r] {
+			continue
+		}
+		w := 0.0
+		for _, g := range group {
+			w += tm.Bytes(r, g) + tm.Bytes(g, r)
+		}
+		if w > bestW {
+			best, bestW = r, w
+		}
+	}
+	return best
+}
