@@ -8,6 +8,11 @@
 //	lamasim -np 64 -nodes 8 -spec nehalem-ep -pattern stencil2d -net fat-tree
 //	lamasim -np 64 -nodes 8 -pattern gtc -net torus -mode app -compute 500
 //	lamasim -np 16 -nodes 8 -mode coll -bytes 1048576
+//
+// With -ft it instead runs a supervised (fault-tolerant) job and reports
+// the recovery pipeline's metrics:
+//
+//	lamasim -np 64 -nodes 8 --ft=respawn --spares=1 -fail-node 0 -fail-step 10
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"lama/internal/appsim"
 	"lama/internal/baseline"
+	"lama/internal/bind"
 	"lama/internal/cluster"
 	"lama/internal/coll"
 	"lama/internal/commpat"
@@ -26,6 +32,8 @@ import (
 	"lama/internal/metrics"
 	"lama/internal/msgsim"
 	"lama/internal/netsim"
+	"lama/internal/orte"
+	"lama/internal/rm"
 	"lama/internal/torus"
 	"lama/internal/treematch"
 )
@@ -49,6 +57,17 @@ func run(args []string, out io.Writer) error {
 	mode := fs.String("mode", "static", "report: static | app | coll | fluid")
 	compute := fs.Float64("compute", 500, "per-iteration compute time in us (mode app)")
 	iters := fs.Int("iters", 1000, "iterations (mode app)")
+	ft := fs.String("ft", "", "fault-tolerance policy: abort | shrink | respawn (runs a supervised job)")
+	layout := fs.String("layout", "csbnh", "LAMA layout for the supervised run (-ft)")
+	spares := fs.Int("spares", 0, "whole spare nodes to reserve (-ft)")
+	maxRestarts := fs.Int("max-restarts", 1, "respawn budget, negative = unlimited (-ft)")
+	steps := fs.Int("steps", 50, "virtual scheduler steps (-ft)")
+	failNode := fs.Int("fail-node", -1, "inject: fail this node at -fail-step (-ft)")
+	failRank := fs.Int("fail-rank", -1, "inject: crash this rank at -fail-step (-ft)")
+	failStep := fs.Int("fail-step", 10, "inject: failure step (-ft)")
+	mtbf := fs.Float64("mtbf", 0, "inject: per-rank exponential MTBF in steps, 0 = off (-ft)")
+	seed := fs.Int64("seed", 1, "rng seed for -mtbf")
+	detect := fs.Int("detect", 0, "detection window in steps, 0 = routed-tree default (-ft)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +75,14 @@ func run(args []string, out io.Writer) error {
 	sp, err := hw.ParseSpec(*spec)
 	if err != nil {
 		return err
+	}
+	if *ft != "" {
+		return runFT(out, sp, ftConfig{
+			spec: *spec, np: *np, nodes: *nodes, layout: *layout,
+			policy: *ft, spares: *spares, maxRestarts: *maxRestarts,
+			steps: *steps, failNode: *failNode, failRank: *failRank,
+			failStep: *failStep, mtbf: *mtbf, seed: *seed, detect: *detect,
+		})
 	}
 	c := cluster.Homogeneous(*nodes, sp)
 
@@ -206,4 +233,107 @@ func lamaGen(c *cluster.Cluster, layout string, np int) func() (*core.Map, error
 func torusDims(n int) torus.Dims {
 	px, py, pz := commpat.Grid3D(n)
 	return torus.Dims{X: pz, Y: py, Z: px}
+}
+
+type ftConfig struct {
+	spec                string
+	np, nodes           int
+	layout, policy      string
+	spares, maxRestarts int
+	steps               int
+	failNode, failRank  int
+	failStep            int
+	mtbf                float64
+	seed                int64
+	detect              int
+}
+
+// runFT drives the full fault-tolerance pipeline: allocate compute nodes
+// plus spares from a resource-manager pool, launch under supervision,
+// inject the requested failures, and report the recovery metrics.
+func runFT(out io.Writer, sp hw.Spec, cfg ftConfig) error {
+	policy, err := orte.ParseFTPolicy(cfg.policy)
+	if err != nil {
+		return err
+	}
+	layout, err := core.ParseLayout(cfg.layout)
+	if err != nil {
+		return err
+	}
+	pool := cluster.Homogeneous(cfg.nodes+cfg.spares, sp)
+	mgr := rm.NewManager(pool)
+	slots := cfg.nodes * usableCores(pool.Node(0))
+	alloc, err := mgr.AllocWithSpares(rm.WholeNode, slots, cfg.spares)
+	if err != nil {
+		return err
+	}
+	sup := &orte.Supervisor{
+		Runtime:    orte.NewRuntime(alloc.Granted),
+		Layout:     layout,
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config: orte.SuperviseConfig{
+			Policy:          policy,
+			MaxRestarts:     cfg.maxRestarts,
+			DetectionWindow: cfg.detect,
+		},
+		SpareProvider: func(failedNode int) (int, error) {
+			res, err := mgr.Realloc(alloc, alloc.Granted.Nodes[failedNode].Name, rm.RetryConfig{})
+			if err != nil {
+				return -1, err
+			}
+			return res.GrantedIndex, nil
+		},
+	}
+
+	var plan orte.InjectionPlan
+	if cfg.failRank >= 0 {
+		plan.Failures = append(plan.Failures, orte.Failure{Rank: cfg.failRank, Step: cfg.failStep})
+	}
+	if cfg.failNode >= 0 {
+		plan.NodeFailures = append(plan.NodeFailures, orte.NodeFailure{Node: cfg.failNode, Step: cfg.failStep})
+	}
+	if cfg.mtbf > 0 {
+		fails, err := orte.MTBFSchedule(cfg.seed, cfg.np, cfg.steps, cfg.mtbf)
+		if err != nil {
+			return err
+		}
+		plan.Failures = append(plan.Failures, fails...)
+	}
+
+	fmt.Fprintf(out, "cluster: %d x %s + %d spare(s), layout %s, np=%d, steps=%d, ft=%s\n\n",
+		cfg.nodes, cfg.spec, cfg.spares, cfg.layout, cfg.np, cfg.steps, policy)
+	rep, err := sup.Run(cfg.np, cfg.steps, plan)
+	if err != nil {
+		return err
+	}
+	for _, ev := range rep.Events {
+		fmt.Fprintf(out, "step %4d: %-8s failure from step %d, ranks %v", ev.DetectedStep, ev.Action, ev.FailStep, ev.Ranks)
+		if len(ev.FailedNodes) > 0 {
+			fmt.Fprintf(out, ", nodes %v", ev.FailedNodes)
+		}
+		if ev.Action == "respawn" {
+			fmt.Fprintf(out, " (moved %d, replayed %d steps)", ev.RanksMoved, ev.ReplaySteps)
+		}
+		if ev.Reason != "" {
+			fmt.Fprintf(out, ": %s", ev.Reason)
+		}
+		fmt.Fprintln(out)
+	}
+	if len(rep.Events) > 0 {
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out, metrics.SummarizeRecovery(rep).Render())
+	return nil
+}
+
+// usableCores counts a node's usable cores with at least one usable PU.
+func usableCores(n *cluster.Node) int {
+	count := 0
+	for _, c := range n.Topo.Objects(hw.LevelCore) {
+		if c.Usable() && len(c.UsablePUs()) > 0 {
+			count++
+		}
+	}
+	return count
 }

@@ -100,3 +100,69 @@ func TestFluidMode(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }
+
+func TestFTRespawnMode(t *testing.T) {
+	// The acceptance scenario: a node failure under respawn with one spare
+	// completes every step, with restarts and migrated ranks in the
+	// summary.
+	var buf bytes.Buffer
+	err := run([]string{"-np", "64", "-nodes", "8", "--ft=respawn", "--spares=1",
+		"-fail-node", "0", "-fail-step", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ft=respawn", "respawn  failure from step 10",
+		"completed                 yes",
+		"restarts                  1",
+		"ranks migrated            8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFTAbortMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-np", "16", "-nodes", "2", "--ft=abort",
+		"-fail-rank", "3", "-fail-step", "5", "-steps", "20"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"abort", "completed                 no", "aborted                   yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFTShrinkWithMTBF(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-np", "16", "-nodes", "2", "--ft=shrink",
+		"-mtbf", "40", "-seed", "7", "-steps", "60"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := buf.String()
+	var buf2 bytes.Buffer
+	if err := run([]string{"-np", "16", "-nodes", "2", "--ft=shrink",
+		"-mtbf", "40", "-seed", "7", "-steps", "60"}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if a != buf2.String() {
+		t.Fatal("mtbf runs with the same seed must be identical")
+	}
+	if !strings.Contains(a, "shrink") {
+		t.Fatalf("output:\n%s", a)
+	}
+}
+
+func TestFTBadPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-np", "8", "-nodes", "2", "--ft=explode"}, &buf); err == nil {
+		t.Fatal("bad policy should fail")
+	}
+}

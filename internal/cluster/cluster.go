@@ -23,6 +23,10 @@ type Node struct {
 	// the site policy allows before the node counts as oversubscribed.
 	// Zero means "use the number of usable cores" (the common default).
 	Slots int
+	// MaxSlots is the hard slot cap (Open MPI hostfile "max_slots"): even
+	// with oversubscription allowed, the node accepts at most this many
+	// processes. Zero means no hard cap.
+	MaxSlots int
 }
 
 // EffectiveSlots resolves the node's slot count: an explicit count if set,
@@ -155,7 +159,9 @@ func (c *Cluster) Homogeneous() bool {
 func (c *Cluster) Clone() *Cluster {
 	out := &Cluster{}
 	for _, n := range c.Nodes {
-		out.Nodes = append(out.Nodes, &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots})
+		out.Nodes = append(out.Nodes, &Node{
+			Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots,
+		})
 	}
 	return out
 }

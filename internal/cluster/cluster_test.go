@@ -154,7 +154,7 @@ func TestParseHostfileErrors(t *testing.T) {
 }
 
 func TestHostfileRoundTrip(t *testing.T) {
-	text := "node0 slots=8 spec=1:2:1:1:4:1:1:2\nnode1 slots=4 spec=1:1:1:1:4:1:1:1 allowed=0-1\n"
+	text := "node0 slots=8 maxslots=16 spec=1:2:1:1:4:1:1:2\nnode1 slots=2 spec=1:1:1:1:4:1:1:1 allowed=0-1\n"
 	def := hw.Spec{Boards: 1, Sockets: 1, NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: 1, PUs: 1}
 	c, err := ParseHostfile(text, def)
 	if err != nil {
@@ -167,10 +167,92 @@ func TestHostfileRoundTrip(t *testing.T) {
 	}
 	for i, n := range c.Nodes {
 		n2 := c2.Nodes[i]
-		if n.Name != n2.Name || n.Slots != n2.Slots ||
+		if n.Name != n2.Name || n.Slots != n2.Slots || n.MaxSlots != n2.MaxSlots ||
 			n.Topo.NumPUs() != n2.Topo.NumPUs() ||
 			n.Topo.NumUsablePUs() != n2.Topo.NumUsablePUs() {
 			t.Fatalf("node %d round trip mismatch", i)
 		}
+	}
+}
+
+func TestHostfileSlotValidation(t *testing.T) {
+	def := hw.Spec{Boards: 1, Sockets: 1, NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: 1, PUs: 1}
+	cases := []string{
+		"a slots=5 spec=1:1:1:1:1:1:4:1",             // slots > 4 PUs
+		"a slots=3 spec=1:1:1:1:1:1:4:1 allowed=0-1", // slots > 2 usable PUs
+		"a maxslots=5 spec=1:1:1:1:1:1:4:1",          // maxslots > PUs
+		"a slots=3 maxslots=2 spec=1:1:1:1:1:1:4:1",  // maxslots < slots
+		"a maxslots=x",  // unparsable
+		"a maxslots=-1", // negative
+	}
+	for _, text := range cases {
+		if _, err := ParseHostfile(text, def); err == nil {
+			t.Errorf("ParseHostfile(%q) should fail", text)
+		}
+	}
+	// The boundary cases are fine: slots == usable PUs, maxslots == usable.
+	c, err := ParseHostfile("a slots=2 maxslots=2 spec=1:1:1:1:1:1:4:1 allowed=0-1", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[0].Slots != 2 || c.Nodes[0].MaxSlots != 2 {
+		t.Fatalf("node = %+v", c.Nodes[0])
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	c := Homogeneous(3, specNehalem(t))
+	if c.NodeFailed(0) || c.UsableNodes() != 3 {
+		t.Fatal("fresh cluster should be healthy")
+	}
+	if !c.FailNode(1) {
+		t.Fatal("FailNode(1) should succeed")
+	}
+	if !c.NodeFailed(1) || c.NodeFailed(0) || c.NodeFailed(2) {
+		t.Fatal("only node 1 should be failed")
+	}
+	if c.UsableNodes() != 2 {
+		t.Fatalf("UsableNodes = %d", c.UsableNodes())
+	}
+	if c.Nodes[1].Topo.NumUsablePUs() != 0 {
+		t.Fatal("failed node must have no usable PUs")
+	}
+	if c.Nodes[1].EffectiveSlots() != 0 {
+		t.Fatalf("failed node slots = %d", c.Nodes[1].EffectiveSlots())
+	}
+	// Idempotent; out-of-range rejected.
+	if !c.FailNode(1) || c.FailNode(7) || c.FailNode(-1) {
+		t.Fatal("FailNode bounds")
+	}
+	if !c.NodeFailed(99) {
+		t.Fatal("unknown node reports failed")
+	}
+}
+
+func TestFailPUs(t *testing.T) {
+	c := Homogeneous(2, specNehalem(t)) // 16 PUs per node
+	n := c.Node(0)
+	before := n.Topo.NumUsablePUs()
+	got := c.FailPUs(0, hw.NewCPUSet(0, 1, 2))
+	if got != 3 {
+		t.Fatalf("FailPUs = %d, want 3", got)
+	}
+	if n.Topo.NumUsablePUs() != before-3 {
+		t.Fatalf("usable = %d", n.Topo.NumUsablePUs())
+	}
+	// Re-failing the same PUs is a no-op; unknown node is a no-op.
+	if c.FailPUs(0, hw.NewCPUSet(1, 2)) != 0 || c.FailPUs(9, hw.NewCPUSet(0)) != 0 {
+		t.Fatal("no-op cases")
+	}
+	if c.FailPUs(0, nil) != 0 {
+		t.Fatal("nil set")
+	}
+	if c.NodeFailed(0) {
+		t.Fatal("partial failure must not fail the node")
+	}
+	// Failing every PU fails the node.
+	c.FailPUs(1, hw.CPUSetRange(0, 15))
+	if !c.NodeFailed(1) {
+		t.Fatal("node 1 should be fully failed")
 	}
 }

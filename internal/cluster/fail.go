@@ -1,0 +1,63 @@
+package cluster
+
+import "lama/internal/hw"
+
+// Run-time failure mutation API. A cluster that has been handed to a
+// run-time (orte.Runtime) can lose hardware while a job is running; these
+// methods record the loss so that mapping agents, binding checks, and the
+// incremental remapper all see the node/PUs as unusable. Failures are
+// modeled through the availability mechanism of paper §III-A (scheduler
+// restrictions), so every existing consumer — the LAMA mapper, bind.Plan
+// checks, hostfile formatting — handles a failed resource with no special
+// cases.
+
+// FailNode marks node i as failed: the whole node (its machine root)
+// becomes unavailable, so no PU beneath it is usable. It returns false if
+// no such node exists. Failing an already-failed node is a no-op.
+func (c *Cluster) FailNode(i int) bool {
+	n := c.Node(i)
+	if n == nil {
+		return false
+	}
+	n.Topo.Root.Available = false
+	return true
+}
+
+// FailPUs marks the given PU OS indices of node i unavailable — a partial
+// failure such as a dead core. It returns the number of PUs that changed
+// from usable to failed (0 for an unknown node or already-failed PUs).
+func (c *Cluster) FailPUs(i int, pus *hw.CPUSet) int {
+	n := c.Node(i)
+	if n == nil || pus == nil {
+		return 0
+	}
+	failed := 0
+	for _, pu := range n.Topo.Objects(hw.LevelPU) {
+		if pus.Contains(pu.OS) && pu.Available {
+			pu.Available = false
+			failed++
+		}
+	}
+	return failed
+}
+
+// NodeFailed reports whether node i has no usable PUs left (fully failed
+// or fully restricted). Unknown nodes report true.
+func (c *Cluster) NodeFailed(i int) bool {
+	n := c.Node(i)
+	if n == nil {
+		return true
+	}
+	return n.Topo.NumUsablePUs() == 0
+}
+
+// UsableNodes returns the number of nodes with at least one usable PU.
+func (c *Cluster) UsableNodes() int {
+	alive := 0
+	for i := range c.Nodes {
+		if !c.NodeFailed(i) {
+			alive++
+		}
+	}
+	return alive
+}

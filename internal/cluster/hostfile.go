@@ -11,12 +11,18 @@ import (
 // ParseHostfile builds a cluster from an Open MPI-style hostfile extended
 // with topology specs. Each non-empty, non-comment line declares one node:
 //
-//	<name> [slots=<n>] [spec=<spec>] [allowed=<cpuset>]
+//	<name> [slots=<n>] [maxslots=<n>] [spec=<spec>] [allowed=<cpuset>]
 //
 // where <spec> is anything hw.ParseSpec accepts (preset name, "s:c:h", or
 // the 8-width colon form) and <cpuset> is hwloc list syntax restricting the
 // node's usable PUs. Lines starting with '#' are comments. A missing spec
 // defaults to defSpec.
+//
+// Slot counts are validated against the node's hardware: slots (and
+// maxslots, the Open MPI "max_slots" hard cap) may not exceed the node's
+// usable PU count, and maxslots may not be smaller than slots — such
+// hostfiles describe impossible placements and are rejected with a clear
+// error instead of silently producing unmappable nodes.
 //
 // Example:
 //
@@ -53,6 +59,12 @@ func ParseHostfile(text string, defSpec hw.Spec) (*Cluster, error) {
 					return nil, fmt.Errorf("hostfile:%d: bad slots %q", lineNo+1, val)
 				}
 				node.Slots = n
+			case "maxslots":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("hostfile:%d: bad maxslots %q", lineNo+1, val)
+				}
+				node.MaxSlots = n
 			case "spec":
 				parsed, err := hw.ParseSpec(val)
 				if err != nil {
@@ -76,6 +88,21 @@ func ParseHostfile(text string, defSpec hw.Spec) (*Cluster, error) {
 		if allowed != nil {
 			node.Topo.Restrict(allowed)
 		}
+		usable := node.Topo.NumUsablePUs()
+		if node.Slots > usable {
+			return nil, fmt.Errorf("hostfile:%d: node %q declares slots=%d but has only %d usable PUs",
+				lineNo+1, name, node.Slots, usable)
+		}
+		if node.MaxSlots > 0 {
+			if node.MaxSlots > usable {
+				return nil, fmt.Errorf("hostfile:%d: node %q declares maxslots=%d but has only %d usable PUs",
+					lineNo+1, name, node.MaxSlots, usable)
+			}
+			if node.MaxSlots < node.Slots {
+				return nil, fmt.Errorf("hostfile:%d: node %q declares maxslots=%d < slots=%d",
+					lineNo+1, name, node.MaxSlots, node.Slots)
+			}
+		}
 		c.Nodes = append(c.Nodes, node)
 	}
 	if len(c.Nodes) == 0 {
@@ -90,7 +117,11 @@ func ParseHostfile(text string, defSpec hw.Spec) (*Cluster, error) {
 func FormatHostfile(c *Cluster) string {
 	var sb strings.Builder
 	for _, n := range c.Nodes {
-		fmt.Fprintf(&sb, "%s slots=%d spec=%s", n.Name, n.Slots, specOf(n.Topo))
+		fmt.Fprintf(&sb, "%s slots=%d", n.Name, n.Slots)
+		if n.MaxSlots > 0 {
+			fmt.Fprintf(&sb, " maxslots=%d", n.MaxSlots)
+		}
+		fmt.Fprintf(&sb, " spec=%s", specOf(n.Topo))
 		if n.Topo.NumUsablePUs() != n.Topo.NumPUs() {
 			fmt.Fprintf(&sb, " allowed=%s", n.Topo.AllowedSet())
 		}

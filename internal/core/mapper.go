@@ -187,9 +187,17 @@ func (r *run) tryMap() {
 		return // resource unavailable (off-lined / disallowed)
 	}
 	// Scheduler slot caps (Open MPI hostfile semantics): without
-	// --oversubscribe, a node accepts at most its slot count of ranks.
-	if r.m.Opts.RespectSlots && !r.m.Opts.Oversubscribe {
-		if r.nodeCount[node] >= r.m.Cluster.Node(node).EffectiveSlots() {
+	// --oversubscribe, a node accepts at most its slot count of ranks;
+	// with it, the hostfile's max_slots hard cap (when declared) still
+	// bounds the node.
+	if r.m.Opts.RespectSlots {
+		limit := -1
+		if !r.m.Opts.Oversubscribe {
+			limit = r.m.Cluster.Node(node).EffectiveSlots()
+		} else if hard := r.m.Cluster.Node(node).MaxSlots; hard > 0 {
+			limit = hard
+		}
+		if limit >= 0 && r.nodeCount[node] >= limit {
 			r.skippedOversub = true
 			r.emit(SkipCapped, -1)
 			return

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// RemapReport summarizes the migration cost of an incremental remap.
+type RemapReport struct {
+	// Failed lists the remapped ranks, ascending.
+	Failed []int
+	// RanksMoved counts remapped ranks whose placement actually changed
+	// (different node or different PU set). A rank that was re-placed onto
+	// its old resources — e.g. a process crash on healthy hardware — is
+	// not a move.
+	RanksMoved int
+	// LocalityBefore and LocalityAfter give the map's neighbor locality
+	// (mean LCA depth of consecutive same-node ranks, as in
+	// metrics.MapSummary.AvgNeighborLevel) before and after the remap.
+	LocalityBefore, LocalityAfter float64
+	// Sweeps is the number of resource-space sweeps the incremental LAMA
+	// run needed to place the failed ranks.
+	Sweeps int
+}
+
+// RemapSurvivors is the locality-preserving incremental remapper of the
+// fault-tolerance pipeline: given a map whose `failed` ranks died, it
+// re-runs the LAMA over ONLY those ranks against the cluster's current
+// resources (failed nodes/PUs excluded via availability, replacement
+// nodes included), while every surviving rank's placement is carried over
+// untouched. Surviving ranks' claimed PUs are withheld from the
+// incremental run, so a remapped rank can never land on (or oversubscribe)
+// a survivor's processors. Rank movement is therefore minimal by
+// construction: exactly the failed ranks are re-placed, and each lands on
+// the nearest free resources in layout order.
+func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, failed []int) (*Map, *RemapReport, error) {
+	if c == nil || c.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("core: empty cluster")
+	}
+	if old == nil || old.NumRanks() == 0 {
+		return nil, nil, fmt.Errorf("core: empty map")
+	}
+	// Dedupe, sort, and validate the failed set.
+	set := map[int]bool{}
+	for _, r := range failed {
+		if r < 0 || r >= old.NumRanks() {
+			return nil, nil, fmt.Errorf("core: remap of unknown rank %d (map has %d)", r, old.NumRanks())
+		}
+		set[r] = true
+	}
+	fr := make([]int, 0, len(set))
+	for r := range set {
+		fr = append(fr, r)
+	}
+	sort.Ints(fr)
+
+	report := &RemapReport{Failed: fr, LocalityBefore: neighborLocality(c, old)}
+	if len(fr) == 0 {
+		// Nothing to do: return a copy so callers may mutate freely.
+		out := &Map{Layout: old.Layout, Placements: append([]Placement(nil), old.Placements...), Sweeps: old.Sweeps}
+		report.LocalityAfter = report.LocalityBefore
+		return out, report, nil
+	}
+
+	// Withhold the survivors' claimed PUs on a scratch clone, then run the
+	// LAMA for just the failed ranks. The clone also inherits any failure
+	// restrictions already recorded on c (FailNode / FailPUs).
+	scratch := c.Clone()
+	for i := range old.Placements {
+		p := &old.Placements[i]
+		if set[p.Rank] {
+			continue
+		}
+		node := scratch.Node(p.Node)
+		if node == nil {
+			return nil, nil, fmt.Errorf("core: survivor rank %d on unknown node %d", p.Rank, p.Node)
+		}
+		for _, pu := range p.PUs {
+			if obj := node.Topo.PUByOS(pu); obj != nil {
+				obj.Available = false
+			}
+		}
+	}
+	mapper, err := NewMapper(scratch, layout, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := mapper.Map(len(fr))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: incremental remap of %d ranks failed: %w", len(fr), err)
+	}
+
+	out := &Map{Layout: old.Layout, Placements: append([]Placement(nil), old.Placements...), Sweeps: old.Sweeps}
+	for i, r := range fr {
+		sp := &sub.Placements[i]
+		// Translate the leaf back from the scratch clone to the live
+		// cluster: logical numbering is availability-independent.
+		var leaf *hw.Object
+		if sp.Leaf != nil {
+			leaf = c.Node(sp.Node).Topo.ObjectAt(sp.Leaf.Level, sp.Leaf.Logical)
+		}
+		np := Placement{
+			Rank:           r,
+			Node:           sp.Node,
+			NodeName:       sp.NodeName,
+			Coords:         sp.Coords,
+			Leaf:           leaf,
+			PUs:            append([]int(nil), sp.PUs...),
+			Oversubscribed: sp.Oversubscribed,
+		}
+		oldP := &old.Placements[r]
+		if np.Node != oldP.Node || !samePUs(np.PUs, oldP.PUs) {
+			report.RanksMoved++
+		}
+		out.Placements[r] = np
+	}
+	recomputeOversubscription(out)
+	if err := out.Validate(c); err != nil {
+		return nil, nil, fmt.Errorf("core: remapped map inconsistent: %v", err)
+	}
+	report.LocalityAfter = neighborLocality(c, out)
+	report.Sweeps = sub.Sweeps
+	return out, report, nil
+}
+
+// samePUs reports whether two claimed-PU lists are identical.
+func samePUs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeOversubscription refreshes every placement's Oversubscribed
+// flag from actual PU sharing, keeping Map.Validate's global consistency
+// invariant after placements from two mapping runs are merged.
+func recomputeOversubscription(m *Map) {
+	claims := map[[2]int]int{}
+	for i := range m.Placements {
+		p := &m.Placements[i]
+		for _, pu := range p.PUs {
+			claims[[2]int{p.Node, pu}]++
+		}
+	}
+	for i := range m.Placements {
+		p := &m.Placements[i]
+		p.Oversubscribed = false
+		for _, pu := range p.PUs {
+			if claims[[2]int{p.Node, pu}] > 1 {
+				p.Oversubscribed = true
+				break
+			}
+		}
+	}
+}
+
+// neighborLocality is the mean LCA depth of consecutive ranks placed on
+// the same node (higher = closer), 0 when no such pairs exist — the same
+// statistic as metrics.MapSummary.AvgNeighborLevel, computed here so the
+// remapper can report migration cost without an import cycle.
+func neighborLocality(c *cluster.Cluster, m *Map) float64 {
+	depthSum, pairs := 0, 0
+	for i := 1; i < m.NumRanks(); i++ {
+		a, b := &m.Placements[i-1], &m.Placements[i]
+		if a.Node != b.Node {
+			continue
+		}
+		level := c.Node(a.Node).Topo.CommonAncestorLevel(a.PU(), b.PU())
+		depthSum += level.Depth()
+		pairs++
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(depthSum) / float64(pairs)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// remapSetup maps np ranks by-slot over a fig2 cluster.
+func remapSetup(t *testing.T, nodes, np int) (*cluster.Cluster, *Map) {
+	t.Helper()
+	c := fig2Cluster(t, nodes)
+	mapper, err := NewMapper(c, MustParseLayout("csbnh"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m
+}
+
+func TestRemapSurvivorsLeavesSurvivorsUntouched(t *testing.T) {
+	// 12 ranks on 2 fig2 nodes (12 PUs each): 6 per node, half capacity
+	// free. Node 0 dies; its ranks must move to node 1's free PUs while
+	// node 1's ranks keep their exact placements.
+	c, m := remapSetup(t, 2, 12)
+	var failed, survivors []int
+	for i := range m.Placements {
+		if m.Placements[i].Node == 0 {
+			failed = append(failed, i)
+		} else {
+			survivors = append(survivors, i)
+		}
+	}
+	before := make(map[int]Placement)
+	for _, r := range survivors {
+		before[r] = m.Placements[r]
+	}
+	c.FailNode(0)
+	nm, rep, err := RemapSurvivors(c, m.Layout, Options{}, m, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors: node, PUs, leaf, coords all bit-identical.
+	for _, r := range survivors {
+		got, want := nm.Placements[r], before[r]
+		if got.Node != want.Node || got.Leaf != want.Leaf ||
+			!reflect.DeepEqual(got.PUs, want.PUs) ||
+			!reflect.DeepEqual(got.Coords, want.Coords) {
+			t.Fatalf("survivor %d moved: %+v -> %+v", r, want, got)
+		}
+	}
+	// Failed ranks: all on node 1 now, on usable PUs, no overlap with
+	// survivors or each other.
+	used := map[int]bool{}
+	for _, r := range survivors {
+		for _, pu := range nm.Placements[r].PUs {
+			used[pu] = true
+		}
+	}
+	for _, r := range failed {
+		p := nm.Placements[r]
+		if p.Node != 1 {
+			t.Fatalf("rank %d remapped to dead node %d", r, p.Node)
+		}
+		for _, pu := range p.PUs {
+			if used[pu] {
+				t.Fatalf("rank %d collides on PU %d", r, pu)
+			}
+			used[pu] = true
+		}
+	}
+	if rep.RanksMoved != len(failed) {
+		t.Fatalf("RanksMoved = %d, want %d", rep.RanksMoved, len(failed))
+	}
+	if got := len(rep.Failed); got != len(failed) {
+		t.Fatalf("report.Failed = %d entries", got)
+	}
+	if rep.LocalityBefore <= 0 || rep.LocalityAfter <= 0 {
+		t.Fatalf("locality not reported: %+v", rep)
+	}
+	if err := nm.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// The old map is untouched.
+	if m.Placements[failed[0]].Node != 0 {
+		t.Fatal("input map mutated")
+	}
+}
+
+func TestRemapSurvivorsOntoReplacementNode(t *testing.T) {
+	// Full cluster: 24 ranks fill 2 nodes. Node 0 dies; without a
+	// replacement the remap must fail, with one it must succeed and use it.
+	c, m := remapSetup(t, 2, 24)
+	var failed []int
+	for i := range m.Placements {
+		if m.Placements[i].Node == 0 {
+			failed = append(failed, i)
+		}
+	}
+	c.FailNode(0)
+	if _, _, err := RemapSurvivors(c, m.Layout, Options{}, m, failed); err == nil {
+		t.Fatal("remap without capacity should fail")
+	}
+	// Grant a replacement node (what rm.Realloc does).
+	sp, _ := hw.Preset("fig2")
+	c.Nodes = append(c.Nodes, &cluster.Node{Name: "spare0", Topo: hw.New(sp)})
+	nm, rep, err := RemapSurvivors(c, m.Layout, Options{}, m, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range failed {
+		if nm.Placements[r].Node != 2 || nm.Placements[r].NodeName != "spare0" {
+			t.Fatalf("rank %d on %s (node %d), want spare0", r, nm.Placements[r].NodeName, nm.Placements[r].Node)
+		}
+	}
+	if rep.RanksMoved != len(failed) {
+		t.Fatalf("RanksMoved = %d", rep.RanksMoved)
+	}
+	if err := nm.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapCrashedRankOnHealthyNodeStaysPut(t *testing.T) {
+	// A process crash without hardware loss: the rank's old PUs are free
+	// again, and csbnh re-places it exactly there — zero migration.
+	c, m := remapSetup(t, 2, 12)
+	old := m.Placements[3]
+	nm, rep, err := RemapSurvivors(c, m.Layout, Options{}, m, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nm.Placements[3]
+	if got.Node != old.Node || !reflect.DeepEqual(got.PUs, old.PUs) {
+		t.Fatalf("crashed rank moved: %+v -> %+v", old, got)
+	}
+	if rep.RanksMoved != 0 {
+		t.Fatalf("RanksMoved = %d, want 0", rep.RanksMoved)
+	}
+}
+
+func TestRemapSurvivorsNoFailures(t *testing.T) {
+	c, m := remapSetup(t, 2, 8)
+	nm, rep, err := RemapSurvivors(c, m.Layout, Options{}, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nm.Placements, m.Placements) {
+		t.Fatal("no-op remap changed placements")
+	}
+	if rep.RanksMoved != 0 || rep.LocalityBefore != rep.LocalityAfter {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Returned map is a copy.
+	nm.Placements[0].Node = 99
+	if m.Placements[0].Node == 99 {
+		t.Fatal("remap aliases input placements")
+	}
+}
+
+func TestRemapSurvivorsErrors(t *testing.T) {
+	c, m := remapSetup(t, 2, 8)
+	if _, _, err := RemapSurvivors(c, m.Layout, Options{}, m, []int{99}); err == nil {
+		t.Fatal("unknown rank")
+	}
+	if _, _, err := RemapSurvivors(c, m.Layout, Options{}, m, []int{-1}); err == nil {
+		t.Fatal("negative rank")
+	}
+	if _, _, err := RemapSurvivors(c, m.Layout, Options{}, nil, []int{0}); err == nil {
+		t.Fatal("nil map")
+	}
+	if _, _, err := RemapSurvivors(nil, m.Layout, Options{}, m, []int{0}); err == nil {
+		t.Fatal("nil cluster")
+	}
+}
+
+func TestRemapDuplicateFailedRanksDeduped(t *testing.T) {
+	c, m := remapSetup(t, 2, 8)
+	nm, rep, err := RemapSurvivors(c, m.Layout, Options{}, m, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != 2 {
+		t.Fatalf("Failed = %v", rep.Failed)
+	}
+	if err := nm.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}

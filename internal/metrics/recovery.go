@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"lama/internal/orte"
+)
+
+// RecoverySummary aggregates the fault-tolerance counters of a supervised
+// run: how often the job recovered and what the recovery cost.
+type RecoverySummary struct {
+	// Policy is the fault-tolerance policy the run used.
+	Policy orte.FTPolicy
+	// Steps is the requested step count; DetectionWindow the heartbeat
+	// latency in steps.
+	Steps, DetectionWindow int
+	// Completed and Aborted mirror the run outcome; FinalRanks is the
+	// world size at the end.
+	Completed, Aborted bool
+	FinalRanks         int
+	// FailureEvents counts recovery events of any kind; Restarts counts
+	// respawn events.
+	FailureEvents, Restarts int
+	// RanksLost is the number of ranks that died and were never respawned;
+	// RanksMigrated the placements moved by remaps; ReplaySteps the steps
+	// re-executed after restarts.
+	RanksLost, RanksMigrated, ReplaySteps int
+	// TotalRemapUs is the total remap planning time in microseconds.
+	TotalRemapUs float64
+}
+
+// SummarizeRecovery computes a RecoverySummary from a supervise report.
+func SummarizeRecovery(rep *orte.SuperviseReport) RecoverySummary {
+	s := RecoverySummary{
+		Policy:          rep.Policy,
+		Steps:           rep.Steps,
+		DetectionWindow: rep.DetectionWindow,
+		Completed:       rep.Completed,
+		Aborted:         rep.Aborted,
+		FinalRanks:      rep.FinalRanks,
+		FailureEvents:   len(rep.Events),
+		Restarts:        rep.Restarts,
+		RanksMigrated:   rep.RanksMigrated,
+		ReplaySteps:     rep.ReplaySteps,
+		TotalRemapUs:    rep.TotalRemapUs,
+	}
+	for _, o := range rep.Outcomes {
+		if o.State == orte.Failed {
+			s.RanksLost++
+		}
+	}
+	return s
+}
+
+// Render formats the summary as a text table.
+func (s RecoverySummary) Render() string {
+	t := NewTable("Recovery summary", "metric", "value")
+	t.AddRow("policy", s.Policy.String())
+	t.AddRow("steps", I(s.Steps))
+	t.AddRow("detection window (steps)", I(s.DetectionWindow))
+	t.AddRow("completed", boolStr(s.Completed))
+	t.AddRow("aborted", boolStr(s.Aborted))
+	t.AddRow("final ranks", I(s.FinalRanks))
+	t.AddRow("failure events", I(s.FailureEvents))
+	t.AddRow("restarts", I(s.Restarts))
+	t.AddRow("ranks lost", I(s.RanksLost))
+	t.AddRow("ranks migrated", I(s.RanksMigrated))
+	t.AddRow("replayed steps", I(s.ReplaySteps))
+	t.AddRow("remap time (us)", F(s.TotalRemapUs, 1))
+	return t.String()
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/orte"
+)
+
+func TestSummarizeRecovery(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	s := &orte.Supervisor{
+		Runtime:    orte.NewRuntime(c),
+		Layout:     core.MustParseLayout("csbnh"),
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config:     orte.SuperviseConfig{Policy: orte.FTRespawn, MaxRestarts: -1},
+	}
+	rep, err := s.Run(8, 20, orte.InjectionPlan{
+		NodeFailures: []orte.NodeFailure{{Node: 0, Step: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeRecovery(rep)
+	if sum.Policy != orte.FTRespawn || !sum.Completed || sum.Aborted {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Restarts != 1 || sum.RanksMigrated != 6 || sum.RanksLost != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.ReplaySteps != rep.ReplaySteps || sum.FailureEvents != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	out := sum.Render()
+	for _, want := range []string{"Recovery summary", "respawn", "restarts", "ranks migrated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeRecoveryShrinkCountsLost(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	s := &orte.Supervisor{
+		Runtime:    orte.NewRuntime(c),
+		Layout:     core.MustParseLayout("csbnh"),
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config:     orte.SuperviseConfig{Policy: orte.FTShrink},
+	}
+	rep, err := s.Run(8, 20, orte.InjectionPlan{
+		Failures: []orte.Failure{{Rank: 3, Step: 2}, {Rank: 5, Step: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeRecovery(rep)
+	if sum.RanksLost != 2 || sum.FinalRanks != 6 || sum.Restarts != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}

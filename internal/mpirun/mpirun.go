@@ -19,6 +19,7 @@ import (
 	"lama/internal/cluster"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/orte"
 	"lama/internal/rankfile"
 )
 
@@ -73,6 +74,15 @@ type Request struct {
 	// ReportBindings requests an Open MPI-style binding report
 	// (--report-bindings).
 	ReportBindings bool
+	// FT is the fault-tolerance policy (--ft); FTSet records that the
+	// flag was given explicitly (the default is abort, the seed behavior).
+	FT    orte.FTPolicy
+	FTSet bool
+	// Spares is the number of whole spare nodes to reserve (--spares).
+	Spares int
+	// MaxRestarts is the respawn budget (--max-restarts); negative means
+	// unlimited. The default is 1.
+	MaxRestarts int
 }
 
 // Parse interprets an mpirun-style argument list:
@@ -87,10 +97,28 @@ type Request struct {
 //	--pe N                processing elements per process
 //	--oversubscribe       allow PU sharing
 //	--max-per <level>=<n> ALPS-style per-resource rank cap
+//	--ft <policy>         abort | shrink | respawn on failure detection
+//	--spares N            whole spare nodes to reserve for respawn
+//	--max-restarts N      respawn budget (negative = unlimited; default 1)
+//
+// Value-taking flags also accept the --flag=value form.
 func Parse(args []string) (*Request, error) {
-	req := &Request{Level: 1, BindPolicy: bind.None, BindLevel: hw.LevelCore}
+	req := &Request{Level: 1, BindPolicy: bind.None, BindLevel: hw.LevelCore, MaxRestarts: 1}
 	var mapSpec string
 	mapLevel := 1
+
+	// Expand "--flag=value" into "--flag value" so both spellings work.
+	expanded := make([]string, 0, len(args))
+	for _, a := range args {
+		if strings.HasPrefix(a, "--") {
+			if flag, v, ok := strings.Cut(a, "="); ok {
+				expanded = append(expanded, flag, v)
+				continue
+			}
+		}
+		expanded = append(expanded, a)
+	}
+	args = expanded
 
 	next := func(i *int, flag string) (string, error) {
 		*i++
@@ -234,6 +262,37 @@ func Parse(args []string) (*Request, error) {
 				req.Opts.MaxPerResource = map[hw.Level]int{}
 			}
 			req.Opts.MaxPerResource[level] = n
+		case "--ft":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			policy, err := orte.ParseFTPolicy(v)
+			if err != nil {
+				return nil, fmt.Errorf("mpirun: %v", err)
+			}
+			req.FT = policy
+			req.FTSet = true
+		case "--spares":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("mpirun: bad --spares %q", v)
+			}
+			req.Spares = n
+		case "--max-restarts":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("mpirun: bad --max-restarts %q", v)
+			}
+			req.MaxRestarts = n
 		default:
 			return nil, fmt.Errorf("mpirun: unknown option %q", arg)
 		}

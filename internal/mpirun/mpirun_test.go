@@ -8,6 +8,7 @@ import (
 	"lama/internal/cluster"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/orte"
 )
 
 func testCluster(t *testing.T) *cluster.Cluster {
@@ -332,5 +333,57 @@ func TestLamaBindWidthSpec(t *testing.T) {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%v) should fail", bad)
 		}
+	}
+}
+
+func TestParseFaultToleranceFlags(t *testing.T) {
+	// Defaults: abort policy (not explicitly set), no spares, budget 1.
+	req, err := Parse([]string{"-np", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FT != orte.FTAbort || req.FTSet || req.Spares != 0 || req.MaxRestarts != 1 {
+		t.Fatalf("defaults = %+v", req)
+	}
+	// Space-separated form.
+	req, err = Parse([]string{"-np", "4", "--ft", "respawn", "--spares", "2", "--max-restarts", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FT != orte.FTRespawn || !req.FTSet || req.Spares != 2 || req.MaxRestarts != 3 {
+		t.Fatalf("req = %+v", req)
+	}
+	// --flag=value form.
+	req, err = Parse([]string{"-np", "4", "--ft=shrink", "--spares=1", "--max-restarts=-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.FT != orte.FTShrink || !req.FTSet || req.Spares != 1 || req.MaxRestarts != -1 {
+		t.Fatalf("req = %+v", req)
+	}
+	// Bad values rejected.
+	for _, bad := range [][]string{
+		{"-np", "2", "--ft", "explode"},
+		{"-np", "2", "--ft"},
+		{"-np", "2", "--spares", "-1"},
+		{"-np", "2", "--spares", "x"},
+		{"-np", "2", "--max-restarts", "many"},
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%v) should fail", bad)
+		}
+	}
+}
+
+func TestParseEqualsFormForExistingFlags(t *testing.T) {
+	req, err := Parse([]string{"-np", "6", "--map-by=socket", "--bind-to=core", "--max-per=node=4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Level != 2 || req.BindPolicy != bind.Specific || req.BindLevel != hw.LevelCore {
+		t.Fatalf("req = %+v", req)
+	}
+	if req.Opts.MaxPerResource[hw.LevelMachine] != 4 {
+		t.Fatalf("max-per = %+v", req.Opts.MaxPerResource)
 	}
 }

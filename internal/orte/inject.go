@@ -1,0 +1,131 @@
+package orte
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lama/internal/core"
+)
+
+// NodeFailure injects the loss of a whole node at a step (0-based): the
+// node's hardware becomes unusable and every rank running on it dies.
+type NodeFailure struct {
+	Node int
+	Step int
+}
+
+// InjectionPlan is a deterministic failure schedule for one supervised
+// run: individual rank crashes plus correlated whole-node losses.
+type InjectionPlan struct {
+	Failures     []Failure
+	NodeFailures []NodeFailure
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *InjectionPlan) Empty() bool {
+	return p == nil || (len(p.Failures) == 0 && len(p.NodeFailures) == 0)
+}
+
+// Normalize sorts both schedules by (Step, Rank) / (Step, Node) and drops
+// exact duplicates, so a plan applies identically regardless of the order
+// failures were declared in.
+func (p *InjectionPlan) Normalize() {
+	sort.Slice(p.Failures, func(i, j int) bool {
+		if p.Failures[i].Step != p.Failures[j].Step {
+			return p.Failures[i].Step < p.Failures[j].Step
+		}
+		return p.Failures[i].Rank < p.Failures[j].Rank
+	})
+	p.Failures = dedupeFailures(p.Failures)
+	sort.Slice(p.NodeFailures, func(i, j int) bool {
+		if p.NodeFailures[i].Step != p.NodeFailures[j].Step {
+			return p.NodeFailures[i].Step < p.NodeFailures[j].Step
+		}
+		return p.NodeFailures[i].Node < p.NodeFailures[j].Node
+	})
+	p.NodeFailures = dedupeNodeFailures(p.NodeFailures)
+}
+
+func dedupeFailures(fs []Failure) []Failure {
+	out := fs[:0]
+	for i, f := range fs {
+		if i == 0 || f != fs[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func dedupeNodeFailures(fs []NodeFailure) []NodeFailure {
+	out := fs[:0]
+	for i, f := range fs {
+		if i == 0 || f != fs[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CrashAtStep builds the simplest schedule: the given ranks crash at the
+// given step.
+func CrashAtStep(step int, ranks ...int) []Failure {
+	out := make([]Failure, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, Failure{Rank: r, Step: step})
+	}
+	return out
+}
+
+// MTBFSchedule draws, for each of `ranks` processes, an exponential
+// time-to-first-failure with the given mean (in steps) from a seeded
+// source, and schedules a crash for every rank whose draw lands inside
+// the run. The result is deterministic for a given (seed, ranks, steps,
+// mtbf) tuple and sorted by (Step, Rank).
+func MTBFSchedule(seed int64, ranks, steps int, mtbfSteps float64) ([]Failure, error) {
+	if ranks <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("orte: non-positive ranks/steps (%d, %d)", ranks, steps)
+	}
+	if mtbfSteps <= 0 {
+		return nil, fmt.Errorf("orte: non-positive MTBF %v", mtbfSteps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Failure
+	for r := 0; r < ranks; r++ {
+		t := rng.ExpFloat64() * mtbfSteps
+		if s := int(t); s < steps {
+			out = append(out, Failure{Rank: r, Step: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out, nil
+}
+
+// CorrelatedNodeLoss expands a whole-node loss into the rank crashes it
+// implies under the given map: every rank placed on the node dies at the
+// step. Useful for feeding LaunchMonitored, which only understands rank
+// failures; the Supervisor takes NodeFailure directly.
+func CorrelatedNodeLoss(m *core.Map, node, step int) []Failure {
+	var out []Failure
+	for i := range m.Placements {
+		if m.Placements[i].Node == node {
+			out = append(out, Failure{Rank: m.Placements[i].Rank, Step: step})
+		}
+	}
+	return out
+}
+
+// RandomNodeLoss picks one node and one step uniformly from a seeded
+// source — a deterministic "some node will die at some point" schedule.
+func RandomNodeLoss(seed int64, nodes, steps int) (NodeFailure, error) {
+	if nodes <= 0 || steps <= 0 {
+		return NodeFailure{}, fmt.Errorf("orte: non-positive nodes/steps (%d, %d)", nodes, steps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return NodeFailure{Node: rng.Intn(nodes), Step: rng.Intn(steps)}, nil
+}

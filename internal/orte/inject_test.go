@@ -1,0 +1,167 @@
+package orte
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+func TestInjectionPlanNormalize(t *testing.T) {
+	p := InjectionPlan{
+		Failures: []Failure{
+			{Rank: 5, Step: 3}, {Rank: 2, Step: 3}, {Rank: 1, Step: 0},
+			{Rank: 2, Step: 3}, // duplicate
+		},
+		NodeFailures: []NodeFailure{
+			{Node: 1, Step: 4}, {Node: 0, Step: 4}, {Node: 1, Step: 4},
+		},
+	}
+	p.Normalize()
+	wantF := []Failure{{Rank: 1, Step: 0}, {Rank: 2, Step: 3}, {Rank: 5, Step: 3}}
+	if !reflect.DeepEqual(p.Failures, wantF) {
+		t.Fatalf("failures = %+v", p.Failures)
+	}
+	wantN := []NodeFailure{{Node: 0, Step: 4}, {Node: 1, Step: 4}}
+	if !reflect.DeepEqual(p.NodeFailures, wantN) {
+		t.Fatalf("node failures = %+v", p.NodeFailures)
+	}
+	if p.Empty() {
+		t.Fatal("plan is not empty")
+	}
+	var empty InjectionPlan
+	if !empty.Empty() {
+		t.Fatal("zero plan should be empty")
+	}
+}
+
+func TestCrashAtStep(t *testing.T) {
+	fs := CrashAtStep(7, 3, 1)
+	want := []Failure{{Rank: 3, Step: 7}, {Rank: 1, Step: 7}}
+	if !reflect.DeepEqual(fs, want) {
+		t.Fatalf("got %+v", fs)
+	}
+}
+
+func TestMTBFScheduleDeterministic(t *testing.T) {
+	a, err := MTBFSchedule(42, 16, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MTBFSchedule(42, 16, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same schedule")
+	}
+	if len(a) == 0 {
+		t.Fatal("mtbf 50 over 100 steps should produce some failures")
+	}
+	for i, f := range a {
+		if f.Step < 0 || f.Step >= 100 || f.Rank < 0 || f.Rank >= 16 {
+			t.Fatalf("failure out of range: %+v", f)
+		}
+		if i > 0 && (a[i-1].Step > f.Step || (a[i-1].Step == f.Step && a[i-1].Rank >= f.Rank)) {
+			t.Fatalf("not sorted by (step, rank): %+v", a)
+		}
+	}
+	c, err := MTBFSchedule(43, 16, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should (here) give different schedules")
+	}
+	// A huge MTBF yields few-to-no failures; errors on bad inputs.
+	if _, err := MTBFSchedule(1, 0, 10, 5); err == nil {
+		t.Fatal("zero ranks")
+	}
+	if _, err := MTBFSchedule(1, 4, 0, 5); err == nil {
+		t.Fatal("zero steps")
+	}
+	if _, err := MTBFSchedule(1, 4, 10, 0); err == nil {
+		t.Fatal("zero mtbf")
+	}
+}
+
+func TestCorrelatedNodeLoss(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := CorrelatedNodeLoss(m, 0, 5)
+	if len(fs) != 6 {
+		t.Fatalf("expected 6 ranks on node 0, got %d", len(fs))
+	}
+	for _, f := range fs {
+		if f.Step != 5 || m.Placements[f.Rank].Node != 0 {
+			t.Fatalf("bad expansion: %+v", f)
+		}
+	}
+}
+
+func TestRandomNodeLoss(t *testing.T) {
+	a, err := RandomNodeLoss(7, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomNodeLoss(7, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed must give the same loss")
+	}
+	if a.Node < 0 || a.Node >= 4 || a.Step < 0 || a.Step >= 50 {
+		t.Fatalf("out of range: %+v", a)
+	}
+	if _, err := RandomNodeLoss(1, 0, 5); err == nil {
+		t.Fatal("zero nodes")
+	}
+}
+
+// Regression (determinism): several failures injected at the same step
+// must produce an identical report regardless of declaration order.
+func TestMonitorSameStepFailuresDeterministic(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	run := func(failures []Failure) *MonitorReport {
+		c := cluster.Homogeneous(2, sp)
+		mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := mapper.Map(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := bind.Compute(c, m, bind.Specific, hw.LevelPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := NewRuntime(c).LaunchMonitored(m, plan, 30, failures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// Rank 7 lives on node 1, rank 2 on node 0: the tie-break decides
+	// which node counts as the failure's origin (local vs remote kill).
+	a := run([]Failure{{Rank: 7, Step: 4}, {Rank: 2, Step: 4}})
+	b := run([]Failure{{Rank: 2, Step: 4}, {Rank: 7, Step: 4}})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-step failures are order-sensitive:\n%+v\n%+v", a, b)
+	}
+	if a.FirstFailure == nil || *a.FirstFailure != (Failure{Rank: 2, Step: 4}) {
+		t.Fatalf("first failure = %+v, want lowest rank at the step", a.FirstFailure)
+	}
+}

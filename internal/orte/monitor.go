@@ -79,9 +79,16 @@ func (rt *Runtime) LaunchMonitored(m *core.Map, plan *bind.Plan, steps int, fail
 		return job, report, nil
 	}
 
-	// Validate and find the first failure.
+	// Validate and find the first failure. Sorting by (Step, Rank) makes
+	// the report deterministic when several failures are injected at the
+	// same step, regardless of the order the caller listed them in.
 	sorted := append([]Failure(nil), failures...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Step < sorted[j].Step })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Step != sorted[j].Step {
+			return sorted[i].Step < sorted[j].Step
+		}
+		return sorted[i].Rank < sorted[j].Rank
+	})
 	for _, f := range sorted {
 		if f.Rank < 0 || f.Rank >= len(job.Procs) {
 			return nil, nil, fmt.Errorf("orte: failure for unknown rank %d", f.Rank)

@@ -1,0 +1,503 @@
+package orte
+
+import (
+	"fmt"
+	"time"
+
+	"lama/internal/bind"
+	"lama/internal/core"
+	"lama/internal/hw"
+)
+
+// FTPolicy selects what the run-time does when it detects a failure.
+type FTPolicy int
+
+const (
+	// FTAbort kills the whole job — the paper's (and the seed's) ORTE
+	// behavior, and the default.
+	FTAbort FTPolicy = iota
+	// FTShrink lets the surviving ranks run to completion with a smaller
+	// world size.
+	FTShrink
+	// FTRespawn re-allocates resources (spares for dead nodes), remaps the
+	// failed ranks with the locality-preserving incremental LAMA, and
+	// restarts them from their failure step.
+	FTRespawn
+)
+
+// String names the policy.
+func (p FTPolicy) String() string {
+	switch p {
+	case FTAbort:
+		return "abort"
+	case FTShrink:
+		return "shrink"
+	case FTRespawn:
+		return "respawn"
+	default:
+		return fmt.Sprintf("ft(%d)", int(p))
+	}
+}
+
+// ParseFTPolicy parses "abort" | "shrink" | "respawn".
+func ParseFTPolicy(s string) (FTPolicy, error) {
+	switch s {
+	case "abort":
+		return FTAbort, nil
+	case "shrink":
+		return FTShrink, nil
+	case "respawn":
+		return FTRespawn, nil
+	default:
+		return 0, fmt.Errorf("orte: unknown fault-tolerance policy %q (want abort|shrink|respawn)", s)
+	}
+}
+
+// SuperviseConfig tunes the supervision loop.
+type SuperviseConfig struct {
+	// Policy is the degradation policy (default FTAbort).
+	Policy FTPolicy
+	// MaxRestarts is the per-job restart budget: how many respawn events
+	// the job may consume before a further failure aborts it. Negative
+	// means unlimited. (Only meaningful under FTRespawn.)
+	MaxRestarts int
+	// DetectionWindow is the heartbeat-based detection latency in steps: a
+	// failure at step t is acted on at step t+window. Zero or negative
+	// selects the seed's routed-tree delay (1 + binomial rounds over the
+	// job's daemons).
+	DetectionWindow int
+}
+
+// RecoveryEvent records one supervisor reaction to detected failures.
+type RecoveryEvent struct {
+	// FailStep is the earliest failure step in the group; DetectedStep the
+	// step the supervisor acted at (== steps for teardown-time detection).
+	FailStep, DetectedStep int
+	// Ranks are the failed ranks handled by this event, ascending.
+	Ranks []int
+	// FailedNodes lists nodes that were fully failed, ascending.
+	FailedNodes []int
+	// Action is what was done: "abort", "shrink", "respawn", or
+	// "teardown" (failure noticed only after the last step).
+	Action string
+	// Reason is set when Action is "abort" under a non-abort policy
+	// (budget exhausted, no spares, remap impossible).
+	Reason string
+	// RanksMoved, ReplaySteps, and RemapUs are respawn costs: placements
+	// changed, steps re-executed after restart, and remap planning time.
+	RanksMoved  int
+	ReplaySteps int
+	RemapUs     float64
+}
+
+// SuperviseReport is the result of a supervised (fault-tolerant) run.
+type SuperviseReport struct {
+	Policy FTPolicy
+	// Steps is the requested virtual step count; DetectionWindow the
+	// effective heartbeat window used.
+	Steps, DetectionWindow int
+	// Outcomes has one entry per rank, ordered by rank.
+	Outcomes []Outcome
+	// Events lists the recovery events in order.
+	Events []RecoveryEvent
+	// Restarts counts respawn events; RanksMigrated sums placements
+	// actually moved by remaps; ReplaySteps sums re-executed steps;
+	// TotalRemapUs sums remap planning time.
+	Restarts, RanksMigrated, ReplaySteps int
+	TotalRemapUs                         float64
+	// Completed reports that the job ran through its final step with at
+	// least one rank; FinalRanks is the world size at the end; Aborted
+	// reports the job was killed.
+	Completed  bool
+	FinalRanks int
+	Aborted    bool
+	// Map and Plan are the final (possibly remapped) mapping and binding
+	// plan; Procs the final incarnation of every rank; Archived the dead
+	// incarnations replaced by respawns.
+	Map      *core.Map
+	Plan     *bind.Plan
+	Procs    []*Process
+	Archived []*Process
+	// Monitor carries the seed-compatible monitor report under FTAbort.
+	Monitor *MonitorReport
+}
+
+// StepsExecuted returns the total steps a rank executed across all of its
+// incarnations (replayed steps count once per execution).
+func (r *SuperviseReport) StepsExecuted(rank int) int {
+	n := 0
+	for _, p := range r.Archived {
+		if p.Rank == rank {
+			n += len(p.History)
+		}
+	}
+	if rank >= 0 && rank < len(r.Procs) && r.Procs[rank] != nil {
+		n += len(r.Procs[rank].History)
+	}
+	return n
+}
+
+// Supervisor runs jobs under a closed-loop fault-tolerance pipeline:
+// failure injection -> heartbeat detection -> spare re-allocation ->
+// locality-preserving remap -> restart. It owns the mapping parameters so
+// it can re-run the LAMA incrementally after failures.
+type Supervisor struct {
+	Runtime    *Runtime
+	Layout     core.Layout
+	Opts       core.Options
+	BindPolicy bind.Policy
+	BindLevel  hw.Level
+	Config     SuperviseConfig
+	// SpareProvider, when non-nil, is invoked once per fully-failed node
+	// under FTRespawn; it must make a replacement node available on the
+	// runtime's cluster (e.g. via rm.Realloc, which appends the granted
+	// view to the same cluster) and return its node index. A nil provider
+	// means respawn must fit on the surviving nodes' free resources.
+	SpareProvider func(failedNode int) (int, error)
+}
+
+// Run launches np ranks for the given number of steps under the
+// supervisor's policy, applying the injection plan. Failures scheduled at
+// or after `steps` are no-ops (the job has already completed); failures
+// for unknown ranks or nodes, or at negative steps, are errors.
+func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("orte: non-positive step count %d", steps)
+	}
+	mapper, err := core.NewMapper(s.Runtime.Cluster, s.Layout, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		return nil, err
+	}
+	bplan, err := bind.Compute(s.Runtime.Cluster, m, s.BindPolicy, s.BindLevel)
+	if err != nil {
+		return nil, err
+	}
+	plan.Normalize()
+	for _, f := range plan.Failures {
+		if f.Rank < 0 || f.Rank >= np {
+			return nil, fmt.Errorf("orte: failure for unknown rank %d", f.Rank)
+		}
+		if f.Step < 0 {
+			return nil, fmt.Errorf("orte: negative failure step %d", f.Step)
+		}
+	}
+	for _, nf := range plan.NodeFailures {
+		if nf.Node < 0 || nf.Node >= s.Runtime.Cluster.NumNodes() {
+			return nil, fmt.Errorf("orte: node failure for unknown node %d", nf.Node)
+		}
+		if nf.Step < 0 {
+			return nil, fmt.Errorf("orte: negative node-failure step %d", nf.Step)
+		}
+	}
+
+	if s.Config.Policy == FTAbort {
+		return s.runAbort(m, bplan, np, steps, plan)
+	}
+	return s.runSupervised(m, bplan, np, steps, plan)
+}
+
+// runAbort reproduces the seed's kill-the-job behavior exactly by
+// delegating to LaunchMonitored (node failures are expanded to the rank
+// crashes they imply under the initial map).
+func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	var failures []Failure
+	for _, f := range plan.Failures {
+		if f.Step < steps {
+			failures = append(failures, f)
+		}
+	}
+	for _, nf := range plan.NodeFailures {
+		if nf.Step < steps {
+			failures = append(failures, CorrelatedNodeLoss(m, nf.Node, nf.Step)...)
+		}
+	}
+	job, mrep, err := s.Runtime.LaunchMonitored(m, bplan, steps, failures)
+	if err != nil {
+		return nil, err
+	}
+	// The hardware losses are real even though the job is gone.
+	for _, nf := range plan.NodeFailures {
+		if nf.Step < steps {
+			s.Runtime.Cluster.FailNode(nf.Node)
+		}
+	}
+	rep := &SuperviseReport{
+		Policy: FTAbort, Steps: steps, DetectionWindow: mrep.DetectionSteps,
+		Outcomes: mrep.Outcomes, Map: m, Plan: bplan, Procs: job.Procs, Monitor: mrep,
+	}
+	if mrep.FirstFailure == nil {
+		rep.Completed = true
+		rep.FinalRanks = np
+		return rep, nil
+	}
+	rep.Aborted = true
+	ev := RecoveryEvent{
+		FailStep:     mrep.FirstFailure.Step,
+		DetectedStep: mrep.FirstFailure.Step + mrep.DetectionSteps,
+		Action:       "abort",
+	}
+	for _, o := range mrep.Outcomes {
+		if o.State == Failed {
+			ev.Ranks = append(ev.Ranks, o.Rank)
+		}
+	}
+	rep.Events = []RecoveryEvent{ev}
+	return rep, nil
+}
+
+// runSupervised is the step-wise supervision loop used by FTShrink and
+// FTRespawn: a deterministic virtual scheduler identical to Launch's,
+// interleaved with failure application, heartbeat detection, and
+// recovery.
+func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	c := s.Runtime.Cluster
+	window := s.Config.DetectionWindow
+	if window <= 0 {
+		used := len(m.RanksByNode())
+		spawn, err := SimulateSpawn(maxInt(1, used), BinomialSpawn, 1)
+		if err != nil {
+			return nil, err
+		}
+		window = 1 + spawn.Rounds
+	}
+	rep := &SuperviseReport{
+		Policy: s.Config.Policy, Steps: steps, DetectionWindow: window,
+		Map: m, Plan: bplan,
+	}
+
+	procs := make([]*Process, np)
+	for rank := 0; rank < np; rank++ {
+		p, err := s.newProcess(m, bplan, rank, 0)
+		if err != nil {
+			return nil, err
+		}
+		procs[rank] = p
+	}
+	alive := make([]bool, np)
+	deadAt := make([]int, np)
+	handled := make([]bool, np)
+	for i := range alive {
+		alive[i] = true
+	}
+	kill := func(rank, step int) {
+		if alive[rank] {
+			alive[rank] = false
+			deadAt[rank] = step
+			handled[rank] = false
+		}
+	}
+
+	fi, ni := 0, 0
+	aborted := false
+	abortStep := -1
+	for step := 0; step < steps && !aborted; step++ {
+		// 1. Whole-node losses scheduled for this step.
+		for ni < len(plan.NodeFailures) && plan.NodeFailures[ni].Step == step {
+			node := plan.NodeFailures[ni].Node
+			c.FailNode(node)
+			for r, p := range procs {
+				if alive[r] && p.Node == node {
+					kill(r, step)
+				}
+			}
+			ni++
+		}
+		// 2. Individual rank crashes scheduled for this step.
+		for fi < len(plan.Failures) && plan.Failures[fi].Step == step {
+			kill(plan.Failures[fi].Rank, step)
+			fi++
+		}
+		// 3. Heartbeat detection: act on failures whose window elapsed.
+		var due []int
+		for r := range procs {
+			if !alive[r] && !handled[r] && deadAt[r]+window <= step {
+				due = append(due, r)
+			}
+		}
+		if len(due) > 0 {
+			if err := s.recover(rep, procs, alive, handled, deadAt, due, step); err != nil {
+				return nil, err
+			}
+			if rep.Aborted {
+				aborted = true
+				abortStep = step
+				break
+			}
+		}
+		// 4. Execute the step: the virtual scheduler rotates each process
+		// through its allowed set exactly as Launch does.
+		for r, p := range procs {
+			if !alive[r] {
+				continue
+			}
+			width := p.Allowed.Count()
+			pu := p.Allowed.Nth((r + step) % width)
+			if pu < 0 {
+				return nil, fmt.Errorf("orte: rank %d schedule failure", r)
+			}
+			p.History = append(p.History, pu)
+		}
+	}
+
+	// Failures whose window reaches past the last step are detected at
+	// teardown: too late to react, recorded for accounting.
+	var late []int
+	for r := range procs {
+		if !alive[r] && !handled[r] {
+			late = append(late, r)
+		}
+	}
+	if !aborted && len(late) > 0 {
+		ev := RecoveryEvent{FailStep: deadAt[late[0]], DetectedStep: steps, Ranks: late, Action: "teardown"}
+		for _, r := range late {
+			if deadAt[r] < ev.FailStep {
+				ev.FailStep = deadAt[r]
+			}
+		}
+		rep.Events = append(rep.Events, ev)
+	}
+
+	rep.Procs = procs
+	for r := range procs {
+		o := Outcome{Rank: r}
+		switch {
+		case alive[r] && !aborted:
+			o.State = Done
+			o.Steps = steps
+		case alive[r] && aborted:
+			o.State = Killed
+			o.Steps = abortStep
+		default:
+			o.State = Failed
+			o.Steps = deadAt[r]
+		}
+		rep.Outcomes = append(rep.Outcomes, o)
+		if o.State == Done {
+			rep.FinalRanks++
+		}
+	}
+	rep.Completed = !aborted && rep.FinalRanks > 0
+	return rep, nil
+}
+
+// recover handles one detection event under FTShrink or FTRespawn. It
+// updates rep.Map / rep.Plan on a successful respawn, revives the due
+// ranks, and sets rep.Aborted when the job cannot be saved (budget
+// exhausted, no replacement resources, remap impossible).
+func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
+	alive, handled []bool, deadAt, due []int, step int) error {
+	c := s.Runtime.Cluster
+	ev := RecoveryEvent{FailStep: deadAt[due[0]], DetectedStep: step, Ranks: due}
+	for _, r := range due {
+		if deadAt[r] < ev.FailStep {
+			ev.FailStep = deadAt[r]
+		}
+		handled[r] = true
+	}
+	for n := 0; n < c.NumNodes(); n++ {
+		if !c.NodeFailed(n) {
+			continue
+		}
+		for _, r := range due {
+			if procs[r].Node == n {
+				ev.FailedNodes = append(ev.FailedNodes, n)
+				break
+			}
+		}
+	}
+
+	abort := func(reason string) {
+		ev.Action = "abort"
+		ev.Reason = reason
+		rep.Events = append(rep.Events, ev)
+		rep.Aborted = true
+	}
+
+	if s.Config.Policy == FTShrink {
+		ev.Action = "shrink"
+		rep.Events = append(rep.Events, ev)
+		return nil
+	}
+
+	// FTRespawn: budget, spares, incremental remap, restart.
+	if s.Config.MaxRestarts >= 0 && rep.Restarts >= s.Config.MaxRestarts {
+		abort(fmt.Sprintf("restart budget exhausted (%d)", s.Config.MaxRestarts))
+		return nil
+	}
+	for _, node := range ev.FailedNodes {
+		if s.SpareProvider == nil {
+			continue // respawn must fit on surviving resources
+		}
+		if _, err := s.SpareProvider(node); err != nil {
+			abort(fmt.Sprintf("no replacement for node %d: %v", node, err))
+			return nil
+		}
+	}
+	t0 := time.Now()
+	nm, rrep, err := core.RemapSurvivors(c, s.Layout, s.Opts, rep.Map, due)
+	if err != nil {
+		abort(fmt.Sprintf("remap failed: %v", err))
+		return nil
+	}
+	nplan, err := bind.Compute(c, nm, s.BindPolicy, s.BindLevel)
+	if err != nil {
+		abort(fmt.Sprintf("rebind failed: %v", err))
+		return nil
+	}
+	if err := nplan.Check(c); err != nil {
+		abort(fmt.Sprintf("rebind unsatisfiable: %v", err))
+		return nil
+	}
+	ev.RemapUs = float64(time.Since(t0)) / float64(time.Microsecond)
+	ev.RanksMoved = rrep.RanksMoved
+
+	// Restart the failed ranks: each new incarnation resumes from its
+	// failure step (checkpoint semantics) and replays the steps it missed
+	// while the failure went undetected, so it rejoins the others in
+	// lockstep at the current step.
+	for _, r := range due {
+		rep.Archived = append(rep.Archived, procs[r])
+		p, err := s.newProcess(nm, nplan, r, deadAt[r])
+		if err != nil {
+			abort(err.Error())
+			return nil
+		}
+		width := p.Allowed.Count()
+		for t := deadAt[r]; t < step; t++ {
+			p.History = append(p.History, p.Allowed.Nth((r+t)%width))
+		}
+		ev.ReplaySteps += step - deadAt[r]
+		procs[r] = p
+		alive[r] = true
+		handled[r] = false
+	}
+	ev.Action = "respawn"
+	rep.Events = append(rep.Events, ev)
+	rep.Restarts++
+	rep.RanksMigrated += ev.RanksMoved
+	rep.ReplaySteps += ev.ReplaySteps
+	rep.TotalRemapUs += ev.RemapUs
+	rep.Map = nm
+	rep.Plan = nplan
+	return nil
+}
+
+// newProcess builds one rank's process record from a map and plan, the
+// way Launch does (bound CPU set or the node's full usable set).
+func (s *Supervisor) newProcess(m *core.Map, bplan *bind.Plan, rank, startStep int) (*Process, error) {
+	node := m.Placements[rank].Node
+	p := &Process{Rank: rank, Node: node, StartStep: startStep}
+	if bplan != nil && bplan.Bindings[rank].CPUs != nil {
+		p.Allowed = bplan.Bindings[rank].CPUs.Clone()
+	} else {
+		p.Allowed = s.Runtime.Cluster.Node(node).Topo.AllowedSet()
+	}
+	if p.Allowed.Empty() {
+		return nil, fmt.Errorf("orte: rank %d has no runnable PUs", rank)
+	}
+	return p, nil
+}

@@ -1,0 +1,454 @@
+package orte
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/rm"
+)
+
+// supervisor builds a Supervisor over `nodes` fig2 nodes with PU-specific
+// binding and the given policy.
+func supervisor(t *testing.T, nodes int, policy FTPolicy) *Supervisor {
+	t.Helper()
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(nodes, sp)
+	return &Supervisor{
+		Runtime:    NewRuntime(c),
+		Layout:     core.MustParseLayout("csbnh"),
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config:     SuperviseConfig{Policy: policy, MaxRestarts: -1},
+	}
+}
+
+func TestSupervisedNoFailuresMatchesLaunch(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	rep, err := s.Run(12, 20, InjectionPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.FinalRanks != 12 || len(rep.Events) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// The supervised virtual scheduler is step-for-step identical to
+	// Launch's.
+	job, err := s.Runtime.Launch(rep.Map, rep.Plan, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range rep.Procs {
+		if !reflect.DeepEqual(p.History, job.Procs[r].History) {
+			t.Fatalf("rank %d history diverges from Launch", r)
+		}
+	}
+}
+
+func TestAbortPolicyMatchesSeedBitForBit(t *testing.T) {
+	s := supervisor(t, 2, FTAbort)
+	failures := []Failure{{Rank: 2, Step: 5}}
+	rep, err := s.Run(12, 30, InjectionPlan{Failures: failures})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An independent seed-style monitored launch of the same job.
+	ref := supervisor(t, 2, FTAbort)
+	mapper, _ := core.NewMapper(ref.Runtime.Cluster, ref.Layout, ref.Opts)
+	m, err := mapper.Map(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := bind.Compute(ref.Runtime.Cluster, m, bind.Specific, hw.LevelPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mrep, err := ref.Runtime.LaunchMonitored(m, plan, 30, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Outcomes, mrep.Outcomes) {
+		t.Fatalf("abort outcomes diverge:\n%+v\n%+v", rep.Outcomes, mrep.Outcomes)
+	}
+	if rep.Monitor == nil || rep.Monitor.DetectionSteps != mrep.DetectionSteps {
+		t.Fatal("monitor report missing or diverged")
+	}
+	if !rep.Aborted || rep.Completed || rep.Restarts != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Action != "abort" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+}
+
+func TestAbortNoFailuresCompletes(t *testing.T) {
+	s := supervisor(t, 2, FTAbort)
+	rep, err := s.Run(8, 10, InjectionPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Aborted || rep.FinalRanks != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestShrinkContinuesWithFewerRanks(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	rep, err := s.Run(12, 20, InjectionPlan{Failures: []Failure{{Rank: 3, Step: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.FinalRanks != 11 || rep.Restarts != 0 {
+		t.Fatalf("report: completed=%v final=%d restarts=%d", rep.Completed, rep.FinalRanks, rep.Restarts)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Rank == 3 {
+			if o.State != Failed || o.Steps != 4 {
+				t.Fatalf("failed rank outcome = %+v", o)
+			}
+			continue
+		}
+		if o.State != Done || o.Steps != 20 {
+			t.Fatalf("survivor outcome = %+v", o)
+		}
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Action != "shrink" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	ev := rep.Events[0]
+	if ev.FailStep != 4 || ev.DetectedStep != 4+rep.DetectionWindow {
+		t.Fatalf("event timing = %+v (window %d)", ev, rep.DetectionWindow)
+	}
+}
+
+func TestRespawnNodeFailureWithSpare(t *testing.T) {
+	// End-to-end pipeline: rm spare pool -> node loss -> Realloc ->
+	// RemapSurvivors -> restart. Pool of 3 fig2 nodes; 2 granted + 1
+	// spare; node 0 dies at step 3.
+	sp, _ := hw.Preset("fig2")
+	pool := cluster.Homogeneous(3, sp)
+	mgr := rm.NewManager(pool)
+	alloc, err := mgr.AllocWithSpares(rm.WholeNode, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Supervisor{
+		Runtime:    NewRuntime(alloc.Granted),
+		Layout:     core.MustParseLayout("csbnh"),
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config:     SuperviseConfig{Policy: FTRespawn, MaxRestarts: 1},
+	}
+	s.SpareProvider = func(failedNode int) (int, error) {
+		name := alloc.Granted.Nodes[failedNode].Name
+		res, err := mgr.Realloc(alloc, name, rm.RetryConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond})
+		if err != nil {
+			return -1, err
+		}
+		return res.GrantedIndex, nil
+	}
+
+	// Capture the initial bindings to prove survivors are untouched.
+	mapper, _ := core.NewMapper(alloc.Granted.Clone(), s.Layout, s.Opts)
+	m0, err := mapper.Map(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan0, err := bind.Compute(alloc.Granted.Clone(), m0, bind.Specific, hw.LevelPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := s.Run(12, 20, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.FinalRanks != 12 {
+		t.Fatalf("job did not complete: %+v", rep)
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("restarts = %d", rep.Restarts)
+	}
+	if rep.RanksMigrated != 6 {
+		t.Fatalf("ranks migrated = %d, want 6", rep.RanksMigrated)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Action != "respawn" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	ev := rep.Events[0]
+	if !reflect.DeepEqual(ev.FailedNodes, []int{0}) {
+		t.Fatalf("failed nodes = %v", ev.FailedNodes)
+	}
+	wantReplay := 6 * (ev.DetectedStep - 3)
+	if ev.ReplaySteps != wantReplay || rep.ReplaySteps != wantReplay {
+		t.Fatalf("replay = %d, want %d", ev.ReplaySteps, wantReplay)
+	}
+	// Every rank logically executed all 20 steps across incarnations.
+	for r := 0; r < 12; r++ {
+		if got := rep.StepsExecuted(r); got != 20 {
+			t.Fatalf("rank %d executed %d steps", r, got)
+		}
+		if o := rep.Outcomes[r]; o.State != Done || o.Steps != 20 {
+			t.Fatalf("outcome = %+v", o)
+		}
+	}
+	// Survivors (node 1) keep placement, binding, and process identity.
+	for r := 0; r < 12; r++ {
+		if m0.Placements[r].Node != 1 {
+			continue
+		}
+		if rep.Procs[r].StartStep != 0 || rep.Procs[r].Node != 1 {
+			t.Fatalf("survivor %d was restarted: %+v", r, rep.Procs[r])
+		}
+		if !reflect.DeepEqual(rep.Map.Placements[r].PUs, m0.Placements[r].PUs) {
+			t.Fatalf("survivor %d placement changed", r)
+		}
+		if !rep.Plan.Bindings[r].CPUs.Equal(plan0.Bindings[r].CPUs) {
+			t.Fatalf("survivor %d binding changed", r)
+		}
+	}
+	// Respawned ranks live on the replacement node (granted index 2).
+	for r := 0; r < 12; r++ {
+		if m0.Placements[r].Node != 0 {
+			continue
+		}
+		if rep.Procs[r].Node != 2 || rep.Procs[r].StartStep != 3 {
+			t.Fatalf("respawned rank %d = %+v", r, rep.Procs[r])
+		}
+	}
+	if len(rep.Archived) != 6 {
+		t.Fatalf("archived incarnations = %d", len(rep.Archived))
+	}
+	for _, p := range rep.Archived {
+		if len(p.History) != 3 {
+			t.Fatalf("archived rank %d ran %d steps, want 3", p.Rank, len(p.History))
+		}
+	}
+	if rep.TotalRemapUs <= 0 {
+		t.Fatal("remap time not recorded")
+	}
+	if alloc.SpareCount() != 0 {
+		t.Fatal("spare should be consumed")
+	}
+}
+
+func TestRespawnBudgetExhaustedAborts(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	s.Config.MaxRestarts = 0
+	rep, err := s.Run(12, 20, InjectionPlan{Failures: []Failure{{Rank: 1, Step: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted || rep.Completed || rep.FinalRanks != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Action != "abort" || rep.Events[0].Reason == "" {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	killStep := 2 + rep.DetectionWindow
+	for _, o := range rep.Outcomes {
+		switch o.Rank {
+		case 1:
+			if o.State != Failed || o.Steps != 2 {
+				t.Fatalf("failed rank = %+v", o)
+			}
+		default:
+			if o.State != Killed || o.Steps != killStep {
+				t.Fatalf("survivor = %+v, want killed at %d", o, killStep)
+			}
+		}
+	}
+}
+
+func TestRespawnWithoutSpareUsesFreeCapacity(t *testing.T) {
+	// 8 ranks with csbnh pack 6 onto node 0 and 2 onto node 1. Node 0
+	// dies; node 1 still has 10 free PUs, so respawn fits without any
+	// spare provider.
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(8, 20, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Restarts != 1 || rep.RanksMigrated != 6 {
+		t.Fatalf("report: completed=%v restarts=%d migrated=%d", rep.Completed, rep.Restarts, rep.RanksMigrated)
+	}
+	for r := 0; r < 8; r++ {
+		if rep.Map.Placements[r].Node != 1 {
+			t.Fatalf("rank %d on node %d after node-0 loss", r, rep.Map.Placements[r].Node)
+		}
+	}
+}
+
+func TestRespawnNoCapacityAborts(t *testing.T) {
+	// Full cluster, node dies, no spare provider: remap must fail and the
+	// job aborts gracefully.
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(24, 20, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Aborted || len(rep.Events) != 1 || rep.Events[0].Action != "abort" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestCustomDetectionWindow(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	s.Config.DetectionWindow = 7
+	rep, err := s.Run(8, 20, InjectionPlan{Failures: []Failure{{Rank: 0, Step: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DetectionWindow != 7 {
+		t.Fatalf("window = %d", rep.DetectionWindow)
+	}
+	if rep.Events[0].DetectedStep != 9 {
+		t.Fatalf("detected at %d, want 9", rep.Events[0].DetectedStep)
+	}
+}
+
+// --- Satellite: failure edge cases ---
+
+func TestFailureAtStepZero(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	rep, err := s.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 2, Step: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := rep.Outcomes[2]; o.State != Failed || o.Steps != 0 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if len(rep.Procs[2].History) != 0 {
+		t.Fatal("rank 2 must not have executed")
+	}
+	// Respawn at step 0 also works: the rank replays from scratch.
+	r := supervisor(t, 2, FTRespawn)
+	rep2, err := r.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 2, Step: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Completed || rep2.StepsExecuted(2) != 10 {
+		t.Fatalf("respawn from step 0: %+v", rep2)
+	}
+}
+
+func TestFailureOfRankZero(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	rep, err := s.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 0, Step: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := rep.Outcomes[0]; o.State != Failed || o.Steps != 3 {
+		t.Fatalf("rank 0 outcome = %+v", o)
+	}
+	if !rep.Completed || rep.FinalRanks != 7 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestAllRanksFail(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	var fs []Failure
+	for r := 0; r < 8; r++ {
+		fs = append(fs, Failure{Rank: r, Step: 2})
+	}
+	rep, err := s.Run(8, 10, InjectionPlan{Failures: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed || rep.FinalRanks != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, o := range rep.Outcomes {
+		if o.State != Failed || o.Steps != 2 {
+			t.Fatalf("outcome = %+v", o)
+		}
+	}
+	// Under respawn every rank restarts (plenty of capacity: their own
+	// old spots are free again).
+	r := supervisor(t, 2, FTRespawn)
+	rep2, err := r.Run(8, 10, InjectionPlan{Failures: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Completed || rep2.FinalRanks != 8 || rep2.Restarts != 1 {
+		t.Fatalf("respawn all: %+v", rep2)
+	}
+}
+
+func TestFailureAfterCompletionIsNoOp(t *testing.T) {
+	for _, policy := range []FTPolicy{FTAbort, FTShrink, FTRespawn} {
+		s := supervisor(t, 2, policy)
+		rep, err := s.Run(8, 10, InjectionPlan{
+			Failures:     []Failure{{Rank: 1, Step: 10}, {Rank: 2, Step: 500}},
+			NodeFailures: []NodeFailure{{Node: 0, Step: 99}},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if !rep.Completed || rep.FinalRanks != 8 || len(rep.Events) != 0 || rep.Restarts != 0 {
+			t.Fatalf("%v: post-completion failure must be a no-op: %+v", policy, rep)
+		}
+		for _, o := range rep.Outcomes {
+			if o.State != Done || o.Steps != 10 {
+				t.Fatalf("%v: outcome = %+v", policy, o)
+			}
+		}
+	}
+}
+
+func TestFailureDetectedOnlyAtTeardown(t *testing.T) {
+	// A failure in the last window is recorded but never recovered.
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 4, Step: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarts != 0 || rep.FinalRanks != 7 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Action != "teardown" || rep.Events[0].DetectedStep != 10 {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+}
+
+func TestSupervisorErrors(t *testing.T) {
+	s := supervisor(t, 2, FTShrink)
+	if _, err := s.Run(8, 0, InjectionPlan{}); err == nil {
+		t.Fatal("zero steps")
+	}
+	if _, err := s.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 99, Step: 1}}}); err == nil {
+		t.Fatal("unknown rank")
+	}
+	if _, err := s.Run(8, 10, InjectionPlan{Failures: []Failure{{Rank: 1, Step: -1}}}); err == nil {
+		t.Fatal("negative step")
+	}
+	if _, err := s.Run(8, 10, InjectionPlan{NodeFailures: []NodeFailure{{Node: 9, Step: 1}}}); err == nil {
+		t.Fatal("unknown node")
+	}
+	if _, err := s.Run(8, 10, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: -2}}}); err == nil {
+		t.Fatal("negative node step")
+	}
+}
+
+func TestFTPolicyStrings(t *testing.T) {
+	if FTAbort.String() != "abort" || FTShrink.String() != "shrink" || FTRespawn.String() != "respawn" {
+		t.Fatal("names")
+	}
+	if FTPolicy(9).String() == "" {
+		t.Fatal("unknown")
+	}
+	for _, name := range []string{"abort", "shrink", "respawn"} {
+		p, err := ParseFTPolicy(name)
+		if err != nil || p.String() != name {
+			t.Fatalf("round trip %q", name)
+		}
+	}
+	if _, err := ParseFTPolicy("explode"); err == nil {
+		t.Fatal("bad policy")
+	}
+}

@@ -53,12 +53,16 @@ type Allocation struct {
 	policy Policy
 	// cores[nodeIdx] lists granted core logical indices in the pool node.
 	cores map[int][]int
+	// spares lists pool node indices reserved as whole-node spares, in
+	// reservation order (see AllocWithSpares / Realloc).
+	spares []int
 }
 
 // Manager owns a node pool and tracks which cores are busy.
 type Manager struct {
 	pool   *cluster.Cluster
 	busy   []map[int]bool // per pool node: core logical index -> busy
+	failed []bool         // per pool node: marked failed, never granted again
 	nextID int
 	live   map[int]*Allocation
 }
@@ -66,7 +70,7 @@ type Manager struct {
 // NewManager creates a manager over the pool. The pool is not copied; the
 // manager assumes exclusive ownership.
 func NewManager(pool *cluster.Cluster) *Manager {
-	m := &Manager{pool: pool, live: map[int]*Allocation{}}
+	m := &Manager{pool: pool, live: map[int]*Allocation{}, failed: make([]bool, len(pool.Nodes))}
 	for range pool.Nodes {
 		m.busy = append(m.busy, map[int]bool{})
 	}
@@ -192,6 +196,7 @@ func (m *Manager) Release(a *Allocation) error {
 			delete(m.busy[i], ci)
 		}
 	}
+	m.unreserveSpares(a)
 	delete(m.live, a.ID)
 	return nil
 }

@@ -1,0 +1,216 @@
+// Spare-pool management and re-allocation: the resource-manager half of the
+// fault-tolerance pipeline. A job may reserve spare nodes at allocation
+// time; when a node dies mid-run, Realloc promotes a spare (or, failing
+// that, grabs a free node from the pool with bounded retry and exponential
+// backoff) and grants the job a replacement view appended to its
+// allocation.
+package rm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// ErrNodeFailed is returned when an operation names a pool node that has
+// been marked failed.
+var ErrNodeFailed = errors.New("rm: node is marked failed")
+
+// RetryConfig bounds Realloc's wait-for-free-node loop. The zero value
+// gets sensible defaults (4 attempts, 1 ms base backoff, real sleeping).
+type RetryConfig struct {
+	// MaxAttempts is the total number of pool scans before giving up.
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed attempt; it doubles
+	// after every further failure (exponential backoff).
+	BaseBackoff time.Duration
+	// Sleep is the sleep implementation; tests substitute a recorder.
+	Sleep func(time.Duration)
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 4
+	}
+	if rc.BaseBackoff <= 0 {
+		rc.BaseBackoff = time.Millisecond
+	}
+	if rc.Sleep == nil {
+		rc.Sleep = time.Sleep
+	}
+	return rc
+}
+
+// ReallocResult describes a granted replacement node.
+type ReallocResult struct {
+	// Node is the replacement's granted view (already appended to the
+	// allocation's Granted cluster).
+	Node *cluster.Node
+	// PoolIndex is the replacement's index in the manager's pool;
+	// GrantedIndex its index within Allocation.Granted.Nodes.
+	PoolIndex, GrantedIndex int
+	// FromSpare reports whether a reserved spare satisfied the request.
+	FromSpare bool
+	// Attempts is the number of pool scans used (1 when a spare or free
+	// node was immediately available).
+	Attempts int
+	// Backoff is the total time spent backing off between attempts.
+	Backoff time.Duration
+}
+
+// SpareCount returns the number of reserved spare nodes not yet promoted.
+func (a *Allocation) SpareCount() int { return len(a.spares) }
+
+// AllocWithSpares grants an allocation like Alloc and additionally
+// reserves `spares` whole free nodes for the job. Reserved spares are
+// held (their cores are busy in the pool) but do not appear in Granted
+// until a Realloc promotes them. On failure nothing is allocated.
+func (m *Manager) AllocWithSpares(policy Policy, slots, spares int) (*Allocation, error) {
+	if spares < 0 {
+		return nil, fmt.Errorf("rm: negative spare count %d", spares)
+	}
+	a, err := m.Alloc(policy, slots)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < spares; s++ {
+		pi := m.findFreeWholeNode()
+		if pi < 0 {
+			// Roll back: unreserve spares and release the base grant.
+			m.unreserveSpares(a)
+			_ = m.Release(a)
+			return nil, fmt.Errorf("%w: no free node for spare %d of %d",
+				ErrInsufficient, s+1, spares)
+		}
+		m.reserveNode(pi)
+		a.spares = append(a.spares, pi)
+	}
+	return a, nil
+}
+
+// FailPoolNode marks the named pool node failed: its cores are never
+// granted again and its topology is marked unavailable. Allocations that
+// hold cores on the node keep their (now useless) views; Realloc removes
+// the node from the failing job's bookkeeping.
+func (m *Manager) FailPoolNode(name string) error {
+	_, pi := m.pool.NodeByName(name)
+	if pi < 0 {
+		return fmt.Errorf("rm: unknown pool node %q", name)
+	}
+	m.failed[pi] = true
+	m.pool.FailNode(pi)
+	return nil
+}
+
+// Realloc handles the loss of a node inside a live allocation: it marks
+// the pool node failed, drops it from the allocation, and grants a
+// replacement — first from the allocation's reserved spares, otherwise
+// from any free whole pool node, retrying with exponential backoff when
+// the pool is momentarily exhausted. The replacement view is appended to
+// a.Granted.Nodes and also returned.
+func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*ReallocResult, error) {
+	if a == nil {
+		return nil, errors.New("rm: nil allocation")
+	}
+	if _, ok := m.live[a.ID]; !ok {
+		return nil, fmt.Errorf("rm: allocation %d not live", a.ID)
+	}
+	rc = rc.withDefaults()
+
+	_, pi := m.pool.NodeByName(failedName)
+	if pi < 0 {
+		return nil, fmt.Errorf("rm: unknown pool node %q", failedName)
+	}
+	m.failed[pi] = true
+	m.pool.FailNode(pi)
+	delete(a.cores, pi) // the node's cores stay busy; the node is dead anyway
+	// A reserved spare that itself failed is useless: drop it.
+	kept := a.spares[:0]
+	for _, s := range a.spares {
+		if !m.failed[s] {
+			kept = append(kept, s)
+		}
+	}
+	a.spares = kept
+
+	res := &ReallocResult{}
+	replacement := -1
+	if len(a.spares) > 0 {
+		replacement = a.spares[0]
+		a.spares = a.spares[1:]
+		res.FromSpare = true
+		res.Attempts = 1
+	} else {
+		backoff := rc.BaseBackoff
+		for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
+			res.Attempts = attempt
+			if free := m.findFreeWholeNode(); free >= 0 {
+				m.reserveNode(free)
+				replacement = free
+				break
+			}
+			if attempt == rc.MaxAttempts {
+				break
+			}
+			rc.Sleep(backoff)
+			res.Backoff += backoff
+			backoff *= 2
+		}
+		if replacement < 0 {
+			return nil, fmt.Errorf("%w: no replacement node after %d attempts (%v backoff)",
+				ErrInsufficient, res.Attempts, res.Backoff)
+		}
+	}
+
+	node := m.pool.Node(replacement)
+	var granted []int
+	for _, c := range node.Topo.Objects(hw.LevelCore) {
+		if c.Usable() && len(c.UsablePUs()) > 0 {
+			granted = append(granted, c.Logical)
+		}
+	}
+	view := &cluster.Node{Name: node.Name, Topo: node.Topo.Clone(), Slots: len(granted)}
+	a.cores[replacement] = granted
+	a.Granted.Nodes = append(a.Granted.Nodes, view)
+	res.Node = view
+	res.PoolIndex = replacement
+	res.GrantedIndex = len(a.Granted.Nodes) - 1
+	return res, nil
+}
+
+// findFreeWholeNode returns the lowest pool index whose node is healthy
+// and has every usable core free, or -1.
+func (m *Manager) findFreeWholeNode() int {
+	for i := range m.pool.Nodes {
+		if m.failed[i] {
+			continue
+		}
+		n := m.usableCores(i)
+		if n > 0 && m.FreeCores(i) == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// reserveNode marks every usable core of pool node i busy.
+func (m *Manager) reserveNode(i int) {
+	for _, c := range m.pool.Node(i).Topo.Objects(hw.LevelCore) {
+		if c.Usable() && len(c.UsablePUs()) > 0 {
+			m.busy[i][c.Logical] = true
+		}
+	}
+}
+
+// unreserveSpares returns an allocation's reserved spares to the pool.
+func (m *Manager) unreserveSpares(a *Allocation) {
+	for _, pi := range a.spares {
+		for ci := range m.busy[pi] {
+			delete(m.busy[pi], ci)
+		}
+	}
+	a.spares = nil
+}

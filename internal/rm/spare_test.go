@@ -1,0 +1,192 @@
+package rm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+func sparePool(t *testing.T, nodes int) (*Manager, *cluster.Cluster) {
+	t.Helper()
+	sp, ok := hw.Preset("nehalem-ep") // 8 cores, 16 PUs per node
+	if !ok {
+		t.Fatal("preset missing")
+	}
+	pool := cluster.Homogeneous(nodes, sp)
+	return NewManager(pool), pool
+}
+
+func TestAllocWithSpares(t *testing.T) {
+	m, _ := sparePool(t, 4)
+	a, err := m.AllocWithSpares(WholeNode, 16, 1) // 2 nodes granted, 1 spare
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Granted.NumNodes() != 2 {
+		t.Fatalf("granted %d nodes", a.Granted.NumNodes())
+	}
+	if a.SpareCount() != 1 {
+		t.Fatalf("spares = %d", a.SpareCount())
+	}
+	// The spare is held: only one free node remains.
+	if got := m.TotalFreeCores(); got != 8 {
+		t.Fatalf("free cores = %d, want 8", got)
+	}
+	// Release returns both the grant and the spare.
+	if err := m.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalFreeCores(); got != 32 {
+		t.Fatalf("free cores after release = %d, want 32", got)
+	}
+}
+
+func TestAllocWithSparesInsufficientRollsBack(t *testing.T) {
+	m, _ := sparePool(t, 2)
+	if _, err := m.AllocWithSpares(WholeNode, 16, 1); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.TotalFreeCores() != 16 || m.LiveAllocations() != 0 {
+		t.Fatal("failed AllocWithSpares must leave the pool untouched")
+	}
+	if _, err := m.AllocWithSpares(WholeNode, 8, -1); err == nil {
+		t.Fatal("negative spares")
+	}
+}
+
+func TestReallocFromSpare(t *testing.T) {
+	m, pool := sparePool(t, 3)
+	a, err := m.AllocWithSpares(WholeNode, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Realloc(a, "node0", RetryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromSpare || res.Attempts != 1 || res.Backoff != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Node.Name != "node2" || res.GrantedIndex != 2 {
+		t.Fatalf("replacement = %+v", res)
+	}
+	if a.Granted.NumNodes() != 3 {
+		t.Fatalf("granted = %d nodes", a.Granted.NumNodes())
+	}
+	if a.SpareCount() != 0 {
+		t.Fatal("spare should be consumed")
+	}
+	// The failed pool node is dead for future grants.
+	if !pool.NodeFailed(0) {
+		t.Fatal("pool node0 should be failed")
+	}
+	if _, err := m.Alloc(WholeNode, 8); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("pool should be exhausted, got %v", err)
+	}
+}
+
+func TestReallocBackoffThenSuccess(t *testing.T) {
+	m, _ := sparePool(t, 2)
+	a, err := m.Alloc(WholeNode, 8) // node0 granted, node1 free
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(WholeNode, 8) // node1 granted: pool momentarily exhausted
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	rc := RetryConfig{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			if len(slept) == 2 {
+				// The other job finishes while we back off.
+				if err := m.Release(b); err != nil {
+					t.Error(err)
+				}
+			}
+		},
+	}
+	res, err := m.Realloc(a, "node0", rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromSpare {
+		t.Fatal("no spare was reserved")
+	}
+	if res.Attempts != 3 || len(slept) != 2 {
+		t.Fatalf("attempts = %d, sleeps = %v", res.Attempts, slept)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("backoff sequence = %v", slept)
+	}
+	if res.Backoff != 3*time.Millisecond {
+		t.Fatalf("total backoff = %v", res.Backoff)
+	}
+	if res.Node.Name != "node1" {
+		t.Fatalf("replacement = %s", res.Node.Name)
+	}
+}
+
+func TestReallocExhaustedGivesUp(t *testing.T) {
+	m, _ := sparePool(t, 2)
+	a, err := m.Alloc(WholeNode, 16) // both nodes granted
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeps := 0
+	rc := RetryConfig{MaxAttempts: 3, BaseBackoff: time.Microsecond,
+		Sleep: func(time.Duration) { sleeps++ }}
+	if _, err := m.Realloc(a, "node0", rc); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if sleeps != 2 {
+		t.Fatalf("sleeps = %d, want MaxAttempts-1", sleeps)
+	}
+}
+
+func TestReallocErrors(t *testing.T) {
+	m, _ := sparePool(t, 2)
+	a, err := m.Alloc(WholeNode, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Realloc(nil, "node0", RetryConfig{}); err == nil {
+		t.Fatal("nil allocation")
+	}
+	if _, err := m.Realloc(a, "ghost", RetryConfig{}); err == nil {
+		t.Fatal("unknown node")
+	}
+	if err := m.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Realloc(a, "node0", RetryConfig{}); err == nil {
+		t.Fatal("released allocation")
+	}
+	if err := m.FailPoolNode("ghost"); err == nil {
+		t.Fatal("unknown node for FailPoolNode")
+	}
+}
+
+func TestFailPoolNodeBlocksGrants(t *testing.T) {
+	m, pool := sparePool(t, 2)
+	if err := m.FailPoolNode("node0"); err != nil {
+		t.Fatal(err)
+	}
+	if !pool.NodeFailed(0) {
+		t.Fatal("pool topology should be failed")
+	}
+	a, err := m.Alloc(WholeNode, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Granted.Nodes[0].Name != "node1" {
+		t.Fatalf("granted %s, want node1", a.Granted.Nodes[0].Name)
+	}
+}
