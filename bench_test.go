@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"lama"
+	"lama/internal/core"
 	"lama/internal/exper"
+	"lama/internal/permute"
 )
 
 // One benchmark per paper exhibit (DESIGN.md §4): each regenerates the
@@ -72,6 +74,77 @@ func BenchmarkMap4Nodes64Ranks(b *testing.B)     { benchMapper(b, 4, 64, "scbnh"
 func BenchmarkMap64Nodes1024Ranks(b *testing.B)  { benchMapper(b, 64, 1024, "scbnh") }
 func BenchmarkMap256Nodes4096Ranks(b *testing.B) { benchMapper(b, 256, 4096, "scbnh") }
 func BenchmarkMapFullLayout(b *testing.B)        { benchMapper(b, 16, 256, "nbsNL3L2L1ch") }
+
+// BenchmarkMapReuse measures the steady-state hot path: one Mapper reused
+// across runs, so the pruned trees, usable-PU caches, and claim arrays are
+// all warm (the deployment pattern of a mapping agent serving a cluster).
+func BenchmarkMapReuse64Nodes1024Ranks(b *testing.B) {
+	c := benchCluster(b, 64)
+	mapper, err := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mapper.Map(1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemapSurvivors(b *testing.B) {
+	c := benchCluster(b, 16)
+	layout := lama.MustParseLayout("scbnh")
+	mapper, err := lama.NewMapper(c, layout, lama.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 192 of 256 PUs claimed: the failed node's ranks have spare PUs to
+	// migrate to on the survivors.
+	m, err := mapper.Map(192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var failed []int
+	for i := range m.Placements {
+		if m.Placements[i].Node == 3 {
+			failed = append(failed, m.Placements[i].Rank)
+		}
+	}
+	c.FailNode(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.RemapSurvivors(c, layout, lama.Options{}, m, failed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepLayouts120(b *testing.B) {
+	c := benchCluster(b, 8)
+	letters := "nbsch"
+	var layouts []lama.Layout
+	permute.Each(len(letters), func(perm []int) bool {
+		s := make([]byte, len(perm))
+		for i, p := range perm {
+			s[i] = letters[p]
+		}
+		layouts = append(layouts, lama.MustParseLayout(string(s)))
+		return true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lama.SweepLayouts(c, layouts, 64, lama.Options{}, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkMapReference(b *testing.B) {
 	c := benchCluster(b, 16)

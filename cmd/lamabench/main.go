@@ -5,19 +5,46 @@
 //
 // Usage:
 //
-//	lamabench            # run everything at sampled scale
-//	lamabench -exp E5    # run one experiment
-//	lamabench -full      # exhaustive variants (E4 enumerates all 9!)
+//	lamabench                  # run everything at sampled scale
+//	lamabench -exp E5          # run one experiment
+//	lamabench -full            # exhaustive variants (E4 enumerates all 9!)
+//	lamabench -json perf.json  # also write machine-readable timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"lama/internal/core"
 	"lama/internal/exper"
 )
+
+// jsonReport is the machine-readable output of a lamabench run (-json).
+// The schema is stable: fields are only ever added, never renamed or
+// removed, so CI trend tooling can rely on it across versions.
+type jsonReport struct {
+	Schema       string           `json:"schema"` // "lamabench/v1"
+	Full         bool             `json:"full"`
+	Seed         int64            `json:"seed"`
+	Experiments  []jsonExperiment `json:"experiments"`
+	TotalSeconds float64          `json:"totalSeconds"`
+}
+
+// jsonExperiment is one experiment's timing record.
+type jsonExperiment struct {
+	ID          string  `json:"id"`
+	Exhibit     string  `json:"exhibit"`
+	WallSeconds float64 `json:"wallSeconds"`
+	// Placements is the number of rank placements the mapping engines
+	// planned during the experiment (0 for experiments that do not map).
+	Placements int64 `json:"placements"`
+	// PlacementsPerSec is Placements/WallSeconds (0 when no placements).
+	PlacementsPerSec float64 `json:"placementsPerSec"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -32,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	full := fs.Bool("full", false, "run exhaustive variants")
 	seed := fs.Int64("seed", 1, "seed for randomized experiments")
 	list := fs.Bool("list", false, "list experiments and exit")
+	jsonPath := fs.String("json", "", "write per-experiment wall time and placements/sec to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,14 +83,40 @@ func run(args []string, out io.Writer) error {
 		todo = exper.All()
 	}
 
+	report := jsonReport{Schema: "lamabench/v1", Full: *full, Seed: *seed}
+	started := time.Now()
 	for _, e := range todo {
 		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Exhibit)
+		expStart := time.Now()
+		placedBefore := core.PlacedRanks()
 		tables, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %v", e.ID, err)
 		}
+		wall := time.Since(expStart).Seconds()
+		placed := core.PlacedRanks() - placedBefore
+		rec := jsonExperiment{
+			ID: e.ID, Exhibit: e.Exhibit,
+			WallSeconds: wall, Placements: placed,
+		}
+		if placed > 0 && wall > 0 {
+			rec.PlacementsPerSec = float64(placed) / wall
+		}
+		report.Experiments = append(report.Experiments, rec)
 		for _, t := range tables {
 			fmt.Fprintln(out, t.String())
+		}
+	}
+	report.TotalSeconds = time.Since(started).Seconds()
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("write -json report: %v", err)
 		}
 	}
 	return nil

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,5 +47,38 @@ func TestRunSeveralCheapExperiments(t *testing.T) {
 		if !strings.Contains(out.String(), "### "+id) {
 			t.Fatalf("%s header missing", id)
 		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf.json")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "E4", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "lamabench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E4" {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	// E4 maps 5,040 sampled layouts x 32 ranks = 161,280 placements.
+	if e.Placements != 5040*32 {
+		t.Fatalf("placements = %d, want %d", e.Placements, 5040*32)
+	}
+	if e.WallSeconds <= 0 || e.PlacementsPerSec <= 0 {
+		t.Fatalf("timings not recorded: %+v", e)
+	}
+	if rep.TotalSeconds < e.WallSeconds {
+		t.Fatalf("total %v < experiment %v", rep.TotalSeconds, e.WallSeconds)
 	}
 }

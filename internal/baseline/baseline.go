@@ -40,7 +40,7 @@ func place(c *cluster.Cluster, slots []slot, np int, name string) (*core.Map, er
 			Rank:     rank,
 			Node:     s.node,
 			NodeName: c.Node(s.node).Name,
-			Coords:   map[hw.Level]int{hw.LevelMachine: s.node},
+			Coords:   core.NodeCoords(s.node),
 			Leaf:     s.pu,
 			PUs:      []int{s.pu.OS},
 		})

@@ -19,8 +19,9 @@ func (c *Cluster) FailNode(i int) bool {
 	if n == nil {
 		return false
 	}
-	n.Topo.Root.Available = false
-	return true
+	// Route through the topology API so the mutation advances the
+	// topology's generation counter and invalidates mapping-engine caches.
+	return n.Topo.SetAvailable(hw.LevelMachine, 0, false)
 }
 
 // FailPUs marks the given PU OS indices of node i unavailable — a partial
@@ -28,17 +29,10 @@ func (c *Cluster) FailNode(i int) bool {
 // from usable to failed (0 for an unknown node or already-failed PUs).
 func (c *Cluster) FailPUs(i int, pus *hw.CPUSet) int {
 	n := c.Node(i)
-	if n == nil || pus == nil {
+	if n == nil {
 		return 0
 	}
-	failed := 0
-	for _, pu := range n.Topo.Objects(hw.LevelPU) {
-		if pus.Contains(pu.OS) && pu.Available {
-			pu.Available = false
-			failed++
-		}
-	}
-	return failed
+	return n.Topo.Offline(pus)
 }
 
 // NodeFailed reports whether node i has no usable PUs left (fully failed

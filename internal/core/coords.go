@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lama/internal/hw"
+)
+
+// CoordVector records one iteration coordinate per hardware level, indexed
+// directly by hw.Level. Levels that are not part of the layout hold -1.
+// It replaces the per-placement map[hw.Level]int of earlier versions: a
+// fixed-size value type embeds into Placement with no allocation and no
+// hashing, which matters in the mapping hot path where one is produced per
+// rank. Indexing with a level (p.Coords[hw.LevelSocket]) reads that
+// level's coordinate, -1 when absent.
+type CoordVector [hw.NumLevels]int
+
+// NoCoords returns a vector with every level marked absent.
+func NoCoords() CoordVector {
+	var cv CoordVector
+	for i := range cv {
+		cv[i] = -1
+	}
+	return cv
+}
+
+// NodeCoords returns a vector carrying only the machine (node) coordinate,
+// the form baseline mappers use.
+func NodeCoords(node int) CoordVector {
+	cv := NoCoords()
+	cv[hw.LevelMachine] = node
+	return cv
+}
+
+// Has reports whether the level carries a coordinate.
+func (cv CoordVector) Has(l hw.Level) bool {
+	return l.Valid() && cv[l] >= 0
+}
+
+// Get returns the coordinate for a level and whether it is present.
+func (cv CoordVector) Get(l hw.Level) (int, bool) {
+	if !cv.Has(l) {
+		return 0, false
+	}
+	return cv[l], true
+}
+
+// Set records a coordinate for a level (ignored for invalid levels).
+func (cv *CoordVector) Set(l hw.Level, v int) {
+	if l.Valid() {
+		cv[l] = v
+	}
+}
+
+// Len returns the number of levels carrying a coordinate.
+func (cv CoordVector) Len() int {
+	n := 0
+	for _, v := range cv {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the present coordinates in canonical level order, e.g.
+// "n=1 s=0 c=2".
+func (cv CoordVector) String() string {
+	var sb strings.Builder
+	for _, l := range hw.Levels {
+		if cv[l] >= 0 {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%d", l.Abbrev(), cv[l])
+		}
+	}
+	return sb.String()
+}

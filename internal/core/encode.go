@@ -41,10 +41,12 @@ func (m *Map) MarshalJSON() ([]byte, error) {
 			Rank: p.Rank, Node: p.Node, NodeName: p.NodeName,
 			PUs: p.PUs, Oversubscribed: p.Oversubscribed,
 		}
-		if len(p.Coords) > 0 {
+		if p.Coords.Len() > 0 {
 			pd.Coords = map[string]int{}
-			for l, v := range p.Coords {
-				pd.Coords[l.Abbrev()] = v
+			for _, l := range hw.Levels {
+				if v, ok := p.Coords.Get(l); ok {
+					pd.Coords[l.Abbrev()] = v
+				}
 			}
 		}
 		if p.Leaf != nil {
@@ -79,14 +81,14 @@ func DecodeMap(data []byte, c *cluster.Cluster) (*Map, error) {
 		}
 		p := Placement{
 			Rank: pd.Rank, Node: pd.Node, NodeName: pd.NodeName,
-			Coords: map[hw.Level]int{}, PUs: pd.PUs, Oversubscribed: pd.Oversubscribed,
+			Coords: NoCoords(), PUs: pd.PUs, Oversubscribed: pd.Oversubscribed,
 		}
 		for ab, v := range pd.Coords {
 			l, ok := hw.LevelByAbbrev(ab)
 			if !ok {
 				return nil, fmt.Errorf("core: decode map: unknown level %q", ab)
 			}
-			p.Coords[l] = v
+			p.Coords.Set(l, v)
 		}
 		if pd.LeafLevel != "" {
 			l, ok := hw.LevelByName(pd.LeafLevel)

@@ -18,8 +18,9 @@ type Placement struct {
 	NodeName string
 	// Coords gives, for every level in the layout, the iteration
 	// coordinate chosen for this rank (pruned-tree renumbering for
-	// intra-node levels, node index for the machine level).
-	Coords map[hw.Level]int
+	// intra-node levels, node index for the machine level). Levels absent
+	// from the layout hold -1.
+	Coords CoordVector
 	// Leaf is the hardware object the rank was mapped onto: the deepest
 	// layout level's object (e.g. a core for "scbn", a PU for "scbnh").
 	Leaf *hw.Object

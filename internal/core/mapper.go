@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
@@ -16,11 +17,32 @@ var ErrOversubscribe = errors.New("core: mapping would oversubscribe processing 
 // finds nothing mappable (e.g. everything off-lined or capped).
 var ErrNoResources = errors.New("core: no mappable resources")
 
+// placedRanks counts every rank placed by the optimized and reference
+// engines process-wide; see PlacedRanks.
+var placedRanks atomic.Int64
+
+// PlacedRanks returns the process-wide number of rank placements planned
+// so far (by Map, MapTraced, and MapReference). Benchmark harnesses read
+// it before and after a workload to report placements per second.
+func PlacedRanks() int64 { return placedRanks.Load() }
+
 // Mapper plans process placements for one cluster using one process layout.
+//
+// A Mapper keeps reusable execution state between calls: the pruned
+// maximal tree, per-leaf usable-PU caches, and the claim/scratch arrays.
+// Repeated Map/MapTraced calls on one Mapper therefore run with near-zero
+// allocation, and the cached state is revalidated on every call against
+// the layout, the options, and each node topology's generation counter —
+// mutating availability (SetAvailable, Restrict, Offline, FailNode,
+// FailPUs) between calls is safe and picked up automatically. Because of
+// that reusable state a Mapper must NOT be used from multiple goroutines
+// at once; create one Mapper per goroutine (as SweepLayouts does).
 type Mapper struct {
 	Cluster *cluster.Cluster
 	Layout  Layout
 	Opts    Options
+
+	state *runState
 }
 
 // NewMapper validates and builds a mapper. The layout must include the
@@ -35,30 +57,45 @@ func NewMapper(c *cluster.Cluster, layout Layout, opts Options) (*Mapper, error)
 	return &Mapper{Cluster: c, Layout: layout, Opts: opts}, nil
 }
 
-// run holds the state of one mapping execution. Both the recursive mapper
-// (paper Fig. 1) and the iterative reference mapper drive the same run.
-type run struct {
-	m   *Mapper
-	np  int
-	pes int
+// capState tracks one ALPS-style per-resource cap during a run: rank
+// counts per object of the capped level, index-addressed as
+// offsets[node]+Logical. The machine level is counted via nodeCount
+// instead of its own array.
+type capState struct {
+	level   hw.Level
+	limit   int32
+	machine bool
+	counts  []int32
+	offsets []int32
+}
 
-	iterLevels []hw.Level // innermost first (layout order)
-	widths     []int      // iteration width per iterLevels index
-	orders     [][]int    // visiting permutation per iterLevels index
-	machineIdx int        // index of the node level within iterLevels
-	canonPos   []int      // iterLevels index -> position in canonical intra coords (-1 for node)
-	mtree      *MaximalTree
+// runState is the reusable execution state of one Mapper: everything the
+// recursive loop nest (paper Fig. 1) touches per visited coordinate is an
+// index-addressed slice here, so the steady-state hot path performs no
+// map operations and no allocations.
+type runState struct {
+	layoutLevels []hw.Level // iteration order the state was built for
+	tree         *denseTree
+	iterLevels   []hw.Level // innermost first (layout order)
+	widths       []int      // iteration width per iterLevels index
+	orders       [][]int    // visiting permutation per iterLevels index
+	ordersCustom bool       // orders came from Opts.IterOrder
+	machineIdx   int        // index of the node level within iterLevels
+	canonPos     []int      // iterLevels index -> canonical intra position (-1 for node)
 
-	coords      []int // current iteration coordinate per iterLevels index
-	canonCoords []int // scratch: canonical intra-node coordinates
+	coords      []int   // current iteration coordinate per iterLevels index
+	canonCoords []int   // scratch: canonical intra-node coordinates
+	claims      []int32 // rank claims per global leaf ID
+	nodeCount   []int32 // ranks per node
+	nodeLimit   []int32 // per-node slot cap, -1 none (RespectSlots only)
+	caps        []capState
+	capHits     []int32 // scratch: cap count indices to bump on placement
 
-	claims         map[*hw.Object]int // rank claims per leaf object
-	capCounts      map[*hw.Object]int // rank counts per capped ancestor object
-	nodeCount      []int              // ranks per node (for machine-level caps)
-	skippedOversub bool               // a leaf was skipped due to the oversubscribe rule
-
-	placements []Placement
-	sweeps     int
+	np, pes        int
+	placements     []Placement
+	pusBacking     []int // one backing array for all placements' PU claims
+	sweeps         int
+	skippedOversub bool // a leaf was skipped due to the oversubscribe rule
 
 	// trace, when non-nil, is invoked at every visited coordinate
 	// (MapTraced); rank is -1 for skip events.
@@ -66,37 +103,83 @@ type run struct {
 }
 
 // emit reports a trace event if tracing is enabled.
-func (r *run) emit(action TraceAction, rank int) {
+func (r *runState) emit(action TraceAction, rank int) {
 	if r.trace != nil {
 		r.trace(action, rank)
 	}
 }
 
-func (m *Mapper) newRun(np int) (*run, error) {
+func levelsEqual(a, b []hw.Level) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensure revalidates (or builds) the mapper's reusable state for the
+// current layout, options, and topology generations, then resets the
+// per-run fields for a run of np ranks.
+func (m *Mapper) ensure(np int) (*runState, error) {
 	if np <= 0 {
 		return nil, fmt.Errorf("core: non-positive process count %d", np)
 	}
+	r := m.state
+	rebuilt := false
+	if r == nil || !levelsEqual(r.layoutLevels, m.Layout.Levels()) || !r.tree.freshFor(m.Cluster) {
+		var err error
+		if r, err = m.buildState(); err != nil {
+			return nil, err
+		}
+		m.state = r
+		rebuilt = true
+	}
+	// The visiting orders derive from the widths and the options. The
+	// default sequential orders are cached with the tree; custom IterOrder
+	// functions are re-queried every run (they may close over state).
+	if rebuilt || r.ordersCustom || m.Opts.IterOrder != nil {
+		r.ordersCustom = m.Opts.IterOrder != nil
+		for i, l := range r.iterLevels {
+			perm, err := validOrder(m.Opts.orderFor(l), r.widths[i])
+			if err != nil {
+				return nil, fmt.Errorf("%v (level %s)", err, l)
+			}
+			r.orders[i] = perm
+		}
+	}
+	for _, w := range r.widths {
+		if w == 0 {
+			// A layout level with no objects anywhere (possible only with
+			// hand-decoded irregular trees): nothing is mappable.
+			return nil, stallError(m.Layout, np, 0, false)
+		}
+	}
+	if err := m.resetRun(r, np); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildState constructs fresh state: the dense maximal tree (through the
+// shape and view caches) and the index-addressed scratch arrays.
+func (m *Mapper) buildState() (*runState, error) {
 	intra := m.Layout.IntraNode()
-	topos := make([]*hw.Topology, m.Cluster.NumNodes())
-	for i, n := range m.Cluster.Nodes {
-		topos[i] = n.Topo
+	r := &runState{
+		layoutLevels: append([]hw.Level(nil), m.Layout.Levels()...),
+		iterLevels:   m.Layout.Levels(),
+		tree:         newDenseTree(m.Cluster, intra),
+		machineIdx:   -1,
 	}
-	r := &run{
-		m:          m,
-		np:         np,
-		pes:        m.Opts.pes(),
-		iterLevels: m.Layout.Levels(),
-		mtree:      NewMaximalTree(topos, intra),
-		claims:     map[*hw.Object]int{},
-		capCounts:  map[*hw.Object]int{},
-		nodeCount:  make([]int, m.Cluster.NumNodes()),
-		machineIdx: -1,
-	}
-	r.coords = make([]int, len(r.iterLevels))
+	n := len(r.iterLevels)
+	r.widths = make([]int, n)
+	r.orders = make([][]int, n)
+	r.canonPos = make([]int, n)
+	r.coords = make([]int, n)
 	r.canonCoords = make([]int, len(intra))
-	r.widths = make([]int, len(r.iterLevels))
-	r.canonPos = make([]int, len(r.iterLevels))
-	r.orders = make([][]int, len(r.iterLevels))
 	for i, l := range r.iterLevels {
 		if l == hw.LevelMachine {
 			r.machineIdx = i
@@ -108,54 +191,118 @@ func (m *Mapper) newRun(np int) (*run, error) {
 					r.canonPos[i] = p
 				}
 			}
-			r.widths[i] = r.mtree.Width(r.canonPos[i])
-		}
-		perm, err := validOrder(m.Opts.orderFor(l), r.widths[i])
-		if err != nil {
-			return nil, fmt.Errorf("%v (level %s)", err, l)
-		}
-		r.orders[i] = perm
-	}
-	for _, w := range r.widths {
-		if w == 0 {
-			// A layout level with no objects anywhere (possible only with
-			// hand-decoded irregular trees): nothing is mappable.
-			return nil, r.stallError()
+			r.widths[i] = r.tree.widths[r.canonPos[i]]
 		}
 	}
+	r.claims = make([]int32, r.tree.totalLeaves)
+	r.nodeCount = make([]int32, m.Cluster.NumNodes())
 	return r, nil
+}
+
+// resetRun prepares the per-run fields: zeroed claim counters, per-run
+// slot limits and resource caps, and the output placement storage.
+func (m *Mapper) resetRun(r *runState, np int) error {
+	r.np, r.pes = np, m.Opts.pes()
+	r.sweeps = 0
+	r.skippedOversub = false
+	r.trace = nil
+	for i := range r.claims {
+		r.claims[i] = 0
+	}
+	for i := range r.nodeCount {
+		r.nodeCount[i] = 0
+	}
+	// Scheduler slot caps (Open MPI hostfile semantics): without
+	// --oversubscribe, a node accepts at most its slot count of ranks;
+	// with it, the hostfile's max_slots hard cap (when declared) still
+	// bounds the node.
+	if m.Opts.RespectSlots {
+		if cap(r.nodeLimit) < m.Cluster.NumNodes() {
+			r.nodeLimit = make([]int32, m.Cluster.NumNodes())
+		}
+		r.nodeLimit = r.nodeLimit[:m.Cluster.NumNodes()]
+		for i, node := range m.Cluster.Nodes {
+			limit := int32(-1)
+			if !m.Opts.Oversubscribe {
+				limit = int32(node.EffectiveSlots())
+			} else if node.MaxSlots > 0 {
+				limit = int32(node.MaxSlots)
+			}
+			r.nodeLimit[i] = limit
+		}
+	} else {
+		r.nodeLimit = r.nodeLimit[:0]
+	}
+	if err := m.resetCaps(r); err != nil {
+		return err
+	}
+	// One backing array serves every placement's PU claims, so placing a
+	// rank allocates nothing.
+	r.placements = make([]Placement, 0, np)
+	r.pusBacking = make([]int, np*r.pes)
+	return nil
+}
+
+// resetCaps rebuilds the per-resource (ALPS-style) cap counters from
+// Options.MaxPerResource, reusing the count arrays when the capped levels
+// are unchanged.
+func (m *Mapper) resetCaps(r *runState) error {
+	if len(m.Opts.MaxPerResource) == 0 {
+		r.caps = r.caps[:0]
+		return nil
+	}
+	r.caps = r.caps[:0]
+	for _, l := range r.iterLevels {
+		limit := m.Opts.capFor(l)
+		if limit <= 0 {
+			continue
+		}
+		cs := capState{level: l, limit: int32(limit), machine: l == hw.LevelMachine}
+		if !cs.machine {
+			nodes := m.Cluster.NumNodes()
+			cs.offsets = make([]int32, nodes)
+			total := 0
+			for i, node := range m.Cluster.Nodes {
+				cs.offsets[i] = int32(total)
+				total += node.Topo.NumObjects(l)
+			}
+			cs.counts = make([]int32, total)
+		}
+		r.caps = append(r.caps, cs)
+	}
+	return nil
 }
 
 // Map executes the LAMA: the recursive loop nest of the paper's Figure 1,
 // wrapped in the outer while-loop that re-sweeps the resource space until
 // every rank is placed (or no progress is possible).
 func (m *Mapper) Map(np int) (*Map, error) {
-	r, err := m.newRun(np)
+	r, err := m.ensure(np)
 	if err != nil {
 		return nil, err
 	}
 	for len(r.placements) < np {
 		before := len(r.placements)
-		r.inner(len(r.iterLevels) - 1)
+		r.inner(m, len(r.iterLevels)-1)
 		r.sweeps++
 		if len(r.placements) == before {
-			return nil, r.stallError()
+			return nil, stallError(m.Layout, np, len(r.placements), r.skippedOversub)
 		}
 	}
-	return r.finish(), nil
+	return r.finish(m), nil
 }
 
 // inner is the recursive heart of the LAMA (paper Fig. 1): it iterates the
 // resources of one layout level and recurses toward the innermost level,
 // where the current coordinate tuple is mapped if it exists and is
 // available.
-func (r *run) inner(levelIdx int) {
+func (r *runState) inner(m *Mapper, levelIdx int) {
 	for _, i := range r.orders[levelIdx] {
 		r.coords[levelIdx] = i
 		if levelIdx > 0 {
-			r.inner(levelIdx - 1)
+			r.inner(m, levelIdx-1)
 		} else {
-			r.tryMap()
+			r.tryMap(m)
 		}
 		if len(r.placements) == r.np {
 			return
@@ -165,8 +312,11 @@ func (r *run) inner(levelIdx int) {
 
 // tryMap attempts to place the next rank at the current coordinates,
 // skipping coordinates that do not exist on the node, are unavailable,
-// are capped, or would oversubscribe when that is disallowed.
-func (r *run) tryMap() {
+// are capped, or would oversubscribe when that is disallowed. Steady
+// state, this performs only slice indexing: leaf existence and the usable
+// PUs come from the cached pruned view, claims and caps are dense
+// counters.
+func (r *runState) tryMap(m *Mapper) {
 	node := 0
 	if r.machineIdx >= 0 {
 		node = r.coords[r.machineIdx]
@@ -176,28 +326,19 @@ func (r *run) tryMap() {
 			r.canonCoords[p] = c
 		}
 	}
-	leaf := r.mtree.Lookup(node, r.canonCoords)
-	if leaf == nil {
+	view := r.tree.views[node]
+	leaf := view.shape.lookup(r.canonCoords)
+	if leaf < 0 {
 		r.emit(SkipNonexistent, -1)
 		return // resource does not exist on this node
 	}
-	ups := leaf.UsablePUs()
+	ups := view.usable(leaf)
 	if len(ups) == 0 {
 		r.emit(SkipUnavailable, -1)
 		return // resource unavailable (off-lined / disallowed)
 	}
-	// Scheduler slot caps (Open MPI hostfile semantics): without
-	// --oversubscribe, a node accepts at most its slot count of ranks;
-	// with it, the hostfile's max_slots hard cap (when declared) still
-	// bounds the node.
-	if r.m.Opts.RespectSlots {
-		limit := -1
-		if !r.m.Opts.Oversubscribe {
-			limit = r.m.Cluster.Node(node).EffectiveSlots()
-		} else if hard := r.m.Cluster.Node(node).MaxSlots; hard > 0 {
-			limit = hard
-		}
-		if limit >= 0 && r.nodeCount[node] >= limit {
+	if len(r.nodeLimit) > 0 {
+		if limit := r.nodeLimit[node]; limit >= 0 && r.nodeCount[node] >= limit {
 			r.skippedOversub = true
 			r.emit(SkipCapped, -1)
 			return
@@ -205,72 +346,80 @@ func (r *run) tryMap() {
 	}
 	// ALPS-style per-resource rank caps, checked before the
 	// oversubscription rule: a capped resource is unmappable regardless.
-	var capped []*hw.Object
-	for _, l := range r.iterLevels {
-		limit := r.m.Opts.capFor(l)
-		if limit <= 0 {
-			continue
-		}
-		if l == hw.LevelMachine {
-			if r.nodeCount[node] >= limit {
+	r.capHits = r.capHits[:0]
+	for ci := range r.caps {
+		cs := &r.caps[ci]
+		if cs.machine {
+			if r.nodeCount[node] >= cs.limit {
 				r.emit(SkipCapped, -1)
 				return
 			}
 			continue
 		}
-		obj := leaf.Ancestor(l)
+		obj := view.leafObj[leaf].Ancestor(cs.level)
 		if obj == nil {
 			continue
 		}
-		if r.capCounts[obj] >= limit {
+		idx := cs.offsets[node] + int32(obj.Logical)
+		if cs.counts[idx] >= cs.limit {
 			r.emit(SkipCapped, -1)
 			return
 		}
-		capped = append(capped, obj)
+		r.capHits = append(r.capHits, int32(ci), idx)
 	}
-	prior := r.claims[leaf]
+	prior := int(r.claims[r.tree.leafBase[node]+leaf])
 	base := prior * r.pes
 	oversub := base+r.pes > len(ups)
-	if oversub && !r.m.Opts.Oversubscribe {
+	if oversub && !m.Opts.Oversubscribe {
 		r.skippedOversub = true
 		r.emit(SkipOversub, -1)
 		return
 	}
 
-	pus := make([]int, r.pes)
+	at := len(r.placements) * r.pes
+	pus := r.pusBacking[at : at+r.pes : at+r.pes]
 	for j := 0; j < r.pes; j++ {
-		pus[j] = ups[(base+j)%len(ups)].OS
+		pus[j] = int(ups[(base+j)%len(ups)])
 	}
-	coords := make(map[hw.Level]int, len(r.iterLevels))
+	coords := NoCoords()
 	for i, l := range r.iterLevels {
 		coords[l] = r.coords[i]
 	}
 	r.placements = append(r.placements, Placement{
 		Rank:           len(r.placements),
 		Node:           node,
-		NodeName:       r.m.Cluster.Node(node).Name,
+		NodeName:       m.Cluster.Node(node).Name,
 		Coords:         coords,
-		Leaf:           leaf,
+		Leaf:           view.leafObj[leaf],
 		PUs:            pus,
 		Oversubscribed: oversub,
 	})
 	r.emit(Mapped, len(r.placements)-1)
-	r.claims[leaf] = prior + 1
+	r.claims[r.tree.leafBase[node]+leaf]++
 	r.nodeCount[node]++
-	for _, obj := range capped {
-		r.capCounts[obj]++
+	for h := 0; h < len(r.capHits); h += 2 {
+		cs := &r.caps[r.capHits[h]]
+		cs.counts[r.capHits[h+1]]++
 	}
 }
 
-func (r *run) stallError() error {
-	if r.skippedOversub {
-		return fmt.Errorf("%w: %d of %d ranks unplaced (layout %q)",
-			ErrOversubscribe, r.np-len(r.placements), r.np, r.m.Layout)
+// stallError explains a sweep that placed nothing: oversubscription was
+// the blocker if any leaf was skipped for it, otherwise resources ran out.
+func stallError(layout Layout, np, placed int, skippedOversub bool) error {
+	kind := ErrNoResources
+	if skippedOversub {
+		kind = ErrOversubscribe
 	}
 	return fmt.Errorf("%w: %d of %d ranks unplaced (layout %q)",
-		ErrNoResources, r.np-len(r.placements), r.np, r.m.Layout)
+		kind, np-placed, np, layout)
 }
 
-func (r *run) finish() *Map {
-	return &Map{Layout: r.m.Layout, Placements: r.placements, Sweeps: r.sweeps}
+// finish hands the placements to the returned Map and detaches them from
+// the reusable state.
+func (r *runState) finish(m *Mapper) *Map {
+	out := &Map{Layout: m.Layout, Placements: r.placements, Sweeps: r.sweeps}
+	placedRanks.Add(int64(len(r.placements)))
+	r.placements = nil
+	r.pusBacking = nil
+	return out
 }

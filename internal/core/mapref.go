@@ -1,12 +1,198 @@
 package core
 
-// MapReference executes the same mapping semantics as Map but with an
-// explicit iterative odometer in place of the paper's recursive loop nest.
-// It exists to cross-validate the Figure 1 recursion (experiment E2): for
-// any cluster, layout, options, and rank count, Map and MapReference must
-// produce identical plans.
+import (
+	"fmt"
+
+	"lama/internal/hw"
+)
+
+// This file is the reference implementation of the mapping semantics: a
+// deliberately naive executor that rebuilds its pruned trees from scratch
+// on every call, keeps its claim counters in maps keyed by hardware object
+// pointers, and re-walks the topology for every usable-PU query. It shares
+// NOTHING with the optimized engine in mapper.go — no dense trees, no
+// shape/view caches, no generation counters — so the two can only agree by
+// actually computing the same mapping. MapReference also iterates with an
+// explicit odometer instead of the paper's recursive loop nest, giving an
+// independent traversal of the same resource space. Experiment E2 and the
+// differential property tests require Map and MapReference to produce
+// identical plans for any cluster, layout, options, and rank count,
+// including after availability mutations (FailNode/FailPUs).
+
+// refRun holds the state of one reference mapping execution.
+type refRun struct {
+	m   *Mapper
+	np  int
+	pes int
+
+	iterLevels []hw.Level // innermost first (layout order)
+	widths     []int      // iteration width per iterLevels index
+	orders     [][]int    // visiting permutation per iterLevels index
+	machineIdx int        // index of the node level within iterLevels
+	canonPos   []int      // iterLevels index -> canonical intra position (-1 for node)
+	mtree      *MaximalTree
+
+	coords      []int // current iteration coordinate per iterLevels index
+	canonCoords []int // scratch: canonical intra-node coordinates
+
+	claims         map[*hw.Object]int // rank claims per leaf object
+	capCounts      map[*hw.Object]int // rank counts per capped ancestor object
+	nodeCount      []int              // ranks per node (slot and machine caps)
+	skippedOversub bool               // a leaf was skipped due to the oversubscribe rule
+
+	placements []Placement
+	sweeps     int
+}
+
+func (m *Mapper) newRefRun(np int) (*refRun, error) {
+	if np <= 0 {
+		return nil, fmt.Errorf("core: non-positive process count %d", np)
+	}
+	intra := m.Layout.IntraNode()
+	topos := make([]*hw.Topology, m.Cluster.NumNodes())
+	for i, n := range m.Cluster.Nodes {
+		topos[i] = n.Topo
+	}
+	r := &refRun{
+		m:          m,
+		np:         np,
+		pes:        m.Opts.pes(),
+		iterLevels: m.Layout.Levels(),
+		mtree:      NewMaximalTree(topos, intra),
+		claims:     map[*hw.Object]int{},
+		capCounts:  map[*hw.Object]int{},
+		nodeCount:  make([]int, m.Cluster.NumNodes()),
+		machineIdx: -1,
+	}
+	r.coords = make([]int, len(r.iterLevels))
+	r.canonCoords = make([]int, len(intra))
+	r.widths = make([]int, len(r.iterLevels))
+	r.canonPos = make([]int, len(r.iterLevels))
+	r.orders = make([][]int, len(r.iterLevels))
+	for i, l := range r.iterLevels {
+		if l == hw.LevelMachine {
+			r.machineIdx = i
+			r.canonPos[i] = -1
+			r.widths[i] = m.Cluster.NumNodes()
+		} else {
+			for p, il := range intra {
+				if il == l {
+					r.canonPos[i] = p
+				}
+			}
+			r.widths[i] = r.mtree.Width(r.canonPos[i])
+		}
+		perm, err := validOrder(m.Opts.orderFor(l), r.widths[i])
+		if err != nil {
+			return nil, fmt.Errorf("%v (level %s)", err, l)
+		}
+		r.orders[i] = perm
+	}
+	for _, w := range r.widths {
+		if w == 0 {
+			return nil, stallError(m.Layout, np, 0, false)
+		}
+	}
+	return r, nil
+}
+
+// tryMap is the reference placement attempt at the current coordinates:
+// identical skip rules to the optimized engine (nonexistent → unavailable
+// → slot cap → resource caps → oversubscribe), expressed over hardware
+// object pointers and fresh topology walks.
+func (r *refRun) tryMap() {
+	node := 0
+	if r.machineIdx >= 0 {
+		node = r.coords[r.machineIdx]
+	}
+	for i, c := range r.coords {
+		if p := r.canonPos[i]; p >= 0 {
+			r.canonCoords[p] = c
+		}
+	}
+	leaf := r.mtree.Lookup(node, r.canonCoords)
+	if leaf == nil {
+		return // resource does not exist on this node
+	}
+	ups := leaf.UsablePUs()
+	if len(ups) == 0 {
+		return // resource unavailable (off-lined / disallowed)
+	}
+	// Scheduler slot caps (Open MPI hostfile semantics).
+	if r.m.Opts.RespectSlots {
+		limit := -1
+		if !r.m.Opts.Oversubscribe {
+			limit = r.m.Cluster.Node(node).EffectiveSlots()
+		} else if hard := r.m.Cluster.Node(node).MaxSlots; hard > 0 {
+			limit = hard
+		}
+		if limit >= 0 && r.nodeCount[node] >= limit {
+			r.skippedOversub = true
+			return
+		}
+	}
+	// ALPS-style per-resource rank caps, checked before the
+	// oversubscription rule: a capped resource is unmappable regardless.
+	var capped []*hw.Object
+	for _, l := range r.iterLevels {
+		limit := r.m.Opts.capFor(l)
+		if limit <= 0 {
+			continue
+		}
+		if l == hw.LevelMachine {
+			if r.nodeCount[node] >= limit {
+				return
+			}
+			continue
+		}
+		obj := leaf.Ancestor(l)
+		if obj == nil {
+			continue
+		}
+		if r.capCounts[obj] >= limit {
+			return
+		}
+		capped = append(capped, obj)
+	}
+	prior := r.claims[leaf]
+	base := prior * r.pes
+	oversub := base+r.pes > len(ups)
+	if oversub && !r.m.Opts.Oversubscribe {
+		r.skippedOversub = true
+		return
+	}
+
+	pus := make([]int, r.pes)
+	for j := 0; j < r.pes; j++ {
+		pus[j] = ups[(base+j)%len(ups)].OS
+	}
+	coords := NoCoords()
+	for i, l := range r.iterLevels {
+		coords[l] = r.coords[i]
+	}
+	r.placements = append(r.placements, Placement{
+		Rank:           len(r.placements),
+		Node:           node,
+		NodeName:       r.m.Cluster.Node(node).Name,
+		Coords:         coords,
+		Leaf:           leaf,
+		PUs:            pus,
+		Oversubscribed: oversub,
+	})
+	r.claims[leaf] = prior + 1
+	r.nodeCount[node]++
+	for _, obj := range capped {
+		r.capCounts[obj]++
+	}
+}
+
+// MapReference executes the same mapping semantics as Map but through the
+// naive reference machinery above, with an explicit iterative odometer in
+// place of the paper's recursive loop nest. It exists to cross-validate
+// the optimized engine (experiment E2): for any cluster, layout, options,
+// and rank count, Map and MapReference must produce identical plans.
 func (m *Mapper) MapReference(np int) (*Map, error) {
-	r, err := m.newRun(np)
+	r, err := m.newRefRun(np)
 	if err != nil {
 		return nil, err
 	}
@@ -39,8 +225,9 @@ func (m *Mapper) MapReference(np int) (*Map, error) {
 		}
 		r.sweeps++
 		if len(r.placements) == before {
-			return nil, r.stallError()
+			return nil, stallError(m.Layout, np, len(r.placements), r.skippedOversub)
 		}
 	}
-	return r.finish(), nil
+	placedRanks.Add(int64(len(r.placements)))
+	return &Map{Layout: m.Layout, Placements: r.placements, Sweeps: r.sweeps}, nil
 }

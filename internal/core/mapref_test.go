@@ -124,7 +124,11 @@ func TestQuickNoOversubscribeBijective(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		c := randomCluster(r)
 		layout := randomLayout(r)
-		np := 1 + r.Intn(c.TotalUsablePUs())
+		total := c.TotalUsablePUs()
+		if total == 0 {
+			return true // nothing mappable (all PUs off-lined/removed)
+		}
+		np := 1 + r.Intn(total)
 		m, err := NewMapper(c, layout, Options{})
 		if err != nil {
 			return false

@@ -19,6 +19,7 @@ type prunedNode struct {
 type PrunedTree struct {
 	levels []hw.Level // canonical order, e.g. [socket core]
 	root   *prunedNode
+	widths []int // cached by Widths after first computation
 }
 
 // NewPrunedTree builds the pruned view of a node topology for the given
@@ -46,17 +47,24 @@ func NewPrunedTree(t *hw.Topology, levels []hw.Level) *PrunedTree {
 // are flattened, which implements the "children become those of the
 // parent, renumbered" rule.
 func descendantsAt(o *hw.Object, level hw.Level) []*hw.Object {
+	return appendDescendantsAt(nil, o, level)
+}
+
+// appendDescendantsAt is descendantsAt into a caller-supplied accumulator:
+// one slice grows across the whole recursion instead of every interior
+// call concatenating its children's results (quadratic allocation on deep
+// trees).
+func appendDescendantsAt(dst []*hw.Object, o *hw.Object, level hw.Level) []*hw.Object {
 	if o.Level == level {
-		return []*hw.Object{o}
+		return append(dst, o)
 	}
 	if o.Level > level {
-		return nil
+		return dst
 	}
-	var out []*hw.Object
 	for _, c := range o.Children {
-		out = append(out, descendantsAt(c, level)...)
+		dst = appendDescendantsAt(dst, c, level)
 	}
-	return out
+	return dst
 }
 
 // Levels returns the pruned tree's level list (canonical order).
@@ -78,8 +86,12 @@ func (pt *PrunedTree) Lookup(coords []int) *hw.Object {
 }
 
 // Widths returns, per pruned depth, the maximum child count of any pruned
-// node at that depth on this node.
+// node at that depth on this node. The result is computed once and cached
+// (the tree is immutable after construction); callers must not modify it.
 func (pt *PrunedTree) Widths() []int {
+	if pt.widths != nil {
+		return pt.widths
+	}
 	w := make([]int, len(pt.levels))
 	var walk func(pn *prunedNode, depth int)
 	walk = func(pn *prunedNode, depth int) {
@@ -94,6 +106,7 @@ func (pt *PrunedTree) Widths() []int {
 		}
 	}
 	walk(pt.root, 0)
+	pt.widths = w
 	return w
 }
 

@@ -69,20 +69,24 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 	// LAMA for just the failed ranks. The clone also inherits any failure
 	// restrictions already recorded on c (FailNode / FailPUs).
 	scratch := c.Clone()
+	withheld := make([]*hw.CPUSet, scratch.NumNodes())
 	for i := range old.Placements {
 		p := &old.Placements[i]
 		if set[p.Rank] {
 			continue
 		}
-		node := scratch.Node(p.Node)
-		if node == nil {
+		if scratch.Node(p.Node) == nil {
 			return nil, nil, fmt.Errorf("core: survivor rank %d on unknown node %d", p.Rank, p.Node)
 		}
-		for _, pu := range p.PUs {
-			if obj := node.Topo.PUByOS(pu); obj != nil {
-				obj.Available = false
-			}
+		if withheld[p.Node] == nil {
+			withheld[p.Node] = &hw.CPUSet{}
 		}
+		for _, pu := range p.PUs {
+			withheld[p.Node].Set(pu)
+		}
+	}
+	for node, pus := range withheld {
+		scratch.Node(node).Topo.Offline(pus)
 	}
 	mapper, err := NewMapper(scratch, layout, opts)
 	if err != nil {

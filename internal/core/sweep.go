@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+	"lama/internal/parallel"
+)
+
+// SweepLayouts maps np ranks onto one cluster with every given layout,
+// fanning the layouts across a bounded worker pool (workers <= 0 means
+// GOMAXPROCS). The returned maps are in layout order regardless of
+// completion order. Each pool worker reuses a single Mapper across its
+// layouts — full-layout permutations share one canonical intra-node level
+// set, so the worker's pruned views stay cached and only the cheap
+// per-layout iteration state is rebuilt. The first error (by lowest layout
+// index) aborts the sweep.
+//
+// Collecting every map costs memory proportional to len(layouts)*np; for
+// very large sweeps (e.g. all 9! full layouts) use SweepEach and reduce on
+// the fly.
+func SweepLayouts(c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int) ([]*Map, error) {
+	out := make([]*Map, len(layouts))
+	err := SweepEach(c, layouts, np, opts, workers, func(i int, m *Map) error {
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepEach is the streaming form of SweepLayouts: visit(i, m) is invoked
+// exactly once per successfully mapped layout, from the pool's worker
+// goroutines, so visit MUST be safe for concurrent use (its results for
+// distinct i never interleave for the same worker, but different workers
+// call it simultaneously). A visit error counts as that layout's failure.
+func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int,
+	visit func(i int, m *Map) error) error {
+	if c == nil || c.NumNodes() == 0 {
+		return fmt.Errorf("core: empty cluster")
+	}
+	workers = parallel.Workers(len(layouts), workers)
+	mappers := make([]*Mapper, workers)
+	return parallel.ForEachWorker(len(layouts), workers, func(w, i int) error {
+		layout := layouts[i]
+		if !layout.Contains(hw.LevelMachine) {
+			return fmt.Errorf("core: layout %q must include the node level 'n'", layout)
+		}
+		mp := mappers[w]
+		if mp == nil {
+			mp = &Mapper{Cluster: c, Opts: opts}
+			mappers[w] = mp
+		}
+		mp.Layout = layout
+		m, err := mp.Map(np)
+		if err != nil {
+			return fmt.Errorf("core: sweep layout %q: %w", layout, err)
+		}
+		return visit(i, m)
+	})
+}

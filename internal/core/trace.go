@@ -76,7 +76,7 @@ func (e TraceEvent) String() string {
 // makes layout behaviour on heterogeneous or restricted systems
 // inspectable ("why did rank 7 land there?").
 func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
-	r, err := m.newRun(np)
+	r, err := m.ensure(np)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,13 +93,14 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 			Coords: coords, Action: action, Rank: rank, Sweep: r.sweeps,
 		})
 	}
+	defer func() { r.trace = nil }()
 	for len(r.placements) < np {
 		before := len(r.placements)
-		r.inner(len(r.iterLevels) - 1)
+		r.inner(m, len(r.iterLevels)-1)
 		r.sweeps++
 		if len(r.placements) == before {
-			return nil, events, r.stallError()
+			return nil, events, stallError(m.Layout, np, len(r.placements), r.skippedOversub)
 		}
 	}
-	return r.finish(), events, nil
+	return r.finish(m), events, nil
 }

@@ -3,6 +3,7 @@ package exper
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"lama/internal/cluster"
 	"lama/internal/core"
@@ -121,7 +122,9 @@ func runE3(Options) ([]*metrics.Table, error) {
 // produces a complete, valid mapping; it also counts how many distinct
 // placements the layout space reaches on a reference cluster. The paper
 // claims 362,880 permutations; without Full a deterministic 1-in-72 sample
-// (5,040 layouts) is checked.
+// (5,040 layouts) is checked. The mapping runs stream through the parallel
+// sweep engine (core.SweepEach) — the maps are reduced to placement
+// signatures on the fly rather than held in memory.
 func runE4(o Options) ([]*metrics.Table, error) {
 	sp, _ := hw.Preset("nehalem-ep")
 	c := cluster.Homogeneous(2, sp)
@@ -131,19 +134,16 @@ func runE4(o Options) ([]*metrics.Table, error) {
 	if o.Full {
 		stride = 1
 	}
-	total, checked, failedParse, failedMap := 0, 0, 0, 0
-	distinct := map[string]bool{}
+	total, failedParse := 0, 0
 	var firstErr error
+	var layouts []core.Layout
 	permute.Each(hw.NumLevels, func(perm []int) bool {
 		total++
 		if (total-1)%stride != 0 {
 			return true
 		}
-		checked++
-		levels := make([]hw.Level, len(perm))
 		abbrev := ""
-		for i, p := range perm {
-			levels[i] = hw.Level(p)
+		for _, p := range perm {
 			abbrev += hw.Level(p).Abbrev()
 		}
 		layout, err := core.ParseLayout(abbrev)
@@ -152,31 +152,33 @@ func runE4(o Options) ([]*metrics.Table, error) {
 			firstErr = err
 			return true
 		}
-		mapper, err := core.NewMapper(c, layout, core.Options{})
-		if err != nil {
-			failedMap++
-			firstErr = err
-			return true
-		}
-		m, err := mapper.Map(np)
-		if err != nil || m.NumRanks() != np {
-			failedMap++
-			firstErr = err
-			return true
-		}
-		sig := ""
-		for i := range m.Placements {
-			sig += fmt.Sprintf("%d:%d;", m.Placements[i].Node, m.Placements[i].PU())
-		}
-		distinct[sig] = true
+		layouts = append(layouts, layout)
 		return true
 	})
 	if total != permute.Factorial(hw.NumLevels) {
 		return nil, fmt.Errorf("exper: enumerated %d layouts, want %d", total, permute.Factorial(hw.NumLevels))
 	}
-	if failedParse != 0 || failedMap != 0 {
-		return nil, fmt.Errorf("exper: E4 failures parse=%d map=%d (first: %v)",
-			failedParse, failedMap, firstErr)
+	if failedParse != 0 {
+		return nil, fmt.Errorf("exper: E4 parse failures %d (first: %v)", failedParse, firstErr)
+	}
+	checked := len(layouts)
+	var mu sync.Mutex
+	distinct := map[string]bool{}
+	err := core.SweepEach(c, layouts, np, core.Options{}, 0, func(i int, m *core.Map) error {
+		if m.NumRanks() != np {
+			return fmt.Errorf("exper: layout %q placed %d of %d ranks", layouts[i], m.NumRanks(), np)
+		}
+		sig := ""
+		for i := range m.Placements {
+			sig += fmt.Sprintf("%d:%d;", m.Placements[i].Node, m.Placements[i].PU())
+		}
+		mu.Lock()
+		distinct[sig] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exper: E4 map failure: %v", err)
 	}
 	mode := "sampled (1 in 72)"
 	if o.Full {

@@ -34,11 +34,24 @@ func evalLayout(c *cluster.Cluster, mo *netsim.Model, layout string, np int,
 }
 
 // sweepLayouts evaluates every layout concurrently, returning per-layout
-// reports in layout order.
+// reports in layout order. Mapping goes through the parallel sweep engine
+// (core.SweepLayouts, with per-worker mapper reuse); the network
+// evaluations then fan out over the resulting maps.
 func sweepLayouts(c *cluster.Cluster, mo *netsim.Model, layouts []string, np int,
 	tm *commpat.Matrix) ([]*netsim.Report, error) {
-	return parallel.Map(len(layouts), 0, func(i int) (*netsim.Report, error) {
-		return evalLayout(c, mo, layouts[i], np, tm)
+	parsed := make([]core.Layout, len(layouts))
+	for i, s := range layouts {
+		var err error
+		if parsed[i], err = core.ParseLayout(s); err != nil {
+			return nil, err
+		}
+	}
+	maps, err := core.SweepLayouts(c, parsed, np, core.Options{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(len(maps), 0, func(i int) (*netsim.Report, error) {
+		return mo.Evaluate(c, maps[i], tm)
 	})
 }
 

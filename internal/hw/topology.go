@@ -68,12 +68,34 @@ func (sp Spec) String() string {
 }
 
 // Topology is a single node's hardware tree plus per-level indexes.
+//
+// Mutations must go through Topology methods (SetAvailable, Restrict,
+// Offline, RemoveObject, UnmarshalJSON): each of them advances the
+// topology's generation counter, which is how downstream caches (the
+// mapping engine's pruned-tree and usable-PU caches) learn that their
+// snapshot is stale. Writing Object.Available directly bypasses that
+// contract and may leave caches serving pre-mutation state.
 type Topology struct {
 	// Root is the machine object.
 	Root *Object
 
 	byLevel [NumLevels][]*Object
+
+	// gen counts availability and structural mutations; see Generation.
+	gen uint64
+	// shapeSig caches the structural signature; see ShapeSig.
+	shapeSig string
 }
+
+// Generation returns the topology's mutation counter. It starts at zero
+// and increases on every availability or structural change made through
+// the Topology API, so holders of derived data (pruned trees, usable-PU
+// lists) can cheaply detect staleness by comparing generations.
+func (t *Topology) Generation() uint64 { return t.gen }
+
+// bump records a mutation: caches keyed by the previous generation are now
+// stale. Structural mutations additionally clear the shape signature.
+func (t *Topology) bump() { t.gen++ }
 
 // New builds a regular topology tree from the spec. It panics if the spec
 // is invalid (programmer error); use Spec.Validate to check first.
@@ -200,6 +222,7 @@ func (t *Topology) SetAvailable(level Level, logical int, avail bool) bool {
 		return false
 	}
 	o.Available = avail
+	t.bump()
 	return true
 }
 
@@ -213,6 +236,29 @@ func (t *Topology) Restrict(allowed *CPUSet) {
 			pu.Available = false
 		}
 	}
+	t.bump()
+}
+
+// Offline marks the PUs with the given OS indices unavailable — the
+// inverse selection of Restrict, used for partial failures (a dead core's
+// threads) and for withholding already-claimed PUs from an incremental
+// remap. It returns the number of PUs that changed from available to
+// unavailable.
+func (t *Topology) Offline(pus *CPUSet) int {
+	if pus == nil {
+		return 0
+	}
+	changed := 0
+	for _, pu := range t.byLevel[LevelPU] {
+		if pus.Contains(pu.OS) && pu.Available {
+			pu.Available = false
+			changed++
+		}
+	}
+	if changed > 0 {
+		t.bump()
+	}
+	return changed
 }
 
 // AllowedSet returns the CPUSet of usable PU OS indices.
@@ -240,8 +286,11 @@ func (t *Topology) RemoveObject(level Level, logical int) bool {
 }
 
 // reindex rebuilds per-level indexes, logical numbers, sibling ranks, and
-// clears cached PU sets after a structural mutation.
+// clears cached PU sets and the shape signature after a structural
+// mutation.
 func (t *Topology) reindex() {
+	t.bump()
+	t.shapeSig = ""
 	for l := range t.byLevel {
 		t.byLevel[l] = t.byLevel[l][:0]
 	}
@@ -280,7 +329,31 @@ func (t *Topology) Clone() *Topology {
 		return n
 	}
 	c.Root = copyObj(t.Root, nil)
+	c.shapeSig = t.shapeSig
 	return c
+}
+
+// ShapeSig returns a signature of the topology's structure: the levels and
+// child counts of the tree in DFS order, ignoring availability. Two
+// topologies with equal signatures are structurally identical, so derived
+// availability-independent data (pruned iteration trees) can be shared
+// between them — the nodes of a homogeneous cluster all report the same
+// signature. The signature is cached; structural mutations invalidate it.
+func (t *Topology) ShapeSig() string {
+	if t.shapeSig != "" {
+		return t.shapeSig
+	}
+	var sig []byte
+	var walk func(o *Object)
+	walk = func(o *Object) {
+		sig = append(sig, byte(o.Level), byte(len(o.Children)>>8), byte(len(o.Children)))
+		for _, c := range o.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	t.shapeSig = string(sig)
+	return t.shapeSig
 }
 
 // Summary renders a one-line shape summary such as

@@ -1,6 +1,6 @@
 // Package parallel provides the small fan-out helper the experiment
 // harness uses to sweep layout spaces concurrently: a bounded worker pool
-// over an index range with first-error collection.
+// over an index range with first-error collection and cancellation.
 package parallel
 
 import (
@@ -9,24 +9,42 @@ import (
 	"sync"
 )
 
-// ForEach runs fn(i) for every i in [0, n) using at most `workers`
-// goroutines (GOMAXPROCS when workers <= 0). It waits for all calls to
-// finish and returns the error of the smallest index that failed; other
-// errors are discarded. A panicking fn crashes the program, as it would in
-// a plain loop.
-func ForEach(n, workers int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
+// Workers normalizes a worker-count request for n items: non-positive
+// means GOMAXPROCS, and the count never exceeds n (for n > 0).
+func Workers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
+	if n > 0 && workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most `workers`
+// goroutines (GOMAXPROCS when workers <= 0). It returns the error of the
+// smallest index that failed; other errors are discarded. After the first
+// failure no further indices are dispatched — work already started still
+// runs to completion, so a few indices beyond the failing one may execute,
+// but the bulk of the remaining range is skipped. A panicking fn crashes
+// the program, as it would in a plain loop.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachWorker(n, workers, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn(w, i) is told which of
+// the pool's goroutines (0 <= w < Workers(n, workers)) is running index i.
+// Callers use w to index per-worker scratch state — e.g. one reusable
+// Mapper per worker in a layout sweep — without any locking, since a
+// worker runs its indices strictly sequentially.
+func ForEachWorker(n, workers int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -37,30 +55,38 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 		firstIdx int
+		failOnce sync.Once
 	)
+	failed := make(chan struct{})
 	record := func(i int, err error) {
 		mu.Lock()
-		defer mu.Unlock()
 		if firstErr == nil || i < firstIdx {
 			firstErr, firstIdx = err, i
 		}
+		mu.Unlock()
+		failOnce.Do(func() { close(failed) })
 	}
 
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					record(i, err)
 				}
 			}
-		}()
+		}(w)
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-failed:
+			break feed // first error: stop feeding remaining indices
+		}
 	}
 	close(next)
 	wg.Wait()

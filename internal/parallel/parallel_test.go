@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -104,5 +105,59 @@ func TestQuickForEachCompleteness(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestForEachCancelsAfterError: once one index fails, indices that have
+// not yet been handed to a worker are skipped — the feeder stops instead
+// of draining the whole range.
+func TestForEachCancelsAfterError(t *testing.T) {
+	const n = 100000
+	boom := errors.New("boom")
+	var ran int64
+	seen := make([]int32, n)
+	err := ForEach(n, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		atomic.AddInt32(&seen[i], 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond) // keep workers busy so the feeder blocks
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if r := atomic.LoadInt64(&ran); r > n/10 {
+		t.Fatalf("ran %d of %d indices after the first error; feeding was not cancelled", r, n)
+	}
+	if atomic.LoadInt32(&seen[n-1]) != 0 {
+		t.Fatal("last index still ran after the first error")
+	}
+}
+
+// TestForEachWorkerIdentity: worker IDs are within range and each worker
+// runs its indices sequentially (per-worker state needs no locking).
+func TestForEachWorkerIdentity(t *testing.T) {
+	const n, workers = 200, 5
+	var active [workers]int32
+	var ran int64
+	err := ForEachWorker(n, workers, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker %d out of range", w)
+		}
+		if atomic.AddInt32(&active[w], 1) != 1 {
+			return fmt.Errorf("worker %d reentered concurrently", w)
+		}
+		time.Sleep(10 * time.Microsecond)
+		atomic.AddInt32(&active[w], -1)
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("ran %d of %d", ran, n)
 	}
 }

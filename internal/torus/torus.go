@@ -146,7 +146,7 @@ func Map(c *cluster.Cluster, dims Dims, order string, np int) (*core.Map, error)
 				Rank:     len(m.Placements),
 				Node:     node,
 				NodeName: c.Node(node).Name,
-				Coords:   map[hw.Level]int{hw.LevelMachine: node},
+				Coords:   core.NodeCoords(node),
 				Leaf:     pu,
 				PUs:      []int{pu.OS},
 			})

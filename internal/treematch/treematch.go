@@ -63,7 +63,7 @@ func Map(c *cluster.Cluster, tm *commpat.Matrix, np int) (*core.Map, error) {
 				Rank:     rank,
 				Node:     nodeIdx,
 				NodeName: node.Name,
-				Coords:   map[hw.Level]int{hw.LevelMachine: nodeIdx},
+				Coords:   core.NodeCoords(nodeIdx),
 				Leaf:     pu,
 				PUs:      []int{pu.OS},
 			}

@@ -161,6 +161,16 @@ func NewMapper(c *Cluster, l Layout, o Options) (*Mapper, error) {
 	return core.NewMapper(c, l, o)
 }
 
+// SweepLayouts maps np ranks with every layout concurrently (bounded
+// worker pool, per-worker mapper reuse); results are in layout order.
+func SweepLayouts(c *Cluster, layouts []Layout, np int, o Options, workers int) ([]*Map, error) {
+	return core.SweepLayouts(c, layouts, np, o, workers)
+}
+
+// PlacedRanks returns the process-wide count of rank placements planned so
+// far, for throughput (placements/sec) reporting.
+func PlacedRanks() int64 { return core.PlacedRanks() }
+
 // SequentialOrder and ReverseOrder are the built-in per-level iteration
 // orders (paper Fig. 1 line 13 and §IV-A).
 func SequentialOrder(width int) []int { return core.SequentialOrder(width) }
