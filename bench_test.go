@@ -6,6 +6,7 @@ import (
 	"lama"
 	"lama/internal/core"
 	"lama/internal/exper"
+	"lama/internal/obs"
 	"lama/internal/permute"
 )
 
@@ -81,6 +82,50 @@ func BenchmarkMapFullLayout(b *testing.B)        { benchMapper(b, 16, 256, "nbsN
 func BenchmarkMapReuse64Nodes1024Ranks(b *testing.B) {
 	c := benchCluster(b, 64)
 	mapper, err := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mapper.Map(1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapObsDisabled pins the zero-cost-when-disabled contract of the
+// observability layer: with no Observer the steady-state Map path must stay
+// at its allocation floor (3 allocs/op, the figure TestMapAllocationsSteadyState
+// asserts), with no clock reads and no event construction.
+func BenchmarkMapObsDisabled(b *testing.B) {
+	c := benchCluster(b, 64)
+	mapper, err := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{Obs: nil})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := mapper.Map(1024); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Map(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapObsEnabled is the companion: full instrumentation (discard
+// sink, live registry, phase timer) on the same workload, so the overhead
+// of observability is one `benchstat` away.
+func BenchmarkMapObsEnabled(b *testing.B) {
+	c := benchCluster(b, 64)
+	o := &obs.Observer{Sink: obs.Discard, Metrics: obs.NewRegistry(), Phases: obs.NewPhaseTimer()}
+	mapper, err := lama.NewMapper(c, lama.MustParseLayout("scbnh"), lama.Options{Obs: o})
 	if err != nil {
 		b.Fatal(err)
 	}

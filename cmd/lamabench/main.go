@@ -17,21 +17,66 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"lama/internal/core"
 	"lama/internal/exper"
+	"lama/internal/obs"
 )
+
+// reportSchema is the current -json schema tag. v2 added the provenance
+// header (goVersion, gitRevision, numCPU); parseReport still accepts v1
+// documents, whose header fields simply come back empty.
+const reportSchema = "lamabench/v2"
 
 // jsonReport is the machine-readable output of a lamabench run (-json).
 // The schema is stable: fields are only ever added, never renamed or
 // removed, so CI trend tooling can rely on it across versions.
 type jsonReport struct {
-	Schema       string           `json:"schema"` // "lamabench/v1"
+	Schema string `json:"schema"` // "lamabench/v2"
+	// GoVersion, GitRevision, and NumCPU identify the build and host the
+	// timings came from (v2): toolchain, vcs.revision when the binary was
+	// built from a checkout, and runtime.NumCPU.
+	GoVersion    string           `json:"goVersion,omitempty"`
+	GitRevision  string           `json:"gitRevision,omitempty"`
+	NumCPU       int              `json:"numCPU,omitempty"`
 	Full         bool             `json:"full"`
 	Seed         int64            `json:"seed"`
 	Experiments  []jsonExperiment `json:"experiments"`
 	TotalSeconds float64          `json:"totalSeconds"`
+}
+
+// parseReport decodes a lamabench -json document, accepting the current
+// v2 schema and the header-less v1 documents older CI runs archived.
+func parseReport(data []byte) (*jsonReport, error) {
+	var rep jsonReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	switch rep.Schema {
+	case reportSchema, "lamabench/v1":
+		return &rep, nil
+	default:
+		return nil, fmt.Errorf("lamabench: unknown report schema %q", rep.Schema)
+	}
+}
+
+// gitRevision extracts the vcs.revision the Go toolchain stamped into the
+// build, if any (test binaries and plain `go run` outside a module often
+// have none).
+func gitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 // jsonExperiment is one experiment's timing record.
@@ -60,10 +105,15 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for randomized experiments")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write per-experiment wall time and placements/sec to this file")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := exper.Options{Full: *full, Seed: *seed}
+	o, closeObs, err := obsFlags.Observer(os.Stderr)
+	if err != nil {
+		return err
+	}
+	opts := exper.Options{Full: *full, Seed: *seed, Obs: o}
 
 	if *list {
 		for _, e := range exper.All() {
@@ -83,7 +133,10 @@ func run(args []string, out io.Writer) error {
 		todo = exper.All()
 	}
 
-	report := jsonReport{Schema: "lamabench/v1", Full: *full, Seed: *seed}
+	report := jsonReport{
+		Schema: reportSchema, Full: *full, Seed: *seed,
+		GoVersion: runtime.Version(), GitRevision: gitRevision(), NumCPU: runtime.NumCPU(),
+	}
 	started := time.Now()
 	for _, e := range todo {
 		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Exhibit)
@@ -119,5 +172,10 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("write -json report: %v", err)
 		}
 	}
-	return nil
+	if err := closeObs(); err != nil {
+		return err
+	}
+	return obsFlags.WriteReport(o.Report("lamabench", map[string]any{
+		"exp": *expID, "full": *full, "seed": *seed,
+	}))
 }

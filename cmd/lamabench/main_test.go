@@ -2,9 +2,9 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -60,13 +60,20 @@ func TestRunJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep jsonReport
-	if err := json.Unmarshal(data, &rep); err != nil {
+	rep, err := parseReport(data)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != "lamabench/v1" {
+	if rep.Schema != "lamabench/v2" {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
+	if rep.GoVersion != runtime.Version() {
+		t.Fatalf("goVersion = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	if rep.NumCPU != runtime.NumCPU() {
+		t.Fatalf("numCPU = %d, want %d", rep.NumCPU, runtime.NumCPU())
+	}
+	// GitRevision is best-effort: test binaries usually carry no vcs stamp.
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "E4" {
 		t.Fatalf("experiments = %+v", rep.Experiments)
 	}
@@ -80,5 +87,37 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if rep.TotalSeconds < e.WallSeconds {
 		t.Fatalf("total %v < experiment %v", rep.TotalSeconds, e.WallSeconds)
+	}
+}
+
+// TestParseReportAcceptsV1Golden keeps the schema bump backward compatible:
+// v1 documents archived by older CI runs must still parse, with the v2
+// header fields simply absent.
+func TestParseReportAcceptsV1Golden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "perf_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "lamabench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.GoVersion != "" || rep.GitRevision != "" || rep.NumCPU != 0 {
+		t.Fatalf("v1 document grew header fields: %+v", rep)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Placements != 161280 {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+}
+
+func TestParseReportRejectsUnknownSchema(t *testing.T) {
+	if _, err := parseReport([]byte(`{"schema":"lamabench/v99"}`)); err == nil {
+		t.Fatal("unknown schema should fail")
+	}
+	if _, err := parseReport([]byte(`not json`)); err == nil {
+		t.Fatal("garbage should fail")
 	}
 }

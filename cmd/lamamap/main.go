@@ -28,6 +28,7 @@ import (
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/mpirun"
+	"lama/internal/obs"
 	"lama/internal/rankfile"
 )
 
@@ -48,11 +49,16 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the map as JSON and exit")
 	emitRankfile := fs.Bool("emit-rankfile", false, "emit the map as a Level 4 rankfile and exit")
 	trace := fs.Int("trace", 0, "print the first N mapping-iteration events (Levels 1-3)")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	c, err := buildCluster(*clusterSpec, *hostfile)
+	if err != nil {
+		return err
+	}
+	o, closeObs, err := obsFlags.Observer(os.Stderr)
 	if err != nil {
 		return err
 	}
@@ -71,9 +77,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	req.Opts.Obs = o
 	res, err := mpirun.Execute(req, c)
 	if err != nil {
 		return err
+	}
+	metrics.Summarize(c, res.Map).Record(o.Reg())
+	finishObs := func() error {
+		if err := closeObs(); err != nil {
+			return err
+		}
+		return obsFlags.WriteReport(o.Report("lamamap", map[string]any{
+			"np": req.NP, "cluster": *clusterSpec, "level": req.Level,
+			"layout": req.Layout.String(), "bind": req.BindPolicy.String(),
+		}))
 	}
 
 	if *asJSON {
@@ -82,7 +99,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, string(data))
-		return nil
+		return finishObs()
 	}
 	if *emitRankfile {
 		f, err := rankfile.FromMap(res.Map)
@@ -90,7 +107,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, rankfile.Format(f))
-		return nil
+		return finishObs()
 	}
 
 	fmt.Fprintf(out, "cluster:\n%s\n", c.Summary())
@@ -126,7 +143,7 @@ func run(args []string, out io.Writer) error {
 
 	s := metricsSummary(c, res)
 	fmt.Fprintf(out, "\n%s", s)
-	return nil
+	return finishObs()
 }
 
 func buildCluster(spec, hostfile string) (*cluster.Cluster, error) {

@@ -130,3 +130,37 @@ func TestRunTrace(t *testing.T) {
 		t.Fatal("trace with rankfile should fail")
 	}
 }
+
+// TestObservabilityFlags checks the shared -trace-out/-metrics-out wiring:
+// the mapping and bind phases land in the report and the trace carries the
+// map completion event.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.jsonl")
+	reportPath := filepath.Join(dir, "m.json")
+	var out bytes.Buffer
+	err := run([]string{"-np", "24", "-cluster", "2xfig2",
+		"-trace-out", tracePath, "-metrics-out", reportPath,
+		"--", "--lama-map", "scbnh", "--bind-to", "core"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"src":"map"`) || !strings.Contains(string(trace), `"event":"done"`) {
+		t.Fatalf("trace missing map done event:\n%s", trace)
+	}
+	report, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "runreport/v1"`, `"tool": "lamamap"`,
+		`"prune"`, `"build-shape"`, `"sweep"`, `"place"`, `"bind"`,
+		`"lama_map_nodes_used"`} {
+		if !strings.Contains(string(report), want) {
+			t.Fatalf("report missing %s:\n%s", want, report)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"lama/internal/appsim"
 	"lama/internal/baseline"
@@ -32,6 +34,7 @@ import (
 	"lama/internal/metrics"
 	"lama/internal/msgsim"
 	"lama/internal/netsim"
+	"lama/internal/obs"
 	"lama/internal/orte"
 	"lama/internal/rm"
 	"lama/internal/torus"
@@ -68,16 +71,25 @@ func run(args []string, out io.Writer) error {
 	mtbf := fs.Float64("mtbf", 0, "inject: per-rank exponential MTBF in steps, 0 = off (-ft)")
 	seed := fs.Int64("seed", 1, "rng seed for -mtbf")
 	detect := fs.Int("detect", 0, "detection window in steps, 0 = routed-tree default (-ft)")
+	validate := fs.String("validate", "", "validate observability outputs instead of running: comma-separated paths (.jsonl = event trace, otherwise runreport JSON)")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *validate != "" {
+		return runValidate(out, *validate)
 	}
 
 	sp, err := hw.ParseSpec(*spec)
 	if err != nil {
 		return err
 	}
+	o, closeObs, err := obsFlags.Observer(os.Stderr)
+	if err != nil {
+		return err
+	}
 	if *ft != "" {
-		return runFT(out, sp, ftConfig{
+		return runFT(out, sp, obsFlags, o, closeObs, ftConfig{
 			spec: *spec, np: *np, nodes: *nodes, layout: *layout,
 			policy: *ft, spares: *spares, maxRestarts: *maxRestarts,
 			steps: *steps, failNode: *failNode, failRank: *failRank,
@@ -131,10 +143,10 @@ func run(args []string, out io.Writer) error {
 		name string
 		gen  func() (*core.Map, error)
 	}{
-		{"lama csbnh (pack)", lamaGen(c, "csbnh", *np)},
-		{"lama ncsbh (cycle)", lamaGen(c, "ncsbh", *np)},
-		{"lama scbnh (sockets)", lamaGen(c, "scbnh", *np)},
-		{"lama hcsbn (threads)", lamaGen(c, "hcsbn", *np)},
+		{"lama csbnh (pack)", lamaGen(c, "csbnh", *np, o)},
+		{"lama ncsbh (cycle)", lamaGen(c, "ncsbh", *np, o)},
+		{"lama scbnh (sockets)", lamaGen(c, "scbnh", *np, o)},
+		{"lama hcsbn (threads)", lamaGen(c, "hcsbn", *np, o)},
 		{"treematch", func() (*core.Map, error) { return treematch.Map(c, tm, *np) }},
 		{"random", func() (*core.Map, error) { return baseline.Random(c, 1, *np) }},
 	}
@@ -216,17 +228,73 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	return nil
+	if err := closeObs(); err != nil {
+		return err
+	}
+	return obsFlags.WriteReport(o.Report("lamasim", map[string]any{
+		"np": *np, "nodes": *nodes, "spec": *spec, "pattern": *patternName,
+		"net": *netName, "mode": *mode,
+	}))
 }
 
-func lamaGen(c *cluster.Cluster, layout string, np int) func() (*core.Map, error) {
+func lamaGen(c *cluster.Cluster, layout string, np int, o *obs.Observer) func() (*core.Map, error) {
 	return func() (*core.Map, error) {
-		m, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{})
+		m, err := core.NewMapper(c, core.MustParseLayout(layout), core.Options{Obs: o})
 		if err != nil {
 			return nil, err
 		}
 		return m.Map(np)
 	}
+}
+
+// runValidate is the observability output validator the CI smoke step uses:
+// each comma-separated path is checked as a JSONL event trace (.jsonl) or a
+// runreport/v1 document (anything else), and a one-line summary per file is
+// printed. The first malformed file fails the run.
+func runValidate(out io.Writer, paths string) error {
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		if strings.HasSuffix(path, ".jsonl") {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			n, bySource, err := obs.ValidateJSONLTrace(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %v", path, err)
+			}
+			srcs := make([]string, 0, len(bySource))
+			for src := range bySource {
+				srcs = append(srcs, src)
+			}
+			sort.Strings(srcs)
+			parts := make([]string, 0, len(srcs))
+			for _, src := range srcs {
+				parts = append(parts, fmt.Sprintf("%s=%d", src, bySource[src]))
+			}
+			fmt.Fprintf(out, "%s: ok, %d events (%s)\n", path, n, strings.Join(parts, " "))
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rep, err := obs.ValidateRunReport(data)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		nm := 0
+		if rep.Metrics != nil {
+			nm = len(rep.Metrics.Counters) + len(rep.Metrics.Gauges) + len(rep.Metrics.Histograms)
+		}
+		fmt.Fprintf(out, "%s: ok, %s from %s (%d phases, %d metrics, %d recovery entries)\n",
+			path, rep.Schema, rep.Tool, len(rep.Phases), nm, len(rep.Recovery))
+	}
+	return nil
 }
 
 // torusDims factors n into a 3-D shape (x >= y >= z).
@@ -251,7 +319,8 @@ type ftConfig struct {
 // runFT drives the full fault-tolerance pipeline: allocate compute nodes
 // plus spares from a resource-manager pool, launch under supervision,
 // inject the requested failures, and report the recovery metrics.
-func runFT(out io.Writer, sp hw.Spec, cfg ftConfig) error {
+func runFT(out io.Writer, sp hw.Spec, obsFlags *obs.CLIFlags, o *obs.Observer,
+	closeObs func() error, cfg ftConfig) error {
 	policy, err := orte.ParseFTPolicy(cfg.policy)
 	if err != nil {
 		return err
@@ -270,6 +339,7 @@ func runFT(out io.Writer, sp hw.Spec, cfg ftConfig) error {
 	sup := &orte.Supervisor{
 		Runtime:    orte.NewRuntime(alloc.Granted),
 		Layout:     layout,
+		Opts:       core.Options{Obs: o},
 		BindPolicy: bind.Specific,
 		BindLevel:  hw.LevelPU,
 		Config: orte.SuperviseConfig{
@@ -278,7 +348,8 @@ func runFT(out io.Writer, sp hw.Spec, cfg ftConfig) error {
 			DetectionWindow: cfg.detect,
 		},
 		SpareProvider: func(failedNode int) (int, error) {
-			res, err := mgr.Realloc(alloc, alloc.Granted.Nodes[failedNode].Name, rm.RetryConfig{})
+			res, err := mgr.Realloc(alloc, alloc.Granted.Nodes[failedNode].Name,
+				rm.RetryConfig{Obs: o})
 			if err != nil {
 				return -1, err
 			}
@@ -323,8 +394,44 @@ func runFT(out io.Writer, sp hw.Spec, cfg ftConfig) error {
 	if len(rep.Events) > 0 {
 		fmt.Fprintln(out)
 	}
-	fmt.Fprintln(out, metrics.SummarizeRecovery(rep).Render())
-	return nil
+	rsum := metrics.SummarizeRecovery(rep)
+	fmt.Fprintln(out, rsum.Render())
+	rsum.Record(o.Reg())
+	if rep.Map != nil {
+		metrics.Summarize(alloc.Granted, rep.Map).Record(o.Reg())
+	}
+	if err := closeObs(); err != nil {
+		return err
+	}
+	report := o.Report("lamasim", map[string]any{
+		"np": cfg.np, "nodes": cfg.nodes, "spec": cfg.spec, "layout": cfg.layout,
+		"ft": policy.String(), "spares": cfg.spares, "steps": cfg.steps,
+		"maxRestarts": cfg.maxRestarts, "detectionWindow": rep.DetectionWindow,
+	})
+	report.Recovery = recoveryTimeline(rep.Events)
+	return obsFlags.WriteReport(report)
+}
+
+// recoveryTimeline converts the supervisor's recovery events into the run
+// report's neutral timeline form.
+func recoveryTimeline(events []orte.RecoveryEvent) []obs.TimelineEntry {
+	var tl []obs.TimelineEntry
+	for _, ev := range events {
+		detail := map[string]any{"failStep": ev.FailStep, "ranks": ev.Ranks}
+		if len(ev.FailedNodes) > 0 {
+			detail["failedNodes"] = ev.FailedNodes
+		}
+		if ev.Reason != "" {
+			detail["reason"] = ev.Reason
+		}
+		if ev.Action == "respawn" {
+			detail["ranksMoved"] = ev.RanksMoved
+			detail["replaySteps"] = ev.ReplaySteps
+			detail["remapUs"] = ev.RemapUs
+		}
+		tl = append(tl, obs.TimelineEntry{Step: ev.DetectedStep, Action: ev.Action, Detail: detail})
+	}
+	return tl
 }
 
 // usableCores counts a node's usable cores with at least one usable PU.

@@ -166,3 +166,80 @@ func TestFTBadPolicy(t *testing.T) {
 		t.Fatal("bad policy should fail")
 	}
 }
+
+// TestFTObservabilityRoundTrip is the acceptance path end to end: a
+// supervised run writes a JSONL trace and a runreport/v1 document, the
+// built-in validator accepts both, and the trace carries mapping, sweep-free
+// recovery, and rm-free supervise events while the report carries the
+// recovery timeline.
+func TestFTObservabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	reportPath := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-np", "24", "-nodes", "4", "-ft", "respawn", "-spares", "1",
+		"-fail-node", "0", "-fail-step", "10",
+		"-trace-out", tracePath, "-metrics-out", reportPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate both files through the same code path the CI step uses.
+	var vout bytes.Buffer
+	if err := run([]string{"-validate", tracePath + "," + reportPath}, &vout); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace.jsonl: ok", "report.json: ok, runreport/v1 from lamasim"} {
+		if !strings.Contains(vout.String(), want) {
+			t.Fatalf("validator output missing %q:\n%s", want, vout.String())
+		}
+	}
+
+	// The trace must carry both the mapping engine's and the supervisor's
+	// event streams.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"src":"map"`, `"src":"supervise"`, `"event":"detect"`,
+		`"event":"realloc"`, `"event":"remap"`, `"event":"respawn"`} {
+		if !strings.Contains(string(trace), want) {
+			t.Fatalf("trace missing %s:\n%s", want, trace)
+		}
+	}
+
+	report, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "runreport/v1"`, `"tool": "lamasim"`,
+		`"action": "respawn"`, `"lama_restarts_total"`, `"lama_map_duration_us"`,
+		`"lama_recovery_restarts"`, `"place"`, `"bind"`} {
+		if !strings.Contains(string(report), want) {
+			t.Fatalf("report missing %s:\n%s", want, report)
+		}
+	}
+}
+
+// TestValidateRejectsMalformed pins the validator's failure mode: a trace
+// line without the reserved keys and a report with a wrong schema both fail.
+func TestValidateRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"no":"src"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-validate", bad}, &out); err == nil {
+		t.Fatal("src-less trace should fail validation")
+	}
+	badRep := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badRep, []byte(`{"schema":"runreport/v99","tool":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", badRep}, &out); err == nil {
+		t.Fatal("wrong-schema report should fail validation")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func run(args []string, out io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the first node's topology as JSON")
 	asTree := fs.Bool("tree", false, "render the first node's topology as an ASCII tree")
 	presets := fs.Bool("presets", false, "list available presets and exit")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o, closeObs, err := obsFlags.Observer(os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -54,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	endGen := o.StartSpan("generate")
 	var c *cluster.Cluster
 	if *specs != "" {
 		var list []hw.Spec
@@ -104,18 +111,37 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	endGen()
+	if reg := o.Reg(); reg != nil {
+		reg.Gauge("lama_topogen_nodes").Set(float64(c.NumNodes()))
+		reg.Gauge("lama_topogen_usable_pus").Set(float64(c.TotalUsablePUs()))
+	}
+	if o.Enabled() {
+		o.Emit("topogen", "generate", obs.NoStep,
+			obs.F("nodes", c.NumNodes()), obs.F("usable_pus", c.TotalUsablePUs()))
+	}
+	finishObs := func() error {
+		if err := closeObs(); err != nil {
+			return err
+		}
+		return obsFlags.WriteReport(o.Report("topogen", map[string]any{
+			"nodes": c.NumNodes(), "spec": *spec, "specs": *specs,
+			"offline": *offline, "slots": *slots,
+		}))
+	}
+
 	if *asJSON {
 		data, err := json.MarshalIndent(c.Node(0).Topo, "", "  ")
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(out, string(data))
-		return nil
+		return finishObs()
 	}
 	if *asTree {
 		fmt.Fprint(out, c.Node(0).Topo.RenderTree())
-		return nil
+		return finishObs()
 	}
 	fmt.Fprint(out, cluster.FormatHostfile(c))
-	return nil
+	return finishObs()
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // ErrOversubscribe is returned when a mapping cannot complete without
@@ -165,13 +167,22 @@ func (m *Mapper) ensure(np int) (*runState, error) {
 }
 
 // buildState constructs fresh state: the dense maximal tree (through the
-// shape and view caches) and the index-addressed scratch arrays.
+// shape and view caches) and the index-addressed scratch arrays. The two
+// one-off phases are observable as spans: "prune" covers the pruned dense
+// tree (shape + views, possibly cache hits), "build-shape" the
+// index-addressed iteration state derived from it.
 func (m *Mapper) buildState() (*runState, error) {
+	o := m.Opts.Obs
 	intra := m.Layout.IntraNode()
+	endPrune := o.StartSpan("prune")
+	tree := newDenseTree(m.Cluster, intra)
+	endPrune()
+	endBuild := o.StartSpan("build-shape")
+	defer endBuild()
 	r := &runState{
 		layoutLevels: append([]hw.Level(nil), m.Layout.Levels()...),
 		iterLevels:   m.Layout.Levels(),
-		tree:         newDenseTree(m.Cluster, intra),
+		tree:         tree,
 		machineIdx:   -1,
 	}
 	n := len(r.iterLevels)
@@ -275,21 +286,78 @@ func (m *Mapper) resetCaps(r *runState) error {
 
 // Map executes the LAMA: the recursive loop nest of the paper's Figure 1,
 // wrapped in the outer while-loop that re-sweeps the resource space until
-// every rank is placed (or no progress is possible).
+// every rank is placed (or no progress is possible). With an Observer in
+// the options the run is instrumented — a "place" span envelops the call,
+// each resource-space traversal records a "sweep" span, and completion
+// lands a "map"/"done" event plus latency metrics; with a nil Observer
+// (the default) none of the instrumentation paths execute.
 func (m *Mapper) Map(np int) (*Map, error) {
+	o := m.Opts.Obs
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	endPlace := o.StartSpan("place")
 	r, err := m.ensure(np)
 	if err != nil {
+		endPlace()
 		return nil, err
 	}
 	for len(r.placements) < np {
 		before := len(r.placements)
+		endSweep := o.StartSpan("sweep")
 		r.inner(m, len(r.iterLevels)-1)
+		endSweep()
 		r.sweeps++
 		if len(r.placements) == before {
-			return nil, stallError(m.Layout, np, len(r.placements), r.skippedOversub)
+			err := stallError(m.Layout, np, len(r.placements), r.skippedOversub)
+			endPlace()
+			m.observeStall(o, np, len(r.placements), err)
+			return nil, err
 		}
 	}
-	return r.finish(m), nil
+	out := r.finish(m)
+	endPlace()
+	m.observeDone(o, np, out, t0)
+	return out, nil
+}
+
+// observeDone reports one completed mapping run to the observer: a
+// "map"/"done" event and the placement-latency metrics. Callers only
+// invoke it with o possibly nil; every path inside is nil-safe.
+func (m *Mapper) observeDone(o *obs.Observer, np int, out *Map, t0 time.Time) {
+	if o == nil {
+		return
+	}
+	us := float64(time.Since(t0)) / float64(time.Microsecond)
+	if reg := o.Reg(); reg != nil {
+		reg.Histogram("lama_map_duration_us", obs.LatencyBucketsUs).Observe(us)
+		reg.Counter("lama_maps_total").Inc()
+		reg.Counter("lama_ranks_placed_total").Add(int64(len(out.Placements)))
+	}
+	if o.Enabled() {
+		o.Emit("map", "done", obs.NoStep,
+			obs.F("layout", m.Layout.String()),
+			obs.F("np", np),
+			obs.F("placed", len(out.Placements)),
+			obs.F("sweeps", out.Sweeps),
+			obs.F("us", us))
+	}
+}
+
+// observeStall reports a mapping run that stalled before placing np ranks.
+func (m *Mapper) observeStall(o *obs.Observer, np, placed int, err error) {
+	if o == nil {
+		return
+	}
+	o.Reg().Counter("lama_map_stalls_total").Inc()
+	if o.Enabled() {
+		o.Emit("map", "stall", obs.NoStep,
+			obs.F("layout", m.Layout.String()),
+			obs.F("np", np),
+			obs.F("placed", placed),
+			obs.F("error", err.Error()))
+	}
 }
 
 // inner is the recursive heart of the LAMA (paper Fig. 1): it iterates the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // IterOrder produces the visiting order of the child indices at one level:
@@ -73,6 +74,13 @@ type Options struct {
 	// IterOrder optionally overrides the per-level visiting order; levels
 	// not present use SequentialOrder.
 	IterOrder map[hw.Level]IterOrder
+
+	// Obs optionally observes the run: phase spans (prune, build-shape,
+	// sweep, place), per-map completion events, and placement-latency
+	// metrics flow into it. Nil — the default — disables every
+	// instrumentation path at zero cost (no allocation, no clock reads),
+	// which TestMapAllocationsSteadyState and BenchmarkMapObsDisabled pin.
+	Obs *obs.Observer
 }
 
 func (o Options) pes() int {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 	"lama/internal/parallel"
 )
 
@@ -37,28 +39,82 @@ func SweepLayouts(c *cluster.Cluster, layouts []Layout, np int, opts Options, wo
 // goroutines, so visit MUST be safe for concurrent use (its results for
 // distinct i never interleave for the same worker, but different workers
 // call it simultaneously). A visit error counts as that layout's failure.
+//
+// With an Observer in the options the sweep reports progress: a
+// "sweep"/"start" event, one "sweep"/"layout" event per completed layout
+// (emitted from the worker goroutines — sinks serialize internally), and
+// a "sweep"/"done" event with the total wall time. Each layout's Map call
+// additionally instruments itself as usual. Note that per-Map "map" events
+// are suppressed inside the sweep (only the "sweep"/"layout" progress
+// events and the aggregate metrics are kept) so a 362,880-layout sweep
+// does not drown the trace in per-map completions.
 func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int,
 	visit func(i int, m *Map) error) error {
 	if c == nil || c.NumNodes() == 0 {
 		return fmt.Errorf("core: empty cluster")
 	}
+	o := opts.Obs
+	workerOpts := opts
+	if o.Enabled() {
+		// Per-worker options with the sink stripped: metrics and spans
+		// still flow, but per-map "done" events give way to the sweep's
+		// own per-layout progress events.
+		stripped := *o
+		stripped.Sink = nil
+		workerOpts.Obs = &stripped
+	}
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	workers = parallel.Workers(len(layouts), workers)
+	if o.Enabled() {
+		o.Emit("sweep", "start", obs.NoStep,
+			obs.F("layouts", len(layouts)), obs.F("np", np), obs.F("workers", workers))
+	}
 	mappers := make([]*Mapper, workers)
-	return parallel.ForEachWorker(len(layouts), workers, func(w, i int) error {
+	err := parallel.ForEachWorker(len(layouts), workers, func(w, i int) error {
 		layout := layouts[i]
 		if !layout.Contains(hw.LevelMachine) {
 			return fmt.Errorf("core: layout %q must include the node level 'n'", layout)
 		}
 		mp := mappers[w]
 		if mp == nil {
-			mp = &Mapper{Cluster: c, Opts: opts}
+			mp = &Mapper{Cluster: c, Opts: workerOpts}
 			mappers[w] = mp
 		}
 		mp.Layout = layout
+		var mapStart time.Time
+		if o.Enabled() {
+			mapStart = time.Now()
+		}
 		m, err := mp.Map(np)
 		if err != nil {
+			if o.Enabled() {
+				o.Emit("sweep", "layout-failed", obs.NoStep,
+					obs.F("index", i), obs.F("layout", layout.String()), obs.F("error", err.Error()))
+			}
 			return fmt.Errorf("core: sweep layout %q: %w", layout, err)
 		}
+		if o.Enabled() {
+			o.Emit("sweep", "layout", obs.NoStep,
+				obs.F("index", i), obs.F("layout", layout.String()),
+				obs.F("placed", len(m.Placements)), obs.F("sweeps", m.Sweeps),
+				obs.F("us", float64(time.Since(mapStart))/float64(time.Microsecond)))
+		}
+		o.Reg().Counter("lama_sweep_layouts_total").Inc()
 		return visit(i, m)
 	})
+	if o != nil {
+		us := float64(time.Since(t0)) / float64(time.Microsecond)
+		o.Reg().Histogram("lama_sweep_duration_us", obs.LatencyBucketsUs).Observe(us)
+		if o.Enabled() {
+			fields := []obs.Field{obs.F("layouts", len(layouts)), obs.F("us", us)}
+			if err != nil {
+				fields = append(fields, obs.F("error", err.Error()))
+			}
+			o.Emit("sweep", "done", obs.NoStep, fields...)
+		}
+	}
+	return err
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // TraceAction classifies what the mapping iteration did at one coordinate.
@@ -45,8 +47,11 @@ func (a TraceAction) String() string {
 
 // TraceEvent is one coordinate visit during mapping.
 type TraceEvent struct {
-	// Coords is the visited iteration coordinate per layout level.
-	Coords map[hw.Level]int
+	// Coords is the visited iteration coordinate per layout level, -1 for
+	// levels absent from the layout. (A CoordVector, not a map: enabling
+	// tracing must not reintroduce a per-coordinate map allocation into
+	// the visited-coordinate path.)
+	Coords CoordVector
 	// Action says what happened there.
 	Action TraceAction
 	// Rank is the placed rank for Mapped events, -1 otherwise.
@@ -60,8 +65,8 @@ func (e TraceEvent) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "sweep %d ", e.Sweep)
 	for _, l := range hw.Levels {
-		if v, ok := e.Coords[l]; ok {
-			fmt.Fprintf(&sb, "%s=%d ", l.Abbrev(), v)
+		if e.Coords[l] >= 0 {
+			fmt.Fprintf(&sb, "%s=%d ", l.Abbrev(), e.Coords[l])
 		}
 	}
 	fmt.Fprintf(&sb, "-> %s", e.Action)
@@ -74,20 +79,38 @@ func (e TraceEvent) String() string {
 // MapTraced is Map with an iteration trace: it records what happened at
 // every visited coordinate (up to maxEvents; 0 means unlimited), which
 // makes layout behaviour on heterogeneous or restricted systems
-// inspectable ("why did rank 7 land there?").
+// inspectable ("why did rank 7 land there?"). With an Observer in the
+// options every visit additionally streams to the event sink as a
+// "map"/"visit" event — the sink is NOT bounded by maxEvents, which only
+// caps the returned slice.
 func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
+	o := m.Opts.Obs
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	endPlace := o.StartSpan("place")
 	r, err := m.ensure(np)
 	if err != nil {
+		endPlace()
 		return nil, nil, err
 	}
 	var events []TraceEvent
+	emitVisits := o.Enabled()
 	r.trace = func(action TraceAction, rank int) {
-		if maxEvents > 0 && len(events) >= maxEvents {
-			return
-		}
-		coords := make(map[hw.Level]int, len(r.iterLevels))
+		coords := NoCoords()
 		for i, l := range r.iterLevels {
 			coords[l] = r.coords[i]
+		}
+		if emitVisits {
+			o.Emit("map", "visit", obs.NoStep,
+				obs.F("sweep", r.sweeps),
+				obs.F("coords", coords.String()),
+				obs.F("action", action.String()),
+				obs.F("rank", rank))
+		}
+		if maxEvents > 0 && len(events) >= maxEvents {
+			return
 		}
 		events = append(events, TraceEvent{
 			Coords: coords, Action: action, Rank: rank, Sweep: r.sweeps,
@@ -96,11 +119,19 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 	defer func() { r.trace = nil }()
 	for len(r.placements) < np {
 		before := len(r.placements)
+		endSweep := o.StartSpan("sweep")
 		r.inner(m, len(r.iterLevels)-1)
+		endSweep()
 		r.sweeps++
 		if len(r.placements) == before {
-			return nil, events, stallError(m.Layout, np, len(r.placements), r.skippedOversub)
+			err := stallError(m.Layout, np, len(r.placements), r.skippedOversub)
+			endPlace()
+			m.observeStall(o, np, len(r.placements), err)
+			return nil, events, err
 		}
 	}
-	return r.finish(m), events, nil
+	out := r.finish(m)
+	endPlace()
+	m.observeDone(o, np, out, t0)
+	return out, events, nil
 }

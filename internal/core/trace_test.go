@@ -6,6 +6,7 @@ import (
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 func TestMapTracedMatchesMap(t *testing.T) {
@@ -117,21 +118,72 @@ func TestMapTracedEventLimit(t *testing.T) {
 }
 
 func TestTraceEventString(t *testing.T) {
-	e := TraceEvent{
-		Coords: map[hw.Level]int{hw.LevelSocket: 1, hw.LevelMachine: 0},
-		Action: Mapped, Rank: 3, Sweep: 0,
+	coords := NoCoords()
+	coords.Set(hw.LevelSocket, 1)
+	coords.Set(hw.LevelMachine, 0)
+	e := TraceEvent{Coords: coords, Action: Mapped, Rank: 3, Sweep: 0}
+	// The exact rendering predates the CoordVector conversion: canonical
+	// level order, "sweep N" prefix, "-> action [rank R]" suffix.
+	if got, want := e.String(), "sweep 0 n=0 s=1 -> mapped rank 3"; got != want {
+		t.Fatalf("event string %q, want %q", got, want)
 	}
-	s := e.String()
-	for _, want := range []string{"sweep 0", "s=1", "n=0", "mapped rank 3"} {
-		if !strings.Contains(s, want) {
-			t.Fatalf("event string %q missing %q", s, want)
-		}
-	}
-	skip := TraceEvent{Coords: map[hw.Level]int{}, Action: SkipUnavailable, Rank: -1}
-	if !strings.Contains(skip.String(), "skip-unavailable") {
-		t.Fatal("skip rendering")
+	skip := TraceEvent{Coords: NoCoords(), Action: SkipUnavailable, Rank: -1}
+	if got, want := skip.String(), "sweep 0 -> skip-unavailable"; got != want {
+		t.Fatalf("skip string %q, want %q", got, want)
 	}
 	if !strings.HasPrefix(TraceAction(9).String(), "action(") {
 		t.Fatal("unknown action")
+	}
+}
+
+// TestMapTracedAllocations pins the satellite claim of the CoordVector
+// conversion: tracing no longer allocates a map per visited coordinate.
+// Per-visit cost is now just the amortized events-slice growth, so a
+// traced run of np ranks stays within a small constant plus the slice
+// doublings rather than one-map-per-event.
+func TestMapTracedAllocations(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	mapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{})
+	if _, _, err := mapper.MapTraced(24, 0); err != nil { // warm reusable state
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := mapper.MapTraced(24, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 24 visits: a map per visit would cost >= 24 allocations on its own.
+	if allocs > 16 {
+		t.Errorf("MapTraced(24) allocates %.0f objects/run, want <= 16", allocs)
+	}
+}
+
+// TestMapTracedEmitsToSink checks the tentpole wiring: with an Observer in
+// the options, every visited coordinate streams to the event sink and the
+// run closes with a map/done event, regardless of the maxEvents cap on
+// the returned slice.
+func TestMapTracedEmitsToSink(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	sink := obs.NewMemorySink()
+	o := &obs.Observer{Sink: sink, Clock: func() int64 { return 0 }}
+	mapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{Obs: o})
+	_, events, err := mapper.MapTraced(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("returned events = %d, want capped 5", len(events))
+	}
+	visits, done := 0, 0
+	for _, e := range sink.Events() {
+		switch e.Source + "/" + e.Name {
+		case "map/visit":
+			visits++
+		case "map/done":
+			done++
+		}
+	}
+	if visits != 24 || done != 1 {
+		t.Fatalf("sink saw %d visits, %d done; want 24, 1", visits, done)
 	}
 }

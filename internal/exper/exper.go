@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"lama/internal/metrics"
+	"lama/internal/obs"
 )
 
 // Options tune experiment scale.
@@ -20,6 +21,9 @@ type Options struct {
 	Full bool
 	// Seed drives the randomized experiments.
 	Seed int64
+	// Obs optionally observes the runs: layout sweeps report per-layout
+	// progress events and the mapping engines their spans and metrics.
+	Obs *obs.Observer
 }
 
 // Experiment is one runnable exhibit reproduction.

@@ -48,7 +48,7 @@ func runE12(o Options) ([]*metrics.Table, error) {
 		"pattern", "best regular layout", "best regular (ms)", "treematch (ms)", "random (ms)", "treematch vs best regular")
 	for _, p := range patterns {
 		layouts := intraLayouts()
-		reports, err := sweepLayouts(c, mo, layouts, np, p.tm)
+		reports, err := sweepLayouts(c, mo, layouts, np, p.tm, o.Obs)
 		if err != nil {
 			return nil, err
 		}

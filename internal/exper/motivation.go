@@ -9,6 +9,7 @@ import (
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/netsim"
+	"lama/internal/obs"
 	"lama/internal/parallel"
 	"lama/internal/permute"
 	"lama/internal/torus"
@@ -38,7 +39,7 @@ func evalLayout(c *cluster.Cluster, mo *netsim.Model, layout string, np int,
 // (core.SweepLayouts, with per-worker mapper reuse); the network
 // evaluations then fan out over the resulting maps.
 func sweepLayouts(c *cluster.Cluster, mo *netsim.Model, layouts []string, np int,
-	tm *commpat.Matrix) ([]*netsim.Report, error) {
+	tm *commpat.Matrix, ob *obs.Observer) ([]*netsim.Report, error) {
 	parsed := make([]core.Layout, len(layouts))
 	for i, s := range layouts {
 		var err error
@@ -46,7 +47,7 @@ func sweepLayouts(c *cluster.Cluster, mo *netsim.Model, layouts []string, np int
 			return nil, err
 		}
 	}
-	maps, err := core.SweepLayouts(c, parsed, np, core.Options{}, 0)
+	maps, err := core.SweepLayouts(c, parsed, np, core.Options{Obs: ob}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +113,7 @@ func runE5(o Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		layouts := intraLayouts()
-		reports, err := sweepLayouts(c, mo, layouts, np, tm)
+		reports, err := sweepLayouts(c, mo, layouts, np, tm, o.Obs)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +164,7 @@ func runE6(o Options) ([]*metrics.Table, error) {
 	} {
 		tm := p.Gen(np, 1<<20)
 		layouts := intraLayouts()
-		reports, err := sweepLayouts(c, mo, layouts, np, tm)
+		reports, err := sweepLayouts(c, mo, layouts, np, tm, o.Obs)
 		if err != nil {
 			return nil, err
 		}

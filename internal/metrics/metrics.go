@@ -4,6 +4,7 @@ import (
 	"lama/internal/cluster"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // MapSummary aggregates structural qualities of a mapping plan,
@@ -30,17 +31,16 @@ func Summarize(c *cluster.Cluster, m *core.Map) MapSummary {
 	s := MapSummary{Ranks: m.NumRanks(), Oversubscribed: m.Oversubscribed()}
 	perNode := m.RanksByNode()
 	s.NodesUsed = len(perNode)
-	s.MinPerNode = m.NumRanks() + 1
+	// Used nodes host at least one rank, so 0 is free as the "no nodes yet"
+	// state and an empty map naturally reports MinPerNode == 0 (no
+	// NumRanks+1 sentinel to leak out).
 	for _, ranks := range perNode {
 		if len(ranks) > s.MaxPerNode {
 			s.MaxPerNode = len(ranks)
 		}
-		if len(ranks) < s.MinPerNode {
+		if s.MinPerNode == 0 || len(ranks) < s.MinPerNode {
 			s.MinPerNode = len(ranks)
 		}
-	}
-	if s.NodesUsed == 0 {
-		s.MinPerNode = 0
 	}
 	sockets := map[[2]int]bool{}
 	for i := range m.Placements {
@@ -67,4 +67,26 @@ func Summarize(c *cluster.Cluster, m *core.Map) MapSummary {
 		s.AvgNeighborLevel = float64(depthSum) / float64(pairs)
 	}
 	return s
+}
+
+// Record publishes the summary into an obs registry as lama_map_* gauges,
+// making every Summarize call a metrics producer: whatever exposition the
+// CLI chose (Prometheus text, runreport JSON) picks the structural
+// qualities up alongside the engine's own counters. A nil registry is a
+// no-op.
+func (s MapSummary) Record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("lama_map_ranks").Set(float64(s.Ranks))
+	reg.Gauge("lama_map_nodes_used").Set(float64(s.NodesUsed))
+	reg.Gauge("lama_map_max_per_node").Set(float64(s.MaxPerNode))
+	reg.Gauge("lama_map_min_per_node").Set(float64(s.MinPerNode))
+	reg.Gauge("lama_map_sockets_used").Set(float64(s.SocketsUsed))
+	reg.Gauge("lama_map_avg_neighbor_level").Set(s.AvgNeighborLevel)
+	oversub := 0.0
+	if s.Oversubscribed {
+		oversub = 1
+	}
+	reg.Gauge("lama_map_oversubscribed").Set(oversub)
 }

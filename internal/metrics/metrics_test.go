@@ -7,6 +7,7 @@ import (
 	"lama/internal/cluster"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -95,4 +96,46 @@ func TestSummarize(t *testing.T) {
 	if s2.AvgNeighborLevel != 0 {
 		t.Fatalf("AvgNeighborLevel = %v", s2.AvgNeighborLevel)
 	}
+}
+
+// TestSummarizeEmptyMap is the regression test for the MinPerNode floor:
+// a map with no placements must report 0, never a ranks-derived sentinel
+// such as NumRanks+1 leaking out of the scan.
+func TestSummarizeEmptyMap(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	s := Summarize(c, &core.Map{})
+	if s.MinPerNode != 0 {
+		t.Errorf("empty map MinPerNode = %d, want 0", s.MinPerNode)
+	}
+	if s.Ranks != 0 || s.NodesUsed != 0 || s.MaxPerNode != 0 || s.SocketsUsed != 0 {
+		t.Errorf("empty map summary = %+v, want all-zero", s)
+	}
+}
+
+func TestMapSummaryRecord(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(c, m)
+	reg := obs.NewRegistry()
+	s.Record(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["lama_map_ranks"]; got != 8 {
+		t.Errorf("lama_map_ranks = %v", got)
+	}
+	if got := snap.Gauges["lama_map_nodes_used"]; got != float64(s.NodesUsed) {
+		t.Errorf("lama_map_nodes_used = %v, want %d", got, s.NodesUsed)
+	}
+	if got := snap.Gauges["lama_map_min_per_node"]; got != float64(s.MinPerNode) {
+		t.Errorf("lama_map_min_per_node = %v, want %d", got, s.MinPerNode)
+	}
+	s.Record(nil) // nil registry must be a no-op, not a panic
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"lama/internal/obs"
 	"lama/internal/orte"
 )
 
@@ -48,6 +49,29 @@ func SummarizeRecovery(rep *orte.SuperviseReport) RecoverySummary {
 		}
 	}
 	return s
+}
+
+// Record publishes the summary into an obs registry as lama_recovery_*
+// gauges — the end-of-run rollup next to the supervisor's live counters
+// (lama_failures_detected_total etc.). A nil registry is a no-op.
+func (s RecoverySummary) Record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("lama_recovery_final_ranks").Set(float64(s.FinalRanks))
+	reg.Gauge("lama_recovery_failure_events").Set(float64(s.FailureEvents))
+	reg.Gauge("lama_recovery_restarts").Set(float64(s.Restarts))
+	reg.Gauge("lama_recovery_ranks_lost").Set(float64(s.RanksLost))
+	reg.Gauge("lama_recovery_ranks_migrated").Set(float64(s.RanksMigrated))
+	// "replayed", not "replay": lama_recovery_replay_steps is the
+	// supervisor's per-event histogram and must not be shadowed.
+	reg.Gauge("lama_recovery_replayed_steps").Set(float64(s.ReplaySteps))
+	reg.Gauge("lama_recovery_remap_us").Set(s.TotalRemapUs)
+	completed := 0.0
+	if s.Completed {
+		completed = 1
+	}
+	reg.Gauge("lama_recovery_completed").Set(completed)
 }
 
 // Render formats the summary as a text table.

@@ -8,6 +8,7 @@ import (
 	"lama/internal/cluster"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/obs"
 	"lama/internal/orte"
 )
 
@@ -65,4 +66,28 @@ func TestSummarizeRecoveryShrinkCountsLost(t *testing.T) {
 	if sum.RanksLost != 2 || sum.FinalRanks != 6 || sum.Restarts != 0 {
 		t.Fatalf("summary = %+v", sum)
 	}
+}
+
+func TestRecoverySummaryRecord(t *testing.T) {
+	s := RecoverySummary{
+		Completed: true, FinalRanks: 8, FailureEvents: 2, Restarts: 1,
+		RanksLost: 0, RanksMigrated: 6, ReplaySteps: 12, TotalRemapUs: 55.5,
+	}
+	reg := obs.NewRegistry()
+	s.Record(reg)
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"lama_recovery_completed":      1,
+		"lama_recovery_final_ranks":    8,
+		"lama_recovery_failure_events": 2,
+		"lama_recovery_restarts":       1,
+		"lama_recovery_ranks_migrated": 6,
+		"lama_recovery_replayed_steps": 12,
+		"lama_recovery_remap_us":       55.5,
+	} {
+		if got := snap.Gauges[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	s.Record(nil) // nil registry must be a no-op
 }

@@ -371,11 +371,13 @@ func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
 		}
 	}
 	var plan *bind.Plan
+	endBind := req.Opts.Obs.StartSpan("bind")
 	if req.BindPolicy == bind.Specific && req.BindCount > 1 {
 		plan, err = bind.ComputeWidth(c, m, req.BindLevel, req.BindCount)
 	} else {
 		plan, err = bind.Compute(c, m, req.BindPolicy, req.BindLevel)
 	}
+	endBind()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIFlags is the observability flag set shared by every command:
+// -trace-out, -metrics-out, and -v mean the same thing in lamamap,
+// lamasim, lamabench, and topogen.
+type CLIFlags struct {
+	// TraceOut is the JSONL structured-event destination ("" = off,
+	// "-" = stderr).
+	TraceOut string
+	// MetricsOut is the runreport/v1 destination ("" = off, "-" = stdout).
+	MetricsOut string
+	// Verbose additionally renders every event human-readably on stderr.
+	Verbose bool
+}
+
+// RegisterFlags installs the shared observability flags on a FlagSet.
+func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write structured JSONL events to this file (- for stderr)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a runreport/v1 JSON document (config, phases, metrics) to this file (- for stdout)")
+	fs.BoolVar(&f.Verbose, "v", false, "print human-readable events to stderr")
+	return f
+}
+
+// Enabled reports that any observability output was requested.
+func (f *CLIFlags) Enabled() bool {
+	return f != nil && (f.TraceOut != "" || f.MetricsOut != "" || f.Verbose)
+}
+
+// Observer builds the observer the flags describe, or nil (zero cost) when
+// nothing was requested. The returned closer flushes and closes every
+// opened file; call it before writing the run report is NOT required
+// (sinks and files are independent of the report), but it must run before
+// process exit.
+func (f *CLIFlags) Observer(stderr io.Writer) (*Observer, func() error, error) {
+	if !f.Enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	o := &Observer{}
+	var files []*os.File
+	var sinks []Sink
+	if f.TraceOut != "" {
+		w := stderr
+		if f.TraceOut != "-" {
+			file, err := os.Create(f.TraceOut)
+			if err != nil {
+				return nil, nil, fmt.Errorf("obs: -trace-out: %v", err)
+			}
+			files = append(files, file)
+			w = file
+		}
+		sinks = append(sinks, NewJSONLSink(w))
+	}
+	if f.Verbose {
+		sinks = append(sinks, NewTextSink(stderr))
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		o.Sink = sinks[0]
+	default:
+		o.Sink = NewMultiSink(sinks...)
+	}
+	if f.MetricsOut != "" {
+		o.Metrics = NewRegistry()
+		o.Phases = NewPhaseTimer()
+	}
+	closer := func() error {
+		err := o.Close()
+		for _, file := range files {
+			if cerr := file.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return o, closer, nil
+}
+
+// WriteReport writes the run report to -metrics-out (no-op when the flag
+// is unset).
+func (f *CLIFlags) WriteReport(rep *RunReport) error {
+	if f == nil || f.MetricsOut == "" {
+		return nil
+	}
+	return rep.WriteFile(f.MetricsOut)
+}

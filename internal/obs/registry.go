@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a typed metrics registry: named counters, gauges, and
+// fixed-bucket histograms. Lookup is mutex-guarded and idempotent (the
+// first caller creates the instrument, later callers get the same one);
+// the instruments themselves update with atomics so recording from sweep
+// workers or the supervisor is lock-free. A nil *Registry is valid: every
+// method returns a nil instrument whose update methods are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (no-op on a nil counter; negative deltas are ignored to keep
+// the counter monotone).
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed, ascending upper-bound buckets
+// (Prometheus classic-histogram semantics: an observation lands in the
+// first bucket whose bound is >= the value, or the implicit +Inf bucket).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+
+	mu    sync.Mutex
+	sum   float64
+	total int64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.mu.Lock()
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// LatencyBucketsUs are the fixed buckets for planning/placement latencies
+// in microseconds, spanning sub-10us steady-state maps to multi-second
+// exhaustive sweeps.
+var LatencyBucketsUs = []float64{
+	10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+}
+
+// StepBuckets are the fixed buckets for step-valued recovery quantities
+// (detection latencies, replayed steps).
+var StepBuckets = []float64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+
+// Counter returns (creating if needed) the named counter; nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil registry returns
+// a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given ascending upper bounds; the bounds of the first creation win. A
+// nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// BucketCount is one histogram bucket in a snapshot: the cumulative count
+// of observations <= the upper bound UpperLe ("+Inf" for the overflow
+// bucket, encoded as math.Inf(1) and rendered as the JSON string "+Inf").
+type BucketCount struct {
+	UpperLe float64 `json:"le"`
+	Count   int64   `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's frozen state.
+type HistogramSnapshot struct {
+	Buckets []BucketCount `json:"buckets"`
+	Sum     float64       `json:"sum"`
+	Count   int64         `json:"count"`
+}
+
+// MetricsSnapshot is the registry's frozen state, the "metrics" section of
+// a runreport/v1 document.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry (nil registry gives a nil snapshot).
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &MetricsSnapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+			cum := int64(0)
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				hs.Buckets = append(hs.Buckets, BucketCount{UpperLe: le, Count: cum})
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// MarshalJSON renders +Inf bucket bounds as the string "+Inf" (plain JSON
+// has no infinity literal).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := fmt.Sprintf("%g", b.UpperLe)
+	if math.IsInf(b.UpperLe, 1) {
+		le = `"+Inf"`
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Le    any   `json:"le"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch v := raw.Le.(type) {
+	case float64:
+		b.UpperLe = v
+	case string:
+		if v != "+Inf" {
+			return fmt.Errorf("obs: bad bucket bound %q", v)
+		}
+		b.UpperLe = math.Inf(1)
+	default:
+		return fmt.Errorf("obs: bad bucket bound %v", raw.Le)
+	}
+	b.Count = raw.Count
+	return nil
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, instruments sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := fmt.Sprintf("%g", b.UpperLe)
+			if math.IsInf(b.UpperLe, 1) {
+				le = "+Inf"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package orte
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/obs"
+	"lama/internal/rm"
+)
+
+// decodeTrace parses a JSONL trace buffer into "src/event@step" strings
+// ("src/event" for stepless events), preserving emission order.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) []string {
+	t.Helper()
+	var seq []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		s := fmt.Sprintf("%v/%v", e["src"], e["event"])
+		if step, ok := e["step"]; ok {
+			s += fmt.Sprintf("@%v", step)
+		}
+		seq = append(seq, s)
+	}
+	return seq
+}
+
+// TestSupervisorEventSequences pins the exact ordered event stream each
+// recovery path writes to the trace: the pipeline order
+// detect -> realloc -> remap -> respawn is part of the observable contract,
+// not an implementation accident. Detection windows are fixed explicitly so
+// every step stamp is deterministic.
+func TestSupervisorEventSequences(t *testing.T) {
+	cases := []struct {
+		name string
+		// build returns a configured supervisor (with o already in its
+		// Opts) plus the np/steps/plan to run.
+		build func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan)
+		want  []string
+	}{
+		{
+			// A lone rank crash under FTRespawn: no node died, so there is
+			// no realloc step — detection flows straight into remap.
+			name: "respawn-rank-crash",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTRespawn)
+				s.Config.DetectionWindow = 2
+				s.Opts.Obs = o
+				return s, 8, 10, InjectionPlan{Failures: CrashAtStep(2, 1)}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/failure@2",
+				"supervise/heartbeat-miss@2",
+				"supervise/heartbeat-miss@3",
+				"supervise/detect@4",
+				"map/done", // RemapSurvivors re-runs the LAMA under the hood
+				"supervise/remap@4",
+				"supervise/respawn@4",
+				"supervise/done",
+			},
+		},
+		{
+			// Full pipeline: node loss -> heartbeat window -> detect ->
+			// spare re-allocation -> locality-preserving remap -> respawn.
+			name: "respawn-node-failure-with-spare",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				sp, _ := hw.Preset("fig2")
+				pool := cluster.Homogeneous(3, sp)
+				mgr := rm.NewManager(pool)
+				alloc, err := mgr.AllocWithSpares(rm.WholeNode, 12, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := &Supervisor{
+					Runtime:    NewRuntime(alloc.Granted),
+					Layout:     core.MustParseLayout("csbnh"),
+					BindPolicy: bind.Specific,
+					BindLevel:  hw.LevelPU,
+					Config:     SuperviseConfig{Policy: FTRespawn, MaxRestarts: 1, DetectionWindow: 2},
+				}
+				s.Opts.Obs = o
+				s.SpareProvider = func(failedNode int) (int, error) {
+					name := alloc.Granted.Nodes[failedNode].Name
+					res, err := mgr.Realloc(alloc, name,
+						rm.RetryConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond, Obs: o})
+					if err != nil {
+						return -1, err
+					}
+					return res.GrantedIndex, nil
+				}
+				return s, 12, 20, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: 3}}}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/node-failure@3",
+				"supervise/heartbeat-miss@3",
+				"supervise/heartbeat-miss@4",
+				"supervise/detect@5",
+				"supervise/realloc@5",
+				"map/done", // RemapSurvivors re-runs the LAMA under the hood
+				"supervise/remap@5",
+				"supervise/respawn@5",
+				"supervise/done",
+			},
+		},
+		{
+			// Node loss with an exhausted pool: the resource manager's
+			// bounded retry surfaces as rm/realloc-retry before the abort.
+			name: "realloc-retry-then-abort",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				sp, _ := hw.Preset("fig2")
+				pool := cluster.Homogeneous(2, sp)
+				mgr := rm.NewManager(pool)
+				alloc, err := mgr.Alloc(rm.WholeNode, 12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := &Supervisor{
+					Runtime:    NewRuntime(alloc.Granted),
+					Layout:     core.MustParseLayout("csbnh"),
+					BindPolicy: bind.Specific,
+					BindLevel:  hw.LevelPU,
+					Config:     SuperviseConfig{Policy: FTRespawn, MaxRestarts: -1, DetectionWindow: 1},
+				}
+				s.Opts.Obs = o
+				s.SpareProvider = func(failedNode int) (int, error) {
+					name := alloc.Granted.Nodes[failedNode].Name
+					res, err := mgr.Realloc(alloc, name, rm.RetryConfig{
+						MaxAttempts: 3, BaseBackoff: time.Microsecond,
+						Sleep: func(time.Duration) {}, Obs: o,
+					})
+					if err != nil {
+						return -1, err
+					}
+					return res.GrantedIndex, nil
+				}
+				return s, 12, 20, InjectionPlan{NodeFailures: []NodeFailure{{Node: 0, Step: 3}}}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/node-failure@3",
+				"supervise/heartbeat-miss@3",
+				"supervise/detect@4",
+				"rm/realloc-retry",
+				"rm/realloc-retry",
+				"supervise/abort@4",
+				"supervise/done",
+			},
+		},
+		{
+			name: "shrink",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTShrink)
+				s.Config.DetectionWindow = 1
+				s.Opts.Obs = o
+				return s, 12, 20, InjectionPlan{Failures: CrashAtStep(4, 3)}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/failure@4",
+				"supervise/heartbeat-miss@4",
+				"supervise/detect@5",
+				"supervise/shrink@5",
+				"supervise/done",
+			},
+		},
+		{
+			// Restart budget already spent: detection aborts instead of
+			// respawning, and the run still closes with its done event.
+			name: "budget-exhausted-abort",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTRespawn)
+				s.Config.MaxRestarts = 0
+				s.Config.DetectionWindow = 1
+				s.Opts.Obs = o
+				return s, 12, 20, InjectionPlan{Failures: CrashAtStep(2, 1)}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/failure@2",
+				"supervise/heartbeat-miss@2",
+				"supervise/detect@3",
+				"supervise/abort@3",
+				"supervise/done",
+			},
+		},
+		{
+			// FTAbort delegates to the seed's monitored launch; the trace
+			// still records detection before the kill.
+			name: "abort-policy",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTAbort)
+				s.Opts.Obs = o
+				return s, 12, 30, InjectionPlan{Failures: CrashAtStep(5, 2)}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/detect",
+				"supervise/abort",
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			o := &obs.Observer{Sink: obs.NewJSONLSink(&buf), Metrics: obs.NewRegistry()}
+			s, np, steps, plan := tc.build(t, o)
+			if _, err := s.Run(np, steps, plan); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := decodeTrace(t, &buf)
+			// The abort cases carry step stamps too, but FTAbort's come
+			// from the monitor's routed-tree detection delay; drop their
+			// stamps rather than encode that model here.
+			if tc.name == "abort-policy" {
+				for i, s := range got {
+					if at := strings.IndexByte(s, '@'); at >= 0 {
+						got[i] = s[:at]
+					}
+				}
+			}
+			if !equalSeq(got, tc.want) {
+				t.Fatalf("event sequence:\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func equalSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSupervisorRecoveryMetrics checks the registry side of a respawn run:
+// the failure/restart counters and the recovery histograms fill in.
+func TestSupervisorRecoveryMetrics(t *testing.T) {
+	o := &obs.Observer{Metrics: obs.NewRegistry()}
+	s := supervisor(t, 2, FTRespawn)
+	s.Config.DetectionWindow = 2
+	s.Opts.Obs = o
+	rep, err := s.Run(8, 10, InjectionPlan{Failures: CrashAtStep(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Restarts != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["lama_failures_detected_total"]; got != 1 {
+		t.Errorf("failures_detected = %d", got)
+	}
+	if got := snap.Counters["lama_restarts_total"]; got != 1 {
+		t.Errorf("restarts = %d", got)
+	}
+	if got := snap.Counters["lama_replay_steps_total"]; got != int64(rep.ReplaySteps) {
+		t.Errorf("replay_steps counter = %d, want %d", got, rep.ReplaySteps)
+	}
+	for _, h := range []string{"lama_remap_duration_us", "lama_recovery_replay_steps"} {
+		hist, ok := snap.Histograms[h]
+		if !ok || hist.Count != 1 {
+			t.Errorf("histogram %s missing or empty: %+v", h, hist)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"lama/internal/bind"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // FTPolicy selects what the run-time does when it detects a failure.
@@ -172,7 +173,10 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 	if err != nil {
 		return nil, err
 	}
+	o := s.Opts.Obs
+	endBind := o.StartSpan("bind")
 	bplan, err := bind.Compute(s.Runtime.Cluster, m, s.BindPolicy, s.BindLevel)
+	endBind()
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +208,11 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 // delegating to LaunchMonitored (node failures are expanded to the rank
 // crashes they imply under the initial map).
 func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	o := s.Opts.Obs
+	if o.Enabled() {
+		o.Emit("supervise", "start", obs.NoStep,
+			obs.F("policy", FTAbort.String()), obs.F("np", np), obs.F("steps", steps))
+	}
 	var failures []Failure
 	for _, f := range plan.Failures {
 		if f.Step < steps {
@@ -232,6 +241,10 @@ func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan
 	if mrep.FirstFailure == nil {
 		rep.Completed = true
 		rep.FinalRanks = np
+		if o.Enabled() {
+			o.Emit("supervise", "done", obs.NoStep,
+				obs.F("completed", true), obs.F("final_ranks", np))
+		}
 		return rep, nil
 	}
 	rep.Aborted = true
@@ -240,12 +253,18 @@ func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan
 		DetectedStep: mrep.FirstFailure.Step + mrep.DetectionSteps,
 		Action:       "abort",
 	}
-	for _, o := range mrep.Outcomes {
-		if o.State == Failed {
-			ev.Ranks = append(ev.Ranks, o.Rank)
+	for _, out := range mrep.Outcomes {
+		if out.State == Failed {
+			ev.Ranks = append(ev.Ranks, out.Rank)
 		}
 	}
 	rep.Events = []RecoveryEvent{ev}
+	o.Reg().Counter("lama_failures_detected_total").Add(int64(len(ev.Ranks)))
+	if o.Enabled() {
+		o.Emit("supervise", "detect", ev.DetectedStep,
+			obs.F("fail_step", ev.FailStep), obs.F("ranks", ev.Ranks))
+		o.Emit("supervise", "abort", ev.DetectedStep, obs.F("policy", FTAbort.String()))
+	}
 	return rep, nil
 }
 
@@ -267,6 +286,12 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 	rep := &SuperviseReport{
 		Policy: s.Config.Policy, Steps: steps, DetectionWindow: window,
 		Map: m, Plan: bplan,
+	}
+	o := s.Opts.Obs
+	if o.Enabled() {
+		o.Emit("supervise", "start", obs.NoStep,
+			obs.F("policy", s.Config.Policy.String()), obs.F("np", np),
+			obs.F("steps", steps), obs.F("window", window))
 	}
 
 	procs := make([]*Process, np)
@@ -304,21 +329,40 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 					kill(r, step)
 				}
 			}
+			if o.Enabled() {
+				o.Emit("supervise", "node-failure", step, obs.F("node", node))
+			}
 			ni++
 		}
 		// 2. Individual rank crashes scheduled for this step.
 		for fi < len(plan.Failures) && plan.Failures[fi].Step == step {
 			kill(plan.Failures[fi].Rank, step)
+			if o.Enabled() {
+				o.Emit("supervise", "failure", step, obs.F("rank", plan.Failures[fi].Rank))
+			}
 			fi++
 		}
 		// 3. Heartbeat detection: act on failures whose window elapsed.
-		var due []int
+		// Dead ranks still inside the window show up as missed heartbeats.
+		var due, missed []int
 		for r := range procs {
-			if !alive[r] && !handled[r] && deadAt[r]+window <= step {
+			if alive[r] || handled[r] {
+				continue
+			}
+			if deadAt[r]+window <= step {
 				due = append(due, r)
+			} else if o.Enabled() {
+				missed = append(missed, r)
 			}
 		}
+		if len(missed) > 0 {
+			o.Emit("supervise", "heartbeat-miss", step, obs.F("ranks", missed))
+		}
 		if len(due) > 0 {
+			o.Reg().Counter("lama_failures_detected_total").Add(int64(len(due)))
+			if o.Enabled() {
+				o.Emit("supervise", "detect", step, obs.F("ranks", due))
+			}
 			if err := s.recover(rep, procs, alive, handled, deadAt, due, step); err != nil {
 				return nil, err
 			}
@@ -359,6 +403,10 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 			}
 		}
 		rep.Events = append(rep.Events, ev)
+		if o.Enabled() {
+			o.Emit("supervise", "teardown", steps,
+				obs.F("fail_step", ev.FailStep), obs.F("ranks", late))
+		}
 	}
 
 	rep.Procs = procs
@@ -381,6 +429,11 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 		}
 	}
 	rep.Completed = !aborted && rep.FinalRanks > 0
+	if o.Enabled() {
+		o.Emit("supervise", "done", obs.NoStep,
+			obs.F("completed", rep.Completed), obs.F("final_ranks", rep.FinalRanks),
+			obs.F("restarts", rep.Restarts))
+	}
 	return rep, nil
 }
 
@@ -391,6 +444,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 	alive, handled []bool, deadAt, due []int, step int) error {
 	c := s.Runtime.Cluster
+	o := s.Opts.Obs
 	ev := RecoveryEvent{FailStep: deadAt[due[0]], DetectedStep: step, Ranks: due}
 	for _, r := range due {
 		if deadAt[r] < ev.FailStep {
@@ -415,11 +469,17 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		ev.Reason = reason
 		rep.Events = append(rep.Events, ev)
 		rep.Aborted = true
+		if o.Enabled() {
+			o.Emit("supervise", "abort", step, obs.F("reason", reason))
+		}
 	}
 
 	if s.Config.Policy == FTShrink {
 		ev.Action = "shrink"
 		rep.Events = append(rep.Events, ev)
+		if o.Enabled() {
+			o.Emit("supervise", "shrink", step, obs.F("ranks", due))
+		}
 		return nil
 	}
 
@@ -432,9 +492,14 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		if s.SpareProvider == nil {
 			continue // respawn must fit on surviving resources
 		}
-		if _, err := s.SpareProvider(node); err != nil {
+		spare, err := s.SpareProvider(node)
+		if err != nil {
 			abort(fmt.Sprintf("no replacement for node %d: %v", node, err))
 			return nil
+		}
+		if o.Enabled() {
+			o.Emit("supervise", "realloc", step,
+				obs.F("failed_node", node), obs.F("spare", spare))
 		}
 	}
 	t0 := time.Now()
@@ -443,7 +508,9 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		abort(fmt.Sprintf("remap failed: %v", err))
 		return nil
 	}
+	endBind := o.StartSpan("bind")
 	nplan, err := bind.Compute(c, nm, s.BindPolicy, s.BindLevel)
+	endBind()
 	if err != nil {
 		abort(fmt.Sprintf("rebind failed: %v", err))
 		return nil
@@ -454,6 +521,11 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 	}
 	ev.RemapUs = float64(time.Since(t0)) / float64(time.Microsecond)
 	ev.RanksMoved = rrep.RanksMoved
+	o.Reg().Histogram("lama_remap_duration_us", obs.LatencyBucketsUs).Observe(ev.RemapUs)
+	if o.Enabled() {
+		o.Emit("supervise", "remap", step,
+			obs.F("ranks_moved", ev.RanksMoved), obs.F("us", ev.RemapUs))
+	}
 
 	// Restart the failed ranks: each new incarnation resumes from its
 	// failure step (checkpoint semantics) and replays the steps it missed
@@ -483,6 +555,16 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 	rep.TotalRemapUs += ev.RemapUs
 	rep.Map = nm
 	rep.Plan = nplan
+	if reg := o.Reg(); reg != nil {
+		reg.Counter("lama_restarts_total").Inc()
+		reg.Counter("lama_ranks_migrated_total").Add(int64(ev.RanksMoved))
+		reg.Counter("lama_replay_steps_total").Add(int64(ev.ReplaySteps))
+		reg.Histogram("lama_recovery_replay_steps", obs.StepBuckets).Observe(float64(ev.ReplaySteps))
+	}
+	if o.Enabled() {
+		o.Emit("supervise", "respawn", step,
+			obs.F("ranks", due), obs.F("replay_steps", ev.ReplaySteps))
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // ErrNodeFailed is returned when an operation names a pool node that has
@@ -29,6 +30,10 @@ type RetryConfig struct {
 	BaseBackoff time.Duration
 	// Sleep is the sleep implementation; tests substitute a recorder.
 	Sleep func(time.Duration)
+	// Obs optionally reports each exhausted pool scan as an
+	// "rm"/"realloc-retry" event with the upcoming backoff, so supervised
+	// runs expose resource-manager contention in their traces.
+	Obs *obs.Observer
 }
 
 func (rc RetryConfig) withDefaults() RetryConfig {
@@ -154,6 +159,12 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 			}
 			if attempt == rc.MaxAttempts {
 				break
+			}
+			rc.Obs.Reg().Counter("lama_realloc_retries_total").Inc()
+			if rc.Obs.Enabled() {
+				rc.Obs.Emit("rm", "realloc-retry", obs.NoStep,
+					obs.F("node", failedName), obs.F("attempt", attempt),
+					obs.F("backoff_us", float64(backoff)/float64(time.Microsecond)))
 			}
 			rc.Sleep(backoff)
 			res.Backoff += backoff
