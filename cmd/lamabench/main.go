@@ -19,11 +19,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"time"
 
+	"lama/internal/cluster"
+	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/exper"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/netsim"
 	"lama/internal/obs"
+	"lama/internal/place"
+	_ "lama/internal/place/all" // link every built-in policy for -policy
+	"lama/internal/rankfile"
+	"lama/internal/torus"
 )
 
 // reportSchema is the current -json schema tag. v2 added the provenance
@@ -39,13 +49,29 @@ type jsonReport struct {
 	// GoVersion, GitRevision, and NumCPU identify the build and host the
 	// timings came from (v2): toolchain, vcs.revision when the binary was
 	// built from a checkout, and runtime.NumCPU.
-	GoVersion    string           `json:"goVersion,omitempty"`
-	GitRevision  string           `json:"gitRevision,omitempty"`
-	NumCPU       int              `json:"numCPU,omitempty"`
-	Full         bool             `json:"full"`
-	Seed         int64            `json:"seed"`
-	Experiments  []jsonExperiment `json:"experiments"`
-	TotalSeconds float64          `json:"totalSeconds"`
+	GoVersion   string           `json:"goVersion,omitempty"`
+	GitRevision string           `json:"gitRevision,omitempty"`
+	NumCPU      int              `json:"numCPU,omitempty"`
+	Full        bool             `json:"full"`
+	Seed        int64            `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+	// Policies holds the cross-policy placement sweep rows (-policy), one
+	// per registered policy run; added in v2 additively.
+	Policies     []jsonPolicyRow `json:"policies,omitempty"`
+	TotalSeconds float64         `json:"totalSeconds"`
+}
+
+// jsonPolicyRow is one policy's result from the cross-policy sweep: the
+// placement shape plus its simulated communication cost on the reference
+// workload (GTC traffic, fat-tree network).
+type jsonPolicyRow struct {
+	Policy    string  `json:"policy"`
+	NP        int     `json:"np"`
+	Nodes     int     `json:"nodes"`
+	NodesUsed int     `json:"nodesUsed"`
+	TotalMs   float64 `json:"totalMs"`
+	InterMB   float64 `json:"interMB"`
+	AvgHops   float64 `json:"avgHops"`
 }
 
 // parseReport decodes a lamabench -json document, accepting the current
@@ -105,6 +131,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed for randomized experiments")
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write per-experiment wall time and placements/sec to this file")
+	policyList := fs.String("policy", "", `cross-policy placement sweep instead of the experiments: comma-separated registry policies, or "all"`)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +149,31 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	report := jsonReport{
+		Schema: reportSchema, Full: *full, Seed: *seed,
+		GoVersion: runtime.Version(), GitRevision: gitRevision(), NumCPU: runtime.NumCPU(),
+	}
+	started := time.Now()
+
+	if *policyList != "" {
+		rows, t, err := policySweep(*policyList, *seed, o)
+		if err != nil {
+			return err
+		}
+		report.Policies = rows
+		fmt.Fprintln(out, t.String())
+		report.TotalSeconds = time.Since(started).Seconds()
+		if err := writeJSON(*jsonPath, &report); err != nil {
+			return err
+		}
+		if err := closeObs(); err != nil {
+			return err
+		}
+		return obsFlags.WriteReport(o.Report("lamabench", map[string]any{
+			"policy": *policyList, "seed": *seed,
+		}))
+	}
+
 	var todo []exper.Experiment
 	if *expID != "" {
 		e, err := exper.ByID(*expID)
@@ -133,11 +185,6 @@ func run(args []string, out io.Writer) error {
 		todo = exper.All()
 	}
 
-	report := jsonReport{
-		Schema: reportSchema, Full: *full, Seed: *seed,
-		GoVersion: runtime.Version(), GitRevision: gitRevision(), NumCPU: runtime.NumCPU(),
-	}
-	started := time.Now()
 	for _, e := range todo {
 		fmt.Fprintf(out, "### %s — %s\n\n", e.ID, e.Exhibit)
 		expStart := time.Now()
@@ -162,15 +209,8 @@ func run(args []string, out io.Writer) error {
 	}
 	report.TotalSeconds = time.Since(started).Seconds()
 
-	if *jsonPath != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			return fmt.Errorf("write -json report: %v", err)
-		}
+	if err := writeJSON(*jsonPath, &report); err != nil {
+		return err
 	}
 	if err := closeObs(); err != nil {
 		return err
@@ -178,4 +218,96 @@ func run(args []string, out io.Writer) error {
 	return obsFlags.WriteReport(o.Report("lamabench", map[string]any{
 		"exp": *expID, "full": *full, "seed": *seed,
 	}))
+}
+
+// writeJSON marshals the report to path; an empty path is a no-op.
+func writeJSON(path string, report *jsonReport) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write -json report: %v", err)
+	}
+	return nil
+}
+
+// policySweep runs every selected registry policy over the reference
+// workload (np=64 on 8 x nehalem-ep, GTC traffic) through the
+// policy-generic sweep pool, then costs each placement on a fat-tree
+// network. One invocation compares the full strategy space.
+func policySweep(list string, seed int64, o *obs.Observer) ([]jsonPolicyRow, *metrics.Table, error) {
+	sp, _ := hw.Preset("nehalem-ep")
+	c := cluster.Homogeneous(8, sp)
+	np := 64
+	tm := commpat.GTC(np, 1<<20)
+	d := torus.FitDims(c.NumNodes())
+
+	names := strings.Split(list, ",")
+	if list == "all" {
+		names = place.Names()
+	}
+	var jobs []place.Job
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		pol, ok := place.Lookup(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown policy %q (registered: %s)",
+				name, strings.Join(place.Names(), ", "))
+		}
+		req := &place.Request{
+			Cluster: c, NP: np, Traffic: tm, Seed: seed,
+			TorusDims: [3]int{d.X, d.Y, d.Z},
+			Opts:      core.Options{Obs: o},
+		}
+		if name == "rankfile" {
+			base, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+			if err != nil {
+				return nil, nil, err
+			}
+			f, err := rankfile.FromMap(base)
+			if err != nil {
+				return nil, nil, err
+			}
+			req.RankfileText = rankfile.Format(f)
+		}
+		jobs = append(jobs, place.Job{Policy: pol, Req: req})
+	}
+	if len(jobs) == 0 {
+		return nil, nil, fmt.Errorf("-policy %q selects no policies", list)
+	}
+
+	maps, err := place.Sweep(jobs, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := netsim.NewModel(netsim.NewFatTree(4))
+	t := metrics.NewTable("cross-policy sweep (np=64, 8 x nehalem-ep, gtc traffic, fat-tree)",
+		"policy", "total (ms)", "inter-node MB", "avg hops", "nodes used")
+	rows := make([]jsonPolicyRow, 0, len(jobs))
+	for i, m := range maps {
+		rep, err := model.Evaluate(c, m, tm)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := jobs[i].Policy.Name()
+		t.AddRow(name, metrics.F(rep.TotalTime/1000, 3),
+			metrics.F(rep.InterBytes/1e6, 1), metrics.F(rep.AvgHops, 2),
+			metrics.I(len(m.RanksByNode())))
+		rows = append(rows, jsonPolicyRow{
+			Policy: name, NP: np, Nodes: c.NumNodes(),
+			NodesUsed: len(m.RanksByNode()),
+			TotalMs:   rep.TotalTime / 1000,
+			InterMB:   rep.InterBytes / 1e6,
+			AvgHops:   rep.AvgHops,
+		})
+	}
+	return rows, t, nil
 }

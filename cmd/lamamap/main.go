@@ -24,11 +24,13 @@ import (
 	"strings"
 
 	"lama/internal/cluster"
+	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/mpirun"
 	"lama/internal/obs"
+	"lama/internal/place"
 	"lama/internal/rankfile"
 )
 
@@ -45,6 +47,12 @@ func run(args []string, out io.Writer) error {
 	clusterSpec := fs.String("cluster", "2xnehalem-ep", "cluster as <nodes>x<spec>")
 	hostfile := fs.String("hostfile", "", "hostfile path (overrides -cluster)")
 	rankfilePath := fs.String("rankfile", "", "rankfile path (Level 4)")
+	policy := fs.String("policy", "", "placement policy from the registry (see -list-policies)")
+	listPolicies := fs.Bool("list-policies", false, "list registered placement policies and exit")
+	check := fs.Bool("check", false, "validate the planned map against the cluster and print one ok line")
+	patternName := fs.String("pattern", "", "traffic pattern for traffic-aware policies (see internal/commpat)")
+	bytesPer := fs.Float64("bytes", 1<<20, "bytes per exchange for -pattern")
+	seed := fs.Int64("seed", 1, "seed for randomized policies")
 	byNode := fs.Bool("render-by-node", true, "print the Figure 2-style per-node view")
 	asJSON := fs.Bool("json", false, "emit the map as JSON and exit")
 	emitRankfile := fs.Bool("emit-rankfile", false, "emit the map as a Level 4 rankfile and exit")
@@ -52,6 +60,12 @@ func run(args []string, out io.Writer) error {
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listPolicies {
+		for _, name := range place.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
 	}
 
 	c, err := buildCluster(*clusterSpec, *hostfile)
@@ -71,6 +85,9 @@ func run(args []string, out io.Writer) error {
 		}
 		mpiArgs = append(mpiArgs, "--rankfile-text", string(text))
 	}
+	if *policy != "" {
+		mpiArgs = append(mpiArgs, "--policy", *policy)
+	}
 	mpiArgs = append(mpiArgs, fs.Args()...)
 
 	req, err := mpirun.Parse(mpiArgs)
@@ -78,6 +95,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	req.Opts.Obs = o
+	req.Seed = *seed
+	if *patternName != "" {
+		gen, ok := commpat.ByName(*patternName)
+		if !ok {
+			return fmt.Errorf("unknown pattern %q (see commpat.Patterns)", *patternName)
+		}
+		req.Traffic = gen(req.NP, *bytesPer)
+	}
 	res, err := mpirun.Execute(req, c)
 	if err != nil {
 		return err
@@ -89,10 +114,19 @@ func run(args []string, out io.Writer) error {
 		}
 		return obsFlags.WriteReport(o.Report("lamamap", map[string]any{
 			"np": req.NP, "cluster": *clusterSpec, "level": req.Level,
-			"layout": req.Layout.String(), "bind": req.BindPolicy.String(),
+			"policy": req.PolicyName(), "layout": req.Layout.String(),
+			"bind": req.BindPolicy.String(),
 		}))
 	}
 
+	if *check {
+		if err := res.Map.Validate(c); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok: policy %s placed %d ranks on %d nodes\n",
+			req.PolicyName(), res.Map.NumRanks(), len(res.Map.RanksByNode()))
+		return finishObs()
+	}
 	if *asJSON {
 		data, err := json.MarshalIndent(res.Map, "", "  ")
 		if err != nil {

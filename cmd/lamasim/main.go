@@ -24,7 +24,6 @@ import (
 	"strings"
 
 	"lama/internal/appsim"
-	"lama/internal/baseline"
 	"lama/internal/bind"
 	"lama/internal/cluster"
 	"lama/internal/coll"
@@ -36,9 +35,11 @@ import (
 	"lama/internal/netsim"
 	"lama/internal/obs"
 	"lama/internal/orte"
+	"lama/internal/place"
+	_ "lama/internal/place/all" // link every built-in policy for -policy
+	"lama/internal/rankfile"
 	"lama/internal/rm"
 	"lama/internal/torus"
-	"lama/internal/treematch"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	trafficPath := fs.String("traffic", "", "traffic matrix file (edge list; overrides -pattern)")
 	bytesPer := fs.Float64("bytes", 1<<20, "bytes per exchange")
 	netName := fs.String("net", "flat", "network model: flat | fat-tree | torus | dragonfly")
+	policyList := fs.String("policy", "", `comma-separated placement policies to compare, or "all" for every registered one (default: LAMA layouts + treematch + random)`)
 	mode := fs.String("mode", "static", "report: static | app | coll | fluid")
 	compute := fs.Float64("compute", 500, "per-iteration compute time in us (mode app)")
 	iters := fs.Int("iters", 1000, "iterations (mode app)")
@@ -139,16 +141,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	strategies := []struct {
-		name string
-		gen  func() (*core.Map, error)
-	}{
+	strategies := []strategy{
 		{"lama csbnh (pack)", lamaGen(c, "csbnh", *np, o)},
 		{"lama ncsbh (cycle)", lamaGen(c, "ncsbh", *np, o)},
 		{"lama scbnh (sockets)", lamaGen(c, "scbnh", *np, o)},
 		{"lama hcsbn (threads)", lamaGen(c, "hcsbn", *np, o)},
-		{"treematch", func() (*core.Map, error) { return treematch.Map(c, tm, *np) }},
-		{"random", func() (*core.Map, error) { return baseline.Random(c, 1, *np) }},
+		{"treematch", policyGen("treematch", &place.Request{Cluster: c, NP: *np, Traffic: tm})},
+		{"random", policyGen("random", &place.Request{Cluster: c, NP: *np, Seed: 1})},
+	}
+	if *policyList != "" {
+		strategies, err = policyStrategies(*policyList, c, *np, tm, torusDims(*nodes), *seed)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "cluster: %d x %s (%d usable PUs), network %s, pattern %s, np=%d\n\n",
@@ -235,6 +240,56 @@ func run(args []string, out io.Writer) error {
 		"np": *np, "nodes": *nodes, "spec": *spec, "pattern": *patternName,
 		"net": *netName, "mode": *mode,
 	}))
+}
+
+// strategy pairs a display name with a map generator.
+type strategy struct {
+	name string
+	gen  func() (*core.Map, error)
+}
+
+// policyGen resolves one registry policy lazily.
+func policyGen(name string, req *place.Request) func() (*core.Map, error) {
+	return func() (*core.Map, error) { return place.Place(name, req) }
+}
+
+// policyStrategies builds the comparison set from -policy: a comma list of
+// registered policy names, or "all" for every registered one. The
+// "rankfile" policy gets its text synthesized from the by-slot placement,
+// so every policy is runnable from one invocation.
+func policyStrategies(list string, c *cluster.Cluster, np int, tm *commpat.Matrix,
+	d torus.Dims, seed int64) ([]strategy, error) {
+	names := strings.Split(list, ",")
+	if list == "all" {
+		names = place.Names()
+	}
+	var out []strategy
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		req := &place.Request{
+			Cluster: c, NP: np, Traffic: tm, Seed: seed,
+			TorusDims: [3]int{d.X, d.Y, d.Z},
+		}
+		if name == "rankfile" {
+			base, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+			if err != nil {
+				return nil, err
+			}
+			f, err := rankfile.FromMap(base)
+			if err != nil {
+				return nil, err
+			}
+			req.RankfileText = rankfile.Format(f)
+		}
+		out = append(out, strategy{name, policyGen(name, req)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-policy %q selects no policies", list)
+	}
+	return out, nil
 }
 
 func lamaGen(c *cluster.Cluster, layout string, np int, o *obs.Observer) func() (*core.Map, error) {

@@ -22,10 +22,10 @@ type slot struct {
 	pu   *hw.Object
 }
 
-// place converts an ordered slot list into a core.Map, assigning ranks
-// 0..np-1 in order. It fails if np exceeds the slot count (these baselines
-// do not oversubscribe).
-func place(c *cluster.Cluster, slots []slot, np int, name string) (*core.Map, error) {
+// slotsToMap converts an ordered slot list into a core.Map, assigning
+// ranks 0..np-1 in order. It fails if np exceeds the slot count (these
+// baselines do not oversubscribe).
+func slotsToMap(c *cluster.Cluster, slots []slot, np int, name string) (*core.Map, error) {
 	if np <= 0 {
 		return nil, fmt.Errorf("baseline: non-positive process count %d", np)
 	}
@@ -90,7 +90,7 @@ func BySlot(c *cluster.Cluster, np int) (*core.Map, error) {
 			}
 		}
 	}
-	return place(c, slots, np, "by-slot")
+	return slotsToMap(c, slots, np, "by-slot")
 }
 
 // ByNode deals ranks round-robin across nodes (the "scatter/cyclic"
@@ -123,7 +123,7 @@ func ByNode(c *cluster.Cluster, np int) (*core.Map, error) {
 			break
 		}
 	}
-	return place(c, slots, np, "by-node")
+	return slotsToMap(c, slots, np, "by-node")
 }
 
 // Pack fills each object of the given level completely (all its usable
@@ -140,7 +140,7 @@ func Pack(c *cluster.Cluster, level hw.Level, np int) (*core.Map, error) {
 			}
 		}
 	}
-	return place(c, slots, np, "pack")
+	return slotsToMap(c, slots, np, "pack")
 }
 
 // Scatter deals ranks round-robin across the objects of the given level,
@@ -176,7 +176,7 @@ func Scatter(c *cluster.Cluster, level hw.Level, np int) (*core.Map, error) {
 			break
 		}
 	}
-	return place(c, slots, np, "scatter")
+	return slotsToMap(c, slots, np, "scatter")
 }
 
 // Random maps ranks onto a seeded random permutation of all usable PUs —
@@ -191,7 +191,7 @@ func Random(c *cluster.Cluster, seed int64, np int) (*core.Map, error) {
 	}
 	r := rand.New(rand.NewSource(seed))
 	r.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
-	return place(c, slots, np, "random")
+	return slotsToMap(c, slots, np, "random")
 }
 
 // Plane implements SLURM's plane distribution (paper §II): consecutive
@@ -232,5 +232,5 @@ func Plane(c *cluster.Cluster, blockSize, np int) (*core.Map, error) {
 		}
 		node = (node + 1) % c.NumNodes()
 	}
-	return place(c, slots, np, "plane")
+	return slotsToMap(c, slots, np, "plane")
 }

@@ -231,6 +231,16 @@ type Pattern struct {
 	Gen  func(n int, bytes float64) *Matrix
 }
 
+// ByName resolves one generator from the standard pattern suite.
+func ByName(name string) (func(n int, bytes float64) *Matrix, bool) {
+	for _, p := range Patterns() {
+		if p.Name == name {
+			return p.Gen, true
+		}
+	}
+	return nil, false
+}
+
 // Patterns returns the standard pattern suite used by the experiments.
 func Patterns() []Pattern {
 	return []Pattern{

@@ -11,8 +11,8 @@ import (
 	"lama/internal/metrics"
 	"lama/internal/msgsim"
 	"lama/internal/netsim"
+	"lama/internal/place"
 	"lama/internal/reorder"
-	"lama/internal/treematch"
 )
 
 func init() {
@@ -144,7 +144,7 @@ func runE19(o Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tmm, err := treematch.Map(c, p.tm, np)
+		tmm, err := place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +198,7 @@ func runE20(o Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		tmMs, err := bestOf3(func() error {
-			_, err := treematch.Map(c, tm, sz.np)
+			_, err := place.Place("treematch", &place.Request{Cluster: c, NP: sz.np, Traffic: tm})
 			return err
 		})
 		if err != nil {

@@ -1,13 +1,14 @@
 package exper
 
 import (
-	"lama/internal/baseline"
 	"lama/internal/cluster"
 	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/netsim"
+	"lama/internal/place"
+	_ "lama/internal/place/all" // link the registry's built-in policies
 	"lama/internal/torus"
 )
 
@@ -49,21 +50,26 @@ func runE9(Options) ([]*metrics.Table, error) {
 		t1.AddRow(name, layout, same)
 		return nil
 	}
-	bySlot, err := baseline.BySlot(c, np)
+	// Every comparator resolves through the policy registry, the same path
+	// the CLIs use.
+	tdims := [3]int{dims.X, dims.Y, dims.Z}
+	bySlot, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
 	if err != nil {
 		return nil, err
 	}
 	if err := check("by-slot", "csbnh", bySlot); err != nil {
 		return nil, err
 	}
-	byNode, err := baseline.ByNode(c, np)
+	byNode, err := place.Place("by-node", &place.Request{Cluster: c, NP: np})
 	if err != nil {
 		return nil, err
 	}
 	if err := check("by-node", "ncsbh", byNode); err != nil {
 		return nil, err
 	}
-	txyz, err := torus.Map(c, dims, "txyz", np)
+	txyz, err := place.Place("torus", &place.Request{
+		Cluster: c, NP: np, TorusDims: tdims, TorusOrder: "txyz",
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -82,27 +88,22 @@ func runE9(Options) ([]*metrics.Table, error) {
 		{"alltoall", commpat.AllToAll(np, 1<<18)},
 	}
 	strategies := []struct {
-		name string
-		gen  func() (*core.Map, error)
+		name   string
+		policy string
+		req    place.Request
 	}{
-		{"LAMA csbnh (pack)", func() (*core.Map, error) {
-			m, _ := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
-			return m.Map(np)
-		}},
-		{"LAMA ncsbh (cycle)", func() (*core.Map, error) {
-			m, _ := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
-			return m.Map(np)
-		}},
-		{"torus xyzt", func() (*core.Map, error) { return torus.Map(c, dims, "xyzt", np) }},
-		{"torus txyz", func() (*core.Map, error) { return torus.Map(c, dims, "txyz", np) }},
-		{"mpich2 pack@socket", func() (*core.Map, error) { return baseline.Pack(c, hw.LevelSocket, np) }},
-		{"random", func() (*core.Map, error) { return baseline.Random(c, 1, np) }},
+		{"LAMA csbnh (pack)", "lama", place.Request{Layout: core.MustParseLayout("csbnh")}},
+		{"LAMA ncsbh (cycle)", "lama", place.Request{Layout: core.MustParseLayout("ncsbh")}},
+		{"torus xyzt", "torus", place.Request{TorusDims: tdims, TorusOrder: "xyzt"}},
+		{"torus txyz", "torus", place.Request{TorusDims: tdims, TorusOrder: "txyz"}},
+		{"mpich2 pack@socket", "pack", place.Request{PackLevel: hw.LevelSocket}},
+		{"random", "random", place.Request{Seed: 1}},
 	}
 	out := []*metrics.Table{t1}
 	for _, p := range patterns {
 		t2 := metrics.NewTable("E9b / strategy cost on "+p.name+" (3-D torus network)",
 			"strategy", "total time (ms)", "hop-bytes (MB-hops)", "max link load (MB)", "vs random")
-		rnd, err := baseline.Random(c, 1, np)
+		rnd, err := place.Place("random", &place.Request{Cluster: c, NP: np, Seed: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,9 @@ func runE9(Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		for _, s := range strategies {
-			m, err := s.gen()
+			req := s.req
+			req.Cluster, req.NP = c, np
+			m, err := place.Place(s.policy, &req)
 			if err != nil {
 				return nil, err
 			}

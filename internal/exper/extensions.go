@@ -4,14 +4,13 @@ import (
 	"fmt"
 
 	"lama/internal/appsim"
-	"lama/internal/baseline"
 	"lama/internal/cluster"
 	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/netsim"
-	"lama/internal/treematch"
+	"lama/internal/place"
 )
 
 func init() {
@@ -53,7 +52,7 @@ func runE12(o Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		bestLayout, bestTime := bestOfSweep(layouts, reports)
-		tmMap, err := treematch.Map(c, p.tm, np)
+		tmMap, err := place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +60,7 @@ func runE12(o Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rnd, err := baseline.Random(c, o.Seed+14, np)
+		rnd, err := place.Place("random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 14})
 		if err != nil {
 			return nil, err
 		}
@@ -140,9 +139,15 @@ func runE13(o Options) ([]*metrics.Table, error) {
 			mp, _ := core.NewMapper(c, core.MustParseLayout("hcsbn"), core.Options{})
 			return mp.Map(np)
 		}},
-		{"treematch", func() (*core.Map, error) { return treematch.Map(c, tm, np) }},
-		{"slurm plane(8)", func() (*core.Map, error) { return baseline.Plane(c, 8, np) }},
-		{"random", func() (*core.Map, error) { return baseline.Random(c, o.Seed+15, np) }},
+		{"treematch", func() (*core.Map, error) {
+			return place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
+		}},
+		{"slurm plane(8)", func() (*core.Map, error) {
+			return place.Place("plane", &place.Request{Cluster: c, NP: np, BlockSize: 8})
+		}},
+		{"random", func() (*core.Map, error) {
+			return place.Place("random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 15})
+		}},
 	}
 
 	var worst *appsim.Result

@@ -17,9 +17,12 @@ import (
 
 	"lama/internal/bind"
 	"lama/internal/cluster"
+	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/hw"
 	"lama/internal/orte"
+	"lama/internal/place"
+	_ "lama/internal/place/all" // link every built-in policy for --policy
 	"lama/internal/rankfile"
 )
 
@@ -74,6 +77,24 @@ type Request struct {
 	// ReportBindings requests an Open MPI-style binding report
 	// (--report-bindings).
 	ReportBindings bool
+	// Policy optionally names the registered placement policy (--policy).
+	// Empty derives it from the abstraction level: "rankfile" for Level 4,
+	// "lama" otherwise.
+	Policy string
+	// Traffic is the application communication matrix, consumed by
+	// traffic-aware policies ("treematch") and the reorder stage. Set
+	// programmatically (CLIs lower their -pattern/-traffic flags onto it).
+	Traffic *commpat.Matrix
+	// Seed, TorusDims, TorusOrder, BlockSize, and PackLevel feed the
+	// corresponding registry policies; see place.Request.
+	Seed       int64
+	TorusDims  [3]int
+	TorusOrder string
+	BlockSize  int
+	PackLevel  hw.Level
+	// Stages are post-pass pipeline stages applied between place and bind
+	// (e.g. a reorder.Pass). Set programmatically.
+	Stages []place.Stage
 	// FT is the fault-tolerance policy (--ft); FTSet records that the
 	// flag was given explicitly (the default is abort, the seed behavior).
 	FT    orte.FTPolicy
@@ -217,6 +238,12 @@ func Parse(args []string) (*Request, error) {
 			req.BindPolicy = bind.Specific
 			req.BindLevel = level
 			req.BindCount = count
+		case "--policy":
+			v, err := next(&i, arg)
+			if err != nil {
+				return nil, err
+			}
+			req.Policy = v
 		case "--bind-limited":
 			req.BindPolicy = bind.Limited
 		case "--report-bindings":
@@ -338,37 +365,61 @@ func bindLevel(name string) (hw.Level, bool) {
 	}
 }
 
-// Result is a fully planned launch: map plus binding plan.
+// Result is a fully planned launch: map plus binding plan. Job is set
+// only by Launch.
 type Result struct {
 	Map  *core.Map
 	Plan *bind.Plan
+	Job  *orte.Job
 }
 
-// Execute plans the request against a cluster: it maps (via the LAMA or
-// the rankfile) and computes bindings.
-func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
-	var m *core.Map
-	var err error
+// PolicyName resolves the placement policy the request uses: an explicit
+// --policy wins, otherwise Level 4 lowers onto "rankfile" and every other
+// level onto "lama".
+func (req *Request) PolicyName() string {
+	if req.Policy != "" {
+		return req.Policy
+	}
 	if req.Level == 4 {
-		m, err = rankfile.Apply(req.Rankfile, c)
-		if err != nil {
-			return nil, err
-		}
-		if m.NumRanks() != req.NP {
-			return nil, fmt.Errorf("mpirun: rankfile has %d ranks but -np is %d", m.NumRanks(), req.NP)
-		}
-		if m.Oversubscribed() && !req.Opts.Oversubscribe {
-			return nil, core.ErrOversubscribe
-		}
-	} else {
-		mapper, err := core.NewMapper(c, req.Layout, req.Opts)
-		if err != nil {
-			return nil, err
-		}
-		m, err = mapper.Map(req.NP)
-		if err != nil {
-			return nil, err
-		}
+		return "rankfile"
+	}
+	return "lama"
+}
+
+// placeRequest lowers the mpirun request onto the registry's request type.
+func placeRequest(req *Request, c *cluster.Cluster) *place.Request {
+	preq := &place.Request{
+		Cluster:    c,
+		NP:         req.NP,
+		Layout:     req.Layout,
+		Traffic:    req.Traffic,
+		TorusDims:  req.TorusDims,
+		TorusOrder: req.TorusOrder,
+		Seed:       req.Seed,
+		BlockSize:  req.BlockSize,
+		PackLevel:  req.PackLevel,
+		Opts:       req.Opts,
+	}
+	if req.Rankfile != nil {
+		preq.RankfileText = rankfile.Format(req.Rankfile)
+	}
+	return preq
+}
+
+// Execute plans the request against a cluster as a uniform pipeline —
+// resolve the policy, place, run the post-pass stages, bind — so every
+// abstraction level (including the Level-4 rankfile path) flows through
+// the same instrumented stages.
+func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
+	name := req.PolicyName()
+	pol, ok := place.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("mpirun: unknown placement policy %q", name)
+	}
+	pipe := place.Pipeline{Policy: pol, Stages: req.Stages}
+	m, err := pipe.Run(placeRequest(req, c))
+	if err != nil {
+		return nil, err
 	}
 	var plan *bind.Plan
 	endBind := req.Opts.Obs.StartSpan("bind")
@@ -385,4 +436,22 @@ func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Map: m, Plan: plan}, nil
+}
+
+// Launch completes the pipeline: Execute (place → stages → bind), then
+// start the job on the ORTE runtime under a "launch" span and simulate it
+// for the given number of steps.
+func Launch(req *Request, c *cluster.Cluster, steps int) (*Result, error) {
+	res, err := Execute(req, c)
+	if err != nil {
+		return nil, err
+	}
+	endLaunch := req.Opts.Obs.StartSpan("launch")
+	job, err := orte.NewRuntime(c).Launch(res.Map, res.Plan, steps)
+	endLaunch()
+	if err != nil {
+		return nil, err
+	}
+	res.Job = job
+	return res, nil
 }

@@ -1,0 +1,13 @@
+// Package all links every built-in placement policy into the place
+// registry: importing it for side effects guarantees place.Names() lists
+// the full strategy space ("lama" registers with the registry itself).
+//
+//	import _ "lama/internal/place/all"
+package all
+
+import (
+	_ "lama/internal/baseline"
+	_ "lama/internal/rankfile"
+	_ "lama/internal/torus"
+	_ "lama/internal/treematch"
+)

@@ -1,0 +1,99 @@
+package place_test
+
+import (
+	"testing"
+
+	"lama/internal/baseline"
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/place"
+	"lama/internal/rankfile"
+	"lama/internal/torus"
+	"lama/internal/treematch"
+)
+
+// TestGoldenEquivalence is satellite 4: every registry adapter must
+// produce a placement byte-identical (Render) to the pre-refactor entry
+// point it wraps, on the paper's Figure 2 reference cluster. A drifting
+// adapter is a silent behavior change for every caller that migrated to
+// the registry.
+func TestGoldenEquivalence(t *testing.T) {
+	sp, ok := hw.Preset("fig2")
+	if !ok {
+		t.Fatal("fig2 preset missing")
+	}
+	c := cluster.Homogeneous(2, sp)
+	const np = 12
+	const seed = 42
+	tm := commpat.GTC(np, 1<<20)
+
+	bySlot, err := baseline.BySlot(c, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rankfile.FromMap(bySlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfText := rankfile.Format(rf)
+
+	cases := []struct {
+		policy string
+		req    place.Request
+		legacy func() (*core.Map, error)
+	}{
+		{"lama", place.Request{Layout: core.MustParseLayout("scbnh")},
+			func() (*core.Map, error) {
+				m, err := core.NewMapper(c, core.MustParseLayout("scbnh"), core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return m.Map(np)
+			}},
+		{"by-slot", place.Request{},
+			func() (*core.Map, error) { return baseline.BySlot(c, np) }},
+		{"by-node", place.Request{},
+			func() (*core.Map, error) { return baseline.ByNode(c, np) }},
+		{"pack", place.Request{PackLevel: hw.LevelSocket},
+			func() (*core.Map, error) { return baseline.Pack(c, hw.LevelSocket, np) }},
+		{"scatter", place.Request{PackLevel: hw.LevelSocket},
+			func() (*core.Map, error) { return baseline.Scatter(c, hw.LevelSocket, np) }},
+		{"random", place.Request{Seed: seed},
+			func() (*core.Map, error) { return baseline.Random(c, seed, np) }},
+		{"plane", place.Request{BlockSize: 4},
+			func() (*core.Map, error) { return baseline.Plane(c, 4, np) }},
+		{"rankfile", place.Request{RankfileText: rfText},
+			func() (*core.Map, error) {
+				f, err := rankfile.Parse(rfText)
+				if err != nil {
+					return nil, err
+				}
+				return rankfile.Apply(f, c)
+			}},
+		{"torus", place.Request{TorusDims: [3]int{2, 1, 1}, TorusOrder: "xyzt"},
+			func() (*core.Map, error) { return torus.Map(c, torus.Dims{X: 2, Y: 1, Z: 1}, "xyzt", np) }},
+		{"treematch", place.Request{Traffic: tm},
+			func() (*core.Map, error) { return treematch.Map(c, tm, np) }},
+	}
+
+	for _, tc := range cases {
+		req := tc.req
+		req.Cluster, req.NP = c, np
+		got, err := place.Place(tc.policy, &req)
+		if err != nil {
+			t.Errorf("%s: registry: %v", tc.policy, err)
+			continue
+		}
+		want, err := tc.legacy()
+		if err != nil {
+			t.Errorf("%s: legacy: %v", tc.policy, err)
+			continue
+		}
+		if got.Render() != want.Render() {
+			t.Errorf("%s: registry placement differs from legacy entry point:\nregistry:\n%s\nlegacy:\n%s",
+				tc.policy, got.Render(), want.Render())
+		}
+	}
+}

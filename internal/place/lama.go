@@ -1,0 +1,35 @@
+package place
+
+import (
+	"lama/internal/core"
+)
+
+// lamaPolicy adapts the LAMA itself (core.Mapper) to the registry. It
+// lives here rather than in internal/core because core is the vocabulary
+// this package is defined in terms of — registering it from core would be
+// an import cycle.
+type lamaPolicy struct{}
+
+// Name returns "lama".
+func (lamaPolicy) Name() string { return "lama" }
+
+// SelfObserving marks that core.Mapper.Map instruments itself (place span,
+// prune/build-shape/sweep spans, "map"/"done" event, latency metrics); Run
+// must not wrap it a second time.
+func (lamaPolicy) SelfObserving() {}
+
+// Place maps via the LAMA using req.Layout (default "csbnh", the Level-1
+// by-slot pattern) and the full option set.
+func (lamaPolicy) Place(req *Request) (*core.Map, error) {
+	layout := req.Layout
+	if len(layout.Levels()) == 0 {
+		layout = core.MustParseLayout("csbnh")
+	}
+	mapper, err := core.NewMapper(req.Cluster, layout, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return mapper.Map(req.NP)
+}
+
+func init() { Register(lamaPolicy{}) }

@@ -1,0 +1,71 @@
+package place
+
+import (
+	"fmt"
+	"time"
+
+	"lama/internal/core"
+	"lama/internal/obs"
+)
+
+// Stage is a composable post-pass applied to an already-placed map while
+// the processors stay fixed — communicator rank reordering is the
+// canonical one (reorder.Pass). Stages run between the place and bind
+// steps of a pipeline, each under its own phase span.
+type Stage interface {
+	// StageName labels the stage's phase span and events.
+	StageName() string
+	// Apply transforms the map. It must return a map with the same rank
+	// count; it may return its argument unchanged.
+	Apply(req *Request, m *core.Map) (*core.Map, error)
+}
+
+// Pipeline is the uniform strategy execution path: resolve policy → place
+// → post-pass stages. Binding and launching attach downstream (see
+// mpirun.Execute / mpirun.Launch); they are not stages because their
+// outputs are not maps.
+type Pipeline struct {
+	// Policy produces the initial placement.
+	Policy Policy
+	// Stages are applied in order to the placed map.
+	Stages []Stage
+}
+
+// Run places and then applies every stage, instrumenting each: the place
+// step follows Run's uniform contract, and every stage gets a phase span
+// named after it plus a "pipeline"/"stage" completion event.
+func (pl *Pipeline) Run(req *Request) (*core.Map, error) {
+	if pl.Policy == nil {
+		return nil, fmt.Errorf("place: pipeline without a policy")
+	}
+	m, err := Run(pl.Policy, req)
+	if err != nil {
+		return nil, err
+	}
+	o := req.Opts.Obs
+	for _, st := range pl.Stages {
+		var t0 time.Time
+		if o != nil {
+			t0 = time.Now()
+		}
+		end := o.StartSpan(st.StageName())
+		next, err := st.Apply(req, m)
+		end()
+		if err != nil {
+			return nil, fmt.Errorf("place: stage %s: %w", st.StageName(), err)
+		}
+		if next.NumRanks() != m.NumRanks() {
+			return nil, fmt.Errorf("place: stage %s changed rank count %d -> %d",
+				st.StageName(), m.NumRanks(), next.NumRanks())
+		}
+		if o.Enabled() {
+			o.Emit("pipeline", "stage", obs.NoStep,
+				obs.F("stage", st.StageName()),
+				obs.F("policy", pl.Policy.Name()),
+				obs.F("ranks", next.NumRanks()),
+				obs.F("us", float64(time.Since(t0))/float64(time.Microsecond)))
+		}
+		m = next
+	}
+	return m, nil
+}

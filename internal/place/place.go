@@ -1,0 +1,213 @@
+// Package place unifies every placement strategy of the repository behind
+// one interface, one registry, and one request type. The paper frames the
+// LAMA as a point in a space of mapping strategies (§II, §V compares it to
+// by-slot/by-node round-robin, MPICH2 pack/scatter, BlueGene XYZT orders,
+// and rankfiles); this package makes that space first-class so strategies
+// can be compared, swept, and served interchangeably.
+//
+// A Policy consumes a Request — the superset of inputs any strategy needs
+// (cluster, process count, LAMA layout, traffic matrix, torus shape,
+// rankfile text, seed, and the mapping options including the Observer) —
+// and produces a core.Map. Strategies self-register in their package's
+// init (importing lama/internal/place/all links every built-in one), so
+// callers resolve them by name:
+//
+//	m, err := place.Place("treematch", &place.Request{
+//		Cluster: c, NP: 64, Traffic: tm,
+//	})
+//
+// Run wraps every non-self-instrumenting policy with the uniform
+// observation contract (a "place" phase span, a "map"/"done" event, and
+// the placement latency metrics), so traces and run reports carry the
+// mapping phase identically whichever strategy produced the map — the
+// LAMA's core.Mapper instruments itself and is marked SelfObserving.
+package place
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/obs"
+)
+
+// Request bundles everything a placement policy may consume. Each policy
+// reads only the fields it documents (see Names' table in the README);
+// unused fields are ignored, so one Request can be handed to every
+// registered policy in a sweep.
+type Request struct {
+	// Cluster is the allocation to place onto (required).
+	Cluster *cluster.Cluster
+	// NP is the number of processes to place (required, > 0).
+	NP int
+	// Layout is the LAMA process layout ("lama" policy). The zero layout
+	// falls back to "csbnh", the Level-1 default of the paper's §V.
+	Layout core.Layout
+	// Traffic is the application communication matrix (traffic-aware
+	// policies such as "treematch", and the reorder post-pass stage).
+	Traffic *commpat.Matrix
+	// TorusDims is the X, Y, Z shape of the torus ("torus" policy). All
+	// zero means "derive a near-cubic shape from the node count".
+	TorusDims [3]int
+	// TorusOrder is the xyzt iteration-order permutation ("torus" policy);
+	// empty means "xyzt".
+	TorusOrder string
+	// RankfileText is the Level-4 irregular placement file ("rankfile"
+	// policy).
+	RankfileText string
+	// Seed drives randomized policies ("random").
+	Seed int64
+	// BlockSize is the SLURM plane distribution block ("plane" policy);
+	// zero means 1.
+	BlockSize int
+	// PackLevel is the topology level for "pack" and "scatter"; the zero
+	// value is the machine (whole-node) level.
+	PackLevel hw.Level
+	// Opts are the mapping options: oversubscription, PEs per process,
+	// per-resource caps, and the Observer every pipeline stage reports to.
+	Opts core.Options
+}
+
+// Validate checks the fields every policy requires.
+func (r *Request) Validate() error {
+	if r == nil {
+		return fmt.Errorf("place: nil request")
+	}
+	if r.Cluster == nil || r.Cluster.NumNodes() == 0 {
+		return fmt.Errorf("place: empty cluster")
+	}
+	if r.NP <= 0 {
+		return fmt.Errorf("place: non-positive process count %d", r.NP)
+	}
+	return nil
+}
+
+// Policy is one placement strategy: a named function from a Request to a
+// mapping plan. Place must not retain or mutate the request.
+type Policy interface {
+	// Name returns the registry name (e.g. "lama", "by-slot", "treematch").
+	Name() string
+	// Place maps req.NP ranks onto req.Cluster.
+	Place(req *Request) (*core.Map, error)
+}
+
+// SelfObserving marks policies whose Place already records the mapping
+// phase span, the "map"/"done" event, and the placement latency metrics
+// (the LAMA's core.Mapper does). Run leaves them alone; every other policy
+// is wrapped so all paths emit the same observation vocabulary.
+type SelfObserving interface {
+	SelfObserving()
+}
+
+var (
+	regMu    sync.RWMutex
+	regOrder []string
+	registry = map[string]Policy{}
+)
+
+// Register adds a policy to the registry. Registering a name twice
+// replaces the previous policy but keeps its original registration-order
+// position, so Names stays stable across re-registration.
+func Register(p Policy) {
+	if p == nil || p.Name() == "" {
+		panic("place: Register with nil or unnamed policy")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := registry[p.Name()]; !exists {
+		regOrder = append(regOrder, p.Name())
+	}
+	registry[p.Name()] = p
+}
+
+// Lookup resolves a registered policy by name.
+func Lookup(name string) (Policy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns the registered policy names in registration order (stable
+// within one process: package init order, then explicit Register calls).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// unknownPolicyError names the missing policy and lists what is registered
+// (sorted, so the message is deterministic).
+func unknownPolicyError(name string) error {
+	known := Names()
+	sort.Strings(known)
+	return fmt.Errorf("place: unknown policy %q (registered: %s)",
+		name, strings.Join(known, ", "))
+}
+
+// Place resolves a policy by name and runs it with the uniform
+// instrumentation contract.
+func Place(name string, req *Request) (*core.Map, error) {
+	p, ok := Lookup(name)
+	if !ok {
+		return nil, unknownPolicyError(name)
+	}
+	return Run(p, req)
+}
+
+// Run executes one policy under the uniform observation contract: the
+// request is validated, and unless the policy is SelfObserving the call is
+// wrapped in a "place" phase span, a "map"/"done" (or "map"/"stall")
+// event, and the placement latency metrics — exactly the vocabulary
+// core.Mapper.Map emits — so rankfile and baseline runs are no longer
+// silently missing the mapping phase from traces and run reports.
+func Run(p Policy, req *Request) (*core.Map, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if _, self := p.(SelfObserving); self {
+		return p.Place(req)
+	}
+	o := req.Opts.Obs
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	endPlace := o.StartSpan("place")
+	m, err := p.Place(req)
+	endPlace()
+	if o == nil {
+		return m, err
+	}
+	if err != nil {
+		o.Reg().Counter("lama_map_stalls_total").Inc()
+		if o.Enabled() {
+			o.Emit("map", "stall", obs.NoStep,
+				obs.F("policy", p.Name()),
+				obs.F("np", req.NP),
+				obs.F("error", err.Error()))
+		}
+		return nil, err
+	}
+	us := float64(time.Since(t0)) / float64(time.Microsecond)
+	if reg := o.Reg(); reg != nil {
+		reg.Histogram("lama_map_duration_us", obs.LatencyBucketsUs).Observe(us)
+		reg.Counter("lama_maps_total").Inc()
+		reg.Counter("lama_ranks_placed_total").Add(int64(len(m.Placements)))
+	}
+	if o.Enabled() {
+		o.Emit("map", "done", obs.NoStep,
+			obs.F("policy", p.Name()),
+			obs.F("np", req.NP),
+			obs.F("placed", len(m.Placements)),
+			obs.F("sweeps", m.Sweeps),
+			obs.F("us", us))
+	}
+	return m, nil
+}

@@ -1,0 +1,106 @@
+package place
+
+import (
+	"time"
+
+	"lama/internal/core"
+	"lama/internal/obs"
+	"lama/internal/parallel"
+)
+
+// Job is one unit of a cross-policy sweep: a policy plus the request to
+// run it with. Distinct jobs may share a request (policies only read it).
+type Job struct {
+	Policy Policy
+	Req    *Request
+}
+
+// Sweep runs every job across a bounded worker pool (workers <= 0 means
+// GOMAXPROCS) — the policy-generic form of core.SweepLayouts, with the
+// same first-error-cancel machinery. The returned maps are in job order
+// regardless of completion order.
+//
+// The sweep-level observer is taken from the first job carrying one; like
+// core.SweepEach, the per-job requests run with their event sink stripped
+// (metrics and spans still flow) so per-map "map/done" events give way to
+// the sweep's own "sweep"/"job" progress events.
+func Sweep(jobs []Job, workers int) ([]*core.Map, error) {
+	out := make([]*core.Map, len(jobs))
+	err := SweepEach(jobs, workers, func(i int, m *core.Map) error {
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepEach is the streaming form of Sweep: visit(i, m) is invoked exactly
+// once per successfully placed job, from the pool's worker goroutines, so
+// visit MUST be safe for concurrent use. A visit error counts as that
+// job's failure; the first error (by lowest job index) aborts the sweep.
+func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) error {
+	var o *obs.Observer
+	for _, j := range jobs {
+		if j.Req != nil && j.Req.Opts.Obs != nil {
+			o = j.Req.Opts.Obs
+			break
+		}
+	}
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	workers = parallel.Workers(len(jobs), workers)
+	if o.Enabled() {
+		o.Emit("sweep", "start", obs.NoStep,
+			obs.F("jobs", len(jobs)), obs.F("workers", workers))
+	}
+	err := parallel.ForEachWorker(len(jobs), workers, func(_, i int) error {
+		job := jobs[i]
+		req := job.Req
+		if jo := req.Opts.Obs; jo.Enabled() {
+			// Copy the request with the sink stripped so per-map events
+			// don't drown the trace; metrics and spans still flow.
+			stripped := *jo
+			stripped.Sink = nil
+			r := *req
+			r.Opts.Obs = &stripped
+			req = &r
+		}
+		var jobStart time.Time
+		if o.Enabled() {
+			jobStart = time.Now()
+		}
+		m, err := Run(job.Policy, req)
+		if err != nil {
+			if o.Enabled() {
+				o.Emit("sweep", "job-failed", obs.NoStep,
+					obs.F("index", i), obs.F("policy", job.Policy.Name()),
+					obs.F("error", err.Error()))
+			}
+			return err
+		}
+		if o.Enabled() {
+			o.Emit("sweep", "job", obs.NoStep,
+				obs.F("index", i), obs.F("policy", job.Policy.Name()),
+				obs.F("placed", len(m.Placements)), obs.F("sweeps", m.Sweeps),
+				obs.F("us", float64(time.Since(jobStart))/float64(time.Microsecond)))
+		}
+		o.Reg().Counter("lama_sweep_jobs_total").Inc()
+		return visit(i, m)
+	})
+	if o != nil {
+		us := float64(time.Since(t0)) / float64(time.Microsecond)
+		o.Reg().Histogram("lama_sweep_duration_us", obs.LatencyBucketsUs).Observe(us)
+		if o.Enabled() {
+			fields := []obs.Field{obs.F("jobs", len(jobs)), obs.F("us", us)}
+			if err != nil {
+				fields = append(fields, obs.F("error", err.Error()))
+			}
+			o.Emit("sweep", "done", obs.NoStep, fields...)
+		}
+	}
+	return err
+}

@@ -1,0 +1,40 @@
+package rankfile
+
+import (
+	"fmt"
+
+	"lama/internal/core"
+	"lama/internal/place"
+)
+
+// policy adapts Level-4 rankfile placement to the place registry. It
+// consumes Request.RankfileText and enforces the mpirun contract: the file
+// must describe exactly NP ranks, and PU sharing is rejected unless the
+// request opts into oversubscription.
+type policy struct{}
+
+func (policy) Name() string { return "rankfile" }
+
+func (policy) Place(req *place.Request) (*core.Map, error) {
+	if req.RankfileText == "" {
+		return nil, fmt.Errorf("rankfile: policy requires rankfile text")
+	}
+	f, err := Parse(req.RankfileText)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Apply(f, req.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	if m.NumRanks() != req.NP {
+		return nil, fmt.Errorf("rankfile: has %d ranks but %d were requested",
+			m.NumRanks(), req.NP)
+	}
+	if m.Oversubscribed() && !req.Opts.Oversubscribe {
+		return nil, core.ErrOversubscribe
+	}
+	return m, nil
+}
+
+func init() { place.Register(policy{}) }

@@ -1,0 +1,47 @@
+package reorder
+
+import (
+	"fmt"
+
+	"lama/internal/core"
+	"lama/internal/netsim"
+	"lama/internal/place"
+)
+
+// Pass adapts rank reordering to the pipeline's post-pass Stage interface:
+// inserted between place and bind, it permutes the application ranks of an
+// already-placed map (processors stay fixed) to lower communication cost
+// under the request's traffic matrix.
+type Pass struct {
+	// Model is the communication-cost model; nil means a flat network.
+	Model *netsim.Model
+	// MaxSweeps bounds the greedy local search; 0 sweeps to convergence.
+	MaxSweeps int
+	// OnResult, when set, receives the optimization outcome (before/after
+	// cost, swap count) for reporting.
+	OnResult func(*Result)
+}
+
+// StageName returns "reorder", the pipeline span and event label.
+func (p *Pass) StageName() string { return "reorder" }
+
+// Apply runs the optimizer using the request's traffic matrix. A request
+// without one is an error: composing a reorder stage is an explicit ask
+// for traffic-aware optimization.
+func (p *Pass) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+	if req.Traffic == nil {
+		return nil, fmt.Errorf("reorder: stage requires a traffic matrix")
+	}
+	model := p.Model
+	if model == nil {
+		model = netsim.NewModel(netsim.NewFlat())
+	}
+	res, err := Optimize(req.Cluster, m, model, req.Traffic, p.MaxSweeps)
+	if err != nil {
+		return nil, err
+	}
+	if p.OnResult != nil {
+		p.OnResult(res)
+	}
+	return res.Map, nil
+}

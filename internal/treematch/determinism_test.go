@@ -1,0 +1,45 @@
+package treematch
+
+import (
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/hw"
+)
+
+// TestMapDeterministicAcrossRuns is the satellite-2 regression: repeated
+// runs on identical inputs must produce identical placements. The greedy
+// partitioner's tie-breaking must come from scanning ranks in ascending
+// order, never from map iteration order, so a tie-heavy matrix (uniform
+// all-to-all, where every pick is a tie) is the stressor.
+func TestMapDeterministicAcrossRuns(t *testing.T) {
+	sp, ok := hw.Preset("nehalem-ep")
+	if !ok {
+		t.Fatal("nehalem-ep preset missing")
+	}
+	c := cluster.Homogeneous(4, sp)
+	const np = 48
+	patterns := map[string]*commpat.Matrix{
+		"alltoall-ties": commpat.AllToAll(np, 1<<20),
+		"gtc":           commpat.GTC(np, 1<<20),
+		"ring":          commpat.Ring(np, 1<<20),
+	}
+	for name, tm := range patterns {
+		ref, err := Map(c, tm, np)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		refText := ref.Render()
+		for run := 0; run < 10; run++ {
+			m, err := Map(c, tm, np)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, run, err)
+			}
+			if got := m.Render(); got != refText {
+				t.Fatalf("%s run %d: placement differs from run 0:\n%s\nvs\n%s",
+					name, run, got, refText)
+			}
+		}
+	}
+}

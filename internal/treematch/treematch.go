@@ -117,16 +117,16 @@ func assignSubtree(tm *commpat.Matrix, obj *hw.Object, ranks []int, emit func(ra
 // proportionally to capacities so that small bins are not starved.
 func partition(tm *commpat.Matrix, ranks []int, bins []bin) [][]int {
 	groups := make([][]int, len(bins))
-	unassigned := map[int]bool{}
-	for _, r := range ranks {
-		unassigned[r] = true
-	}
-	remaining := len(ranks)
+	// Unassigned ranks are kept as a sorted slice and always scanned in
+	// ascending order, so ties break toward the lowest rank by construction
+	// — determinism must never ride on map iteration order.
+	unassigned := append([]int(nil), ranks...)
+	sort.Ints(unassigned)
 
 	// Shares: fill bins in order, each taking min(capacity, what's left).
 	// (Traffic-aware seeding below decides *which* ranks, not how many.)
 	shares := make([]int, len(bins))
-	left := remaining
+	left := len(ranks)
 	for i, b := range bins {
 		take := b.capacity
 		if take > left {
@@ -138,53 +138,49 @@ func partition(tm *commpat.Matrix, ranks []int, bins []bin) [][]int {
 
 	for i := range bins {
 		for len(groups[i]) < shares[i] {
-			var pick int
+			var at int
 			if len(groups[i]) == 0 {
-				pick = heaviestRank(tm, unassigned)
+				at = heaviestRank(tm, unassigned)
 			} else {
-				pick = bestAffinity(tm, unassigned, groups[i])
+				at = bestAffinity(tm, unassigned, groups[i])
 			}
-			groups[i] = append(groups[i], pick)
-			delete(unassigned, pick)
+			groups[i] = append(groups[i], unassigned[at])
+			unassigned = append(unassigned[:at], unassigned[at+1:]...)
 		}
 		sort.Ints(groups[i])
 	}
 	return groups
 }
 
-// heaviestRank returns the unassigned rank with the largest total traffic
-// (ties broken by lowest rank for determinism).
-func heaviestRank(tm *commpat.Matrix, unassigned map[int]bool) int {
+// heaviestRank returns the index (into the sorted unassigned slice) of the
+// rank with the largest total traffic; ties break toward the lowest rank
+// because the slice is scanned in ascending order.
+func heaviestRank(tm *commpat.Matrix, unassigned []int) int {
 	best, bestW := -1, -1.0
-	for r := 0; r < tm.Ranks(); r++ {
-		if !unassigned[r] {
-			continue
-		}
+	for i, r := range unassigned {
 		w := 0.0
 		for o := 0; o < tm.Ranks(); o++ {
 			w += tm.Bytes(r, o) + tm.Bytes(o, r)
 		}
 		if w > bestW {
-			best, bestW = r, w
+			best, bestW = i, w
 		}
 	}
 	return best
 }
 
-// bestAffinity returns the unassigned rank with the most traffic to the
-// group's members (ties broken by lowest rank).
-func bestAffinity(tm *commpat.Matrix, unassigned map[int]bool, group []int) int {
+// bestAffinity returns the index (into the sorted unassigned slice) of the
+// rank with the most traffic to the group's members; ties break toward
+// the lowest rank.
+func bestAffinity(tm *commpat.Matrix, unassigned []int, group []int) int {
 	best, bestW := -1, -1.0
-	for r := 0; r < tm.Ranks(); r++ {
-		if !unassigned[r] {
-			continue
-		}
+	for i, r := range unassigned {
 		w := 0.0
 		for _, g := range group {
 			w += tm.Bytes(r, g) + tm.Bytes(g, r)
 		}
 		if w > bestW {
-			best, bestW = r, w
+			best, bestW = i, w
 		}
 	}
 	return best

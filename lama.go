@@ -26,7 +26,6 @@ package lama
 
 import (
 	"lama/internal/appsim"
-	"lama/internal/baseline"
 	"lama/internal/bind"
 	"lama/internal/cluster"
 	"lama/internal/coll"
@@ -38,11 +37,12 @@ import (
 	"lama/internal/msgsim"
 	"lama/internal/netsim"
 	"lama/internal/orte"
+	"lama/internal/place"
+	_ "lama/internal/place/all" // link every built-in placement policy
 	"lama/internal/rankfile"
 	"lama/internal/reorder"
 	"lama/internal/rm"
 	"lama/internal/torus"
-	"lama/internal/treematch"
 )
 
 // ---- Hardware topologies (paper Table I substrate) ----
@@ -256,37 +256,83 @@ const (
 	ProcKilled = orte.Killed
 )
 
+// ---- Placement policy registry ----
+
+// Policy is one named placement strategy; PlaceRequest bundles every input
+// any strategy may consume; PlaceStage is a composable post-pass (e.g.
+// rank reordering) and PlacePipeline the place→stages execution path;
+// PlaceJob pairs a policy with a request for cross-policy sweeps.
+type (
+	Policy        = place.Policy
+	PlaceRequest  = place.Request
+	PlaceStage    = place.Stage
+	PlacePipeline = place.Pipeline
+	PlaceJob      = place.Job
+)
+
+// RegisterPolicy adds a custom placement policy to the registry.
+func RegisterPolicy(p Policy) { place.Register(p) }
+
+// LookupPolicy resolves a registered policy by name.
+func LookupPolicy(name string) (Policy, bool) { return place.Lookup(name) }
+
+// PolicyNames lists the registered policies in registration order.
+func PolicyNames() []string { return place.Names() }
+
+// Place resolves a policy by name and runs it under the uniform
+// instrumentation contract (see place.Run).
+func Place(name string, req *PlaceRequest) (*Map, error) { return place.Place(name, req) }
+
+// PlaceSweep runs every job across a bounded worker pool; results are in
+// job order (the policy-generic form of SweepLayouts).
+func PlaceSweep(jobs []PlaceJob, workers int) ([]*Map, error) {
+	return place.Sweep(jobs, workers)
+}
+
+// ReorderPass is the rank-reordering post-pass stage for PlacePipeline /
+// LaunchRequest.Stages.
+type ReorderPass = reorder.Pass
+
 // ---- Baselines and torus mapping (§II comparators) ----
 
 // BySlot, ByNode, PackAt, ScatterAt, and RandomMap are the traditional
-// mapping strategies of the paper's related work.
-func BySlot(c *Cluster, np int) (*Map, error) { return baseline.BySlot(c, np) }
+// mapping strategies of the paper's related work. Each is a thin shim over
+// the corresponding registry policy.
+func BySlot(c *Cluster, np int) (*Map, error) {
+	return place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+}
 
 // ByNode deals ranks round-robin across nodes.
-func ByNode(c *Cluster, np int) (*Map, error) { return baseline.ByNode(c, np) }
+func ByNode(c *Cluster, np int) (*Map, error) {
+	return place.Place("by-node", &place.Request{Cluster: c, NP: np})
+}
 
 // PackAt fills each object of a level before the next (MPICH2-style).
-func PackAt(c *Cluster, l Level, np int) (*Map, error) { return baseline.Pack(c, l, np) }
+func PackAt(c *Cluster, l Level, np int) (*Map, error) {
+	return place.Place("pack", &place.Request{Cluster: c, NP: np, PackLevel: l})
+}
 
 // ScatterAt deals ranks round-robin across the objects of a level.
-func ScatterAt(c *Cluster, l Level, np int) (*Map, error) { return baseline.Scatter(c, l, np) }
+func ScatterAt(c *Cluster, l Level, np int) (*Map, error) {
+	return place.Place("scatter", &place.Request{Cluster: c, NP: np, PackLevel: l})
+}
 
 // RandomMap places ranks on a seeded random PU permutation.
 func RandomMap(c *Cluster, seed int64, np int) (*Map, error) {
-	return baseline.Random(c, seed, np)
+	return place.Place("random", &place.Request{Cluster: c, NP: np, Seed: seed})
 }
 
 // PlaneMap implements SLURM's plane distribution: blocks of blockSize
 // consecutive ranks dealt round-robin across nodes.
 func PlaneMap(c *Cluster, blockSize, np int) (*Map, error) {
-	return baseline.Plane(c, blockSize, np)
+	return place.Place("plane", &place.Request{Cluster: c, NP: np, BlockSize: blockSize})
 }
 
 // TreeMatchMap places ranks traffic-aware, recursively partitioning the
 // communication matrix down the hardware tree (the related-work
 // comparator of the paper's reference [3]).
 func TreeMatchMap(c *Cluster, tm *TrafficMatrix, np int) (*Map, error) {
-	return treematch.Map(c, tm, np)
+	return place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
 }
 
 // TorusDims is a 3-D torus shape; MapTorus performs BlueGene-style XYZT
@@ -295,8 +341,13 @@ type TorusDims = torus.Dims
 
 // MapTorus maps ranks by an xyzt-permutation over a torus-shaped cluster.
 func MapTorus(c *Cluster, d TorusDims, order string, np int) (*Map, error) {
-	return torus.Map(c, d, order, np)
+	return place.Place("torus", &place.Request{
+		Cluster: c, NP: np, TorusDims: [3]int{d.X, d.Y, d.Z}, TorusOrder: order,
+	})
 }
+
+// FitTorusDims factors a node count into a near-cubic torus shape.
+func FitTorusDims(n int) TorusDims { return torus.FitDims(n) }
 
 // TorusOrders lists all 24 XYZT iteration orders.
 func TorusOrders() []string { return torus.Orders() }
