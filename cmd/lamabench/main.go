@@ -17,11 +17,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
 
+	"lama/internal/analysis"
 	"lama/internal/cluster"
 	"lama/internal/commpat"
 	"lama/internal/core"
@@ -57,8 +60,58 @@ type jsonReport struct {
 	Experiments []jsonExperiment `json:"experiments"`
 	// Policies holds the cross-policy placement sweep rows (-policy), one
 	// per registered policy run; added in v2 additively.
-	Policies     []jsonPolicyRow `json:"policies,omitempty"`
-	TotalSeconds float64         `json:"totalSeconds"`
+	Policies []jsonPolicyRow `json:"policies,omitempty"`
+	// Lint is the static-analysis provenance of the run (added in v2
+	// additively): which lamavet suite version the numbers were taken
+	// under and whether the tree was clean when they were.
+	Lint         *jsonLint `json:"lint,omitempty"`
+	TotalSeconds float64   `json:"totalSeconds"`
+}
+
+// jsonLint records the static-analysis state a benchmark ran under, so a
+// perf number can be traced to a tree that did (or did not) hold the
+// hot-path and determinism invariants.
+type jsonLint struct {
+	Tool    string `json:"tool"`    // "lamavet"
+	Version string `json:"version"` // analysis.Version
+	// Status is "clean" or "dirty" (from -lint=run or a CI-supplied
+	// verdict), or "unchecked" when no verdict was taken.
+	Status   string `json:"status"`
+	Findings int    `json:"findings,omitempty"`
+}
+
+// lintProvenance resolves the -lint flag: "run" executes the lamavet
+// suite over the whole module in-process, "clean"/"dirty" trust a
+// verdict the caller (CI) already has, "unchecked" records that none was
+// taken.
+func lintProvenance(mode string) (*jsonLint, error) {
+	l := &jsonLint{Tool: "lamavet", Version: analysis.Version}
+	switch mode {
+	case "unchecked", "clean", "dirty":
+		l.Status = mode
+	case "run":
+		// Anchor ./... at the module root so the whole-module checks see
+		// the whole module regardless of the benchmark's working directory.
+		dir := ""
+		if gomod, err := exec.Command("go", "env", "GOMOD").Output(); err == nil {
+			if p := strings.TrimSpace(string(gomod)); p != "" && p != "/dev/null" {
+				dir = filepath.Dir(p)
+			}
+		}
+		diags, err := analysis.RunPackages(dir, []string{"./..."}, analysis.Suite(), true)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		if len(diags) == 0 {
+			l.Status = "clean"
+		} else {
+			l.Status = "dirty"
+			l.Findings = len(diags)
+		}
+	default:
+		return nil, fmt.Errorf(`unknown -lint mode %q (want "run", "clean", "dirty", or "unchecked")`, mode)
+	}
+	return l, nil
 }
 
 // jsonPolicyRow is one policy's result from the cross-policy sweep: the
@@ -132,6 +185,7 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write per-experiment wall time and placements/sec to this file")
 	policyList := fs.String("policy", "", `cross-policy placement sweep instead of the experiments: comma-separated registry policies, or "all"`)
+	lintMode := fs.String("lint", "unchecked", `static-analysis provenance recorded in -json: "run" executes the lamavet suite over ./..., "clean"/"dirty" record a CI-supplied verdict, "unchecked" records that no verdict was taken`)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +206,9 @@ func run(args []string, out io.Writer) error {
 	report := jsonReport{
 		Schema: reportSchema, Full: *full, Seed: *seed,
 		GoVersion: runtime.Version(), GitRevision: gitRevision(), NumCPU: runtime.NumCPU(),
+	}
+	if report.Lint, err = lintProvenance(*lintMode); err != nil {
+		return err
 	}
 	started := time.Now()
 

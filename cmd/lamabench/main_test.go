@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"lama/internal/analysis"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -87,6 +89,36 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if rep.TotalSeconds < e.WallSeconds {
 		t.Fatalf("total %v < experiment %v", rep.TotalSeconds, e.WallSeconds)
+	}
+	// Without -lint, provenance records that no verdict was taken.
+	if rep.Lint == nil || rep.Lint.Tool != "lamavet" || rep.Lint.Version != analysis.Version || rep.Lint.Status != "unchecked" {
+		t.Fatalf("lint provenance = %+v", rep.Lint)
+	}
+}
+
+// TestLintProvenance covers the -lint flag's verdict plumbing: trusted
+// verdicts are recorded verbatim, unknown modes fail, and "run" executes
+// the suite against the module (which this repository keeps clean).
+func TestLintProvenance(t *testing.T) {
+	l, err := lintProvenance("dirty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Status != "dirty" || l.Tool != "lamavet" || l.Version != analysis.Version {
+		t.Fatalf("lint = %+v", l)
+	}
+	if _, err := lintProvenance("bogus"); err == nil {
+		t.Fatal("unknown -lint mode accepted")
+	}
+	if testing.Short() {
+		t.Skip("whole-module -lint=run in -short mode")
+	}
+	l, err = lintProvenance("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Status != "clean" || l.Findings != 0 {
+		t.Fatalf("lint = %+v, want clean module", l)
 	}
 }
 

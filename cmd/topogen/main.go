@@ -60,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	endGen := o.StartSpan("generate")
+	endGen := o.StartSpan(obs.SpanGenerate)
 	var c *cluster.Cluster
 	if *specs != "" {
 		var list []hw.Spec
@@ -117,7 +117,7 @@ func run(args []string, out io.Writer) error {
 		reg.Gauge("lama_topogen_usable_pus").Set(float64(c.TotalUsablePUs()))
 	}
 	if o.Enabled() {
-		o.Emit("topogen", "generate", obs.NoStep,
+		o.Emit(obs.SrcTopogen, obs.EvGenerate, obs.NoStep,
 			obs.F("nodes", c.NumNodes()), obs.F("usable_pus", c.TotalUsablePUs()))
 	}
 	finishObs := func() error {

@@ -1,0 +1,174 @@
+// Package analysis is lamavet's static-analysis suite: a small,
+// dependency-free re-implementation of the go/analysis model (Analyzer,
+// Pass, Diagnostic) on top of the standard library's go/parser and
+// go/types, plus the four repository-specific analyzers that turn this
+// repo's runtime-tested invariants into compile-time guarantees:
+//
+//   - mapiter: no map-iteration order may reach a return value, a slice
+//     append, or an event emission inside the deterministic packages —
+//     the paper's 9!-permutation layout sweeps and reproducible rankfiles
+//     only hold if mapping is bit-deterministic, a property the treematch
+//     partitioner once violated through a map-range tie-break.
+//   - nodeterm: the deterministic packages must not read wall clocks,
+//     the shared math/rand source, or the environment, except through
+//     injected options (an explicit seed, an Observer clock) or under an
+//     annotated exemption.
+//   - obsvocab: every (source, name) event pair handed to Observer.Emit,
+//     and every literal phase-span label, must come from the canonical
+//     vocabulary table in internal/obs/vocab.go; the table must not carry
+//     dead entries.
+//   - hotpath: functions annotated //lama:hotpath, and everything they
+//     statically call within their package, must be free of allocation
+//     sources (fmt formatting, map/slice composite literals, un-hinted
+//     append growth, capturing closures, implicit interface boxing) —
+//     the static form of TestMapAllocationsSteadyState's 3-allocs/op pin.
+//
+// Annotation syntax (line comments, attached to the annotated line or the
+// line directly above; //lama:hotpath and //lama:coldpath also attach to
+// a function's doc comment):
+//
+//	//lama:hotpath                 marks a hot-path root for `hotpath`
+//	//lama:coldpath <reason>       stops the hot-path walk at a callee
+//	//lama:alloc-ok <reason>       accepts one allocation site on the hot path
+//	//lama:nondet-ok <reason>      accepts one mapiter/nodeterm finding
+//
+// Suppressions require a reason; a bare annotation is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Version identifies the analyzer suite; it is recorded by lamabench's
+// lint provenance field and printed by `lamavet -V=full`. Bump it when an
+// analyzer's findings change.
+const Version = "lamavet/1"
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the check's identifier, used in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+	// Finish, if non-nil, is invoked once after every package has been
+	// analyzed — whole-program checks (obsvocab's dead-entry detection)
+	// report from here. Drivers analyzing only a slice of the repository
+	// (fixtures, single packages) skip it.
+	Finish func(report func(Diagnostic))
+}
+
+// Pass carries one package's worth of inputs to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Annot     *Annotations
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	if d.Pos.Filename == "" {
+		return fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Suite returns a fresh instance of every analyzer, in reporting order.
+// Instances carry per-run state (obsvocab accumulates the emission set),
+// so drivers must not share a suite between runs.
+func Suite() []*Analyzer {
+	return []*Analyzer{MapIter(), NoDeterm(), ObsVocab(), HotPath()}
+}
+
+// RunPackages loads the packages matching patterns (resolved relative to
+// dir, "" meaning the current directory) and applies every analyzer of the
+// suite to each, returning all diagnostics sorted by position. Finish
+// hooks run when finish is true — pass true only when the patterns cover
+// the whole module, since whole-program checks are meaningless on a
+// slice of it.
+func RunPackages(dir string, patterns []string, suite []*Analyzer, finish bool) ([]Diagnostic, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if err := a.Run(pkg.Pass(a, report)); err != nil {
+				return diags, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if finish {
+		for _, a := range suite {
+			if a.Finish != nil {
+				a.Finish(report)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// DeterministicPkgNames are the package names whose outputs must be
+// bit-reproducible: the mapping engine and every placement policy the
+// golden-equivalence and repeated-run tests pin. mapiter and nodeterm
+// enforce only inside these.
+var DeterministicPkgNames = map[string]bool{
+	"core":      true,
+	"place":     true,
+	"treematch": true,
+	"baseline":  true,
+	"torus":     true,
+	"rankfile":  true,
+	"reorder":   true,
+	"permute":   true,
+	"hw":        true,
+}
+
+// deterministic reports whether the pass's package is part of the
+// deterministic set (matched by package name so analysistest fixtures can
+// opt in by naming themselves after a deterministic package).
+func deterministic(pkg *types.Package) bool {
+	return pkg != nil && DeterministicPkgNames[pkg.Name()]
+}

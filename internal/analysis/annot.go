@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation kinds. See the package documentation for the syntax.
+const (
+	AnnotHotpath  = "hotpath"
+	AnnotColdpath = "coldpath"
+	AnnotAllocOK  = "alloc-ok"
+	AnnotNondetOK = "nondet-ok"
+)
+
+// annotPrefix introduces a lamavet annotation comment (no space after
+// "//", in the style of //go: directives).
+const annotPrefix = "//lama:"
+
+// Annotation is one parsed //lama: comment.
+type Annotation struct {
+	Kind   string
+	Reason string
+	File   string
+	Line   int
+}
+
+// Annotations indexes every //lama: comment of a package by file and
+// line, so analyzers can look up suppressions next to a finding.
+type Annotations struct {
+	byLine map[fileLine][]*Annotation
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// scanAnnotations collects the //lama: comments of the files.
+func scanAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{byLine: map[fileLine][]*Annotation{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ann := parseAnnotation(c.Text)
+				if ann == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ann.File, ann.Line = pos.Filename, pos.Line
+				key := fileLine{pos.Filename, pos.Line}
+				a.byLine[key] = append(a.byLine[key], ann)
+			}
+		}
+	}
+	return a
+}
+
+// parseAnnotation decodes "//lama:<kind> <reason>"; nil for non-lama
+// comments. Unknown kinds are kept (analyzers report them as such when
+// they appear where a known kind was expected).
+func parseAnnotation(text string) *Annotation {
+	if !strings.HasPrefix(text, annotPrefix) {
+		return nil
+	}
+	body := strings.TrimPrefix(text, annotPrefix)
+	kind, reason, _ := strings.Cut(body, " ")
+	return &Annotation{Kind: strings.TrimSpace(kind), Reason: strings.TrimSpace(reason)}
+}
+
+// At returns the annotation of the given kind attached to pos: a comment
+// on the same line (trailing) or on the line directly above.
+func (a *Annotations) At(fset *token.FileSet, pos token.Pos, kind string) *Annotation {
+	if a == nil || !pos.IsValid() {
+		return nil
+	}
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, ann := range a.byLine[fileLine{p.Filename, line}] {
+			if ann.Kind == kind {
+				return ann
+			}
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether a finding at pos is suppressed by an
+// annotation of the given kind carrying a reason. When the annotation is
+// present but reasonless, the finding stands and the malformed annotation
+// is additionally reported — suppressions must say why.
+func suppressed(pass *Pass, pos token.Pos, kind string) bool {
+	ann := pass.Annot.At(pass.Fset, pos, kind)
+	if ann == nil {
+		return false
+	}
+	if ann.Reason == "" {
+		pass.Reportf(pos, "%s%s annotation requires a reason (\"%s%s <why this is safe>\")",
+			annotPrefix, kind, annotPrefix, kind)
+		return false
+	}
+	return true
+}
+
+// funcAnnotation returns the annotation of the given kind in a function
+// declaration's doc comment, or attached to its first line.
+func funcAnnotation(pass *Pass, decl *ast.FuncDecl, kind string) *Annotation {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if ann := parseAnnotation(c.Text); ann != nil && ann.Kind == kind {
+				return ann
+			}
+		}
+	}
+	return pass.Annot.At(pass.Fset, decl.Pos(), kind)
+}

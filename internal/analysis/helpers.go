@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it statically
+// invokes (package function, method, or interface method), or nil for
+// calls of function values, builtins, and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// pkgFunc reports whether f is the package-level function pkg.name
+// (methods excluded).
+func pkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// obsMethod reports whether f is a method named name on a type of a
+// package named "obs" (matched by package name, not path, so fixtures can
+// exercise the check against the real lama/internal/obs package from any
+// import path).
+func obsMethod(f *types.Func, name string) bool {
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return f.Pkg() != nil && f.Pkg().Name() == "obs"
+}
+
+// constString returns the compile-time constant string value of an
+// expression, or ("", false) when the expression is not a string
+// constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isInterfaceType reports whether t's underlying type is an interface.
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// funcName renders a *types.Func for diagnostics: "Name" for package
+// functions, "(Recv).Name" for methods.
+func funcName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(f.Pkg())) + ")." + f.Name()
+	}
+	return f.Name()
+}
+
+// stmtLists invokes fn for every statement list of the file (block
+// bodies, case clauses, comm clauses), so analyses can see a statement
+// together with the statements following it.
+func stmtLists(file *ast.File, fn func([]ast.Stmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}

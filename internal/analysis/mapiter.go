@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter returns the map-iteration-order analyzer.
+//
+// Inside the deterministic packages, Go's randomized map iteration order
+// must never be able to influence an output: a `range` over a map is
+// flagged when its body reaches a return value, appends to a slice, or
+// emits an observability event. The PR 4 treematch regression — a greedy
+// partitioner iterating an `unassigned` map so equal-traffic ties broke
+// differently run to run — is exactly this shape, and was only caught by
+// a repeated-run test after it landed.
+//
+// The analyzer recognizes both direct sinks inside the loop body and the
+// bug's actual shape — conditional selection: a plain `=` assignment to a
+// variable declared outside the loop, guarded by a condition on
+// loop-derived data, with a loop-derived right-hand side (`if w > bestW {
+// best, bestW = r, w }`). Which element wins such a selection is decided
+// by iteration order, whatever happens to the winner afterwards.
+//
+// Two escape hatches, matching how the tree already writes deterministic
+// code: appending map keys to a slice is fine when the very same slice is
+// passed to a sort call later in the enclosing block (collect-then-sort),
+// and a loop that is genuinely order-insensitive can carry a
+// //lama:nondet-ok <reason> annotation. Loops that only aggregate
+// commutatively (counters via `+=`, set membership, map writes) are not
+// flagged at all.
+func MapIter() *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "flags map iteration whose order can reach returns, slice appends, or event emissions in deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !deterministic(pass.Pkg) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			stmtLists(file, func(list []ast.Stmt) {
+				for i, stmt := range list {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+						continue
+					}
+					checkMapRange(pass, rs, list[i+1:])
+				}
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkMapRange reports the order-sensitive sinks reached by one map
+// range loop, with followers — the statements after the loop in its
+// enclosing block — consulted for collect-then-sort suppression.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, followers []ast.Stmt) {
+	var sinks []string
+	var appendTargets []types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			sinks = append(sinks, "a return value")
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n, "append") && len(n.Args) > 0 {
+				if obj := identObject(pass.TypesInfo, n.Args[0]); obj != nil {
+					appendTargets = append(appendTargets, obj)
+				} else {
+					sinks = append(sinks, "a slice append")
+				}
+			}
+			if f := calleeFunc(pass.TypesInfo, n); obsMethod(f, "Emit") {
+				sinks = append(sinks, "an event emission")
+			}
+		}
+		return true
+	})
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass, obj, followers) {
+			sinks = append(sinks, "a slice append")
+			break
+		}
+	}
+	if sel := selectedOutside(pass, rs); len(sel) > 0 {
+		sinks = append(sinks, "a conditional selection of "+strings.Join(sel, ", ")+" (argmax over map order)")
+	}
+	if len(sinks) == 0 {
+		return
+	}
+	if suppressed(pass, rs.Pos(), AnnotNondetOK) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order reaches %s; iterate sorted keys, sort the result, or annotate //lama:nondet-ok <reason>",
+		strings.Join(dedupeStrings(sinks), " and "))
+}
+
+// identObject resolves a plain identifier expression to its object.
+func identObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// sortedAfter reports whether one of the follower statements passes obj
+// to a sort.* or slices.Sort* call — the collect-then-sort idiom that
+// makes the collection order irrelevant.
+func sortedAfter(pass *Pass, obj types.Object, followers []ast.Stmt) bool {
+	for _, stmt := range followers {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			isSort := f.Pkg().Path() == "sort" ||
+				(f.Pkg().Path() == "slices" && strings.HasPrefix(f.Name(), "Sort"))
+			if isSort && identObject(pass.TypesInfo, call.Args[0]) == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// selectedOutside finds the conditional-selection shape of the PR 4
+// treematch bug: inside the loop body, a plain `=` assignment to a
+// variable declared outside the loop, with a loop-tainted right-hand
+// side, guarded by a loop-tainted condition. The names of the selected
+// variables are returned.
+func selectedOutside(pass *Pass, rs *ast.RangeStmt) []string {
+	tainted := loopTainted(pass, rs)
+	refsTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tainted[pass.TypesInfo.ObjectOf(id)] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	var names []string
+	seen := map[types.Object]bool{}
+	var visit func(n ast.Node, guarded bool)
+	visit = func(n ast.Node, guarded bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			g := guarded || (n.Cond != nil && refsTainted(n.Cond))
+			visit(n.Body, g)
+			visit(n.Else, g)
+			return
+		case *ast.SwitchStmt:
+			g := guarded || (n.Tag != nil && refsTainted(n.Tag))
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CaseClause)
+				cg := g
+				for _, e := range cc.List {
+					if refsTainted(e) {
+						cg = true
+					}
+				}
+				for _, s := range cc.Body {
+					visit(s, cg)
+				}
+			}
+			return
+		case *ast.AssignStmt:
+			if !guarded || n.Tok != token.ASSIGN {
+				return
+			}
+			for i, lhs := range n.Lhs {
+				obj := identObject(pass.TypesInfo, lhs)
+				if obj == nil || seen[obj] || declaredWithin(pass, obj, rs) {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if refsTainted(rhs) {
+					seen[obj] = true
+					names = append(names, obj.Name())
+				}
+			}
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				visit(s, guarded)
+			}
+			return
+		case *ast.ForStmt:
+			visit(n.Body, guarded)
+			return
+		case *ast.RangeStmt:
+			visit(n.Body, guarded)
+			return
+		case *ast.LabeledStmt:
+			visit(n.Stmt, guarded)
+			return
+		}
+	}
+	visit(rs.Body, false)
+	return names
+}
+
+// loopTainted computes, by fixed point over the loop body's assignments,
+// the set of variables whose values derive from the range's key or value.
+func loopTainted(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e != nil {
+			if obj := identObject(pass.TypesInfo, e); obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	refs := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tainted[pass.TypesInfo.ObjectOf(id)] {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.RangeStmt); ok && refs(inner.X) {
+				for _, e := range []ast.Expr{inner.Key, inner.Value} {
+					if e == nil {
+						continue
+					}
+					if obj := identObject(pass.TypesInfo, e); obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+				return true
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			anyRHS := false
+			for _, r := range as.Rhs {
+				if refs(r) {
+					anyRHS = true
+				}
+			}
+			for i, lhs := range as.Lhs {
+				obj := identObject(pass.TypesInfo, lhs)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				hit := anyRHS
+				if len(as.Rhs) == len(as.Lhs) {
+					hit = refs(as.Rhs[i])
+				}
+				if hit {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// declaredWithin reports whether obj's declaration lies inside the range
+// statement.
+func declaredWithin(pass *Pass, obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// dedupeStrings removes duplicates preserving first-seen order.
+func dedupeStrings(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

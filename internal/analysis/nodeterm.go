@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDeterm returns the nondeterminism-source analyzer.
+//
+// The deterministic packages must compute identical outputs for identical
+// inputs — the 9!-permutation sweeps of E4/E5/E6, the golden-equivalence
+// tests pinning every policy adapter, and reproducible rankfiles all
+// depend on it. Three ambient inputs are therefore forbidden there:
+//
+//   - wall clocks (time.Now, time.Since) — injected clocks
+//     (obs.Observer.Clock) are the sanctioned alternative, and
+//     observability-only latency reads carry //lama:nondet-ok;
+//   - the shared math/rand source (top-level rand.Int, rand.Shuffle, ...)
+//     — explicitly seeded generators built with rand.New(rand.NewSource)
+//     from a caller-provided seed are allowed;
+//   - the process environment (os.Getenv, os.LookupEnv, os.Environ) —
+//     configuration must arrive through options structs and flags.
+func NoDeterm() *Analyzer {
+	a := &Analyzer{
+		Name: "nodeterm",
+		Doc:  "forbids wall clocks, the shared math/rand source, and environment reads in deterministic packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !deterministic(pass.Pkg) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				if what := forbiddenAmbient(f); what != "" && !suppressed(pass, sel.Pos(), AnnotNondetOK) {
+					pass.Reportf(sel.Pos(),
+						"%s in deterministic package %s: %s; inject it through options or annotate //lama:nondet-ok <reason>",
+						f.Pkg().Name()+"."+f.Name(), pass.Pkg.Name(), what)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded state rather than reading the shared source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// forbiddenAmbient classifies a function as one of the forbidden ambient
+// inputs, returning a description ("" when the function is fine).
+func forbiddenAmbient(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || f.Pkg() == nil {
+		return "" // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" || f.Name() == "Until" {
+			return "reads the wall clock"
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			return "draws from the shared global source"
+		}
+	case "os":
+		if f.Name() == "Getenv" || f.Name() == "LookupEnv" || f.Name() == "Environ" {
+			return "reads the process environment"
+		}
+	}
+	return ""
+}

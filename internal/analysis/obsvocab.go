@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+
+	"lama/internal/obs"
+)
+
+// ObsVocab returns the observability-vocabulary analyzer.
+//
+// Every structured event the repository emits must be a (source, name)
+// pair registered in the canonical table of internal/obs/vocab.go, passed
+// to Observer.Emit as compile-time constants — dashboards, the run-report
+// validator, and the cross-level vocabulary-equality test all key off
+// exact names, so a stray literal ("detected" instead of "detect") is a
+// silent observability regression. Literal phase-span labels handed to
+// Observer.StartSpan / PhaseTimer.Start are checked against the span
+// table the same way; non-constant span names are permitted because
+// pipeline stages are labeled by the stage itself (Stage.StageName).
+//
+// The Finish hook closes the loop in whole-module runs: a vocabulary
+// entry that no analyzed package emits is dead and reported, so the table
+// can never drift from the emission set it documents.
+func ObsVocab() *Analyzer {
+	a := &Analyzer{
+		Name: "obsvocab",
+		Doc:  "checks every emitted (source, name) event pair and span label against the canonical vocabulary in internal/obs/vocab.go",
+	}
+	emitted := map[obs.VocabEntry]bool{}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Name() == "obs" {
+			return nil // the vocabulary's home package defines, not emits
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.TypesInfo, call)
+				switch {
+				case obsMethod(f, "Emit") && len(call.Args) >= 2:
+					src, srcOK := constString(pass.TypesInfo, call.Args[0])
+					name, nameOK := constString(pass.TypesInfo, call.Args[1])
+					if !srcOK || !nameOK {
+						pass.Reportf(call.Pos(),
+							"event source and name must be compile-time constants from internal/obs/vocab.go")
+						return true
+					}
+					if !obs.VocabRegistered(src, name) {
+						pass.Reportf(call.Pos(),
+							"event (%q, %q) is not in the canonical vocabulary; register it in internal/obs/vocab.go",
+							src, name)
+						return true
+					}
+					emitted[obs.VocabEntry{Source: src, Name: name}] = true
+				case (obsMethod(f, "StartSpan") || obsMethod(f, "Start")) && len(call.Args) == 1:
+					if name, ok := constString(pass.TypesInfo, call.Args[0]); ok && !obs.SpanRegistered(name) {
+						pass.Reportf(call.Pos(),
+							"span label %q is not in the canonical span table; register it in internal/obs/vocab.go", name)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	a.Finish = func(report func(Diagnostic)) {
+		var dead []obs.VocabEntry
+		for _, e := range obs.Vocabulary() {
+			if !emitted[e] {
+				dead = append(dead, e)
+			}
+		}
+		sort.Slice(dead, func(i, j int) bool {
+			if dead[i].Source != dead[j].Source {
+				return dead[i].Source < dead[j].Source
+			}
+			return dead[i].Name < dead[j].Name
+		})
+		for _, e := range dead {
+			report(Diagnostic{
+				Analyzer: a.Name,
+				Message: "vocabulary entry (" + e.Source + ", " + e.Name +
+					") in internal/obs/vocab.go is emitted nowhere; remove it or emit it",
+			})
+		}
+	}
+	return a
+}

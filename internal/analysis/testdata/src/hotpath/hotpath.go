@@ -1,0 +1,137 @@
+// Package hot is the hotpath fixture: one function per allocation source
+// the analyzer reports, and one per shape it must understand rather than
+// flag (capacity-hinted appends, reusable field state, error exits,
+// coldpath barriers, reasoned alloc-ok sites, unreachable code).
+package hot
+
+import "fmt"
+
+// state models the engine's reusable per-run buffers.
+type state struct {
+	out []int
+}
+
+// format allocates through fmt on the hot path.
+//
+//lama:hotpath
+func format(n int) string {
+	return fmt.Sprintf("rank-%d", n) // want `fmt.Sprintf formats and allocates`
+}
+
+// literals allocates composite literals on the hot path.
+//
+//lama:hotpath
+func literals() int {
+	m := map[int]bool{} // want `map composite literal allocates`
+	s := []int{1, 2, 3} // want `slice composite literal allocates`
+	return len(m) + len(s)
+}
+
+// growUnhinted appends to a slice that never got a capacity.
+//
+//lama:hotpath
+func growUnhinted(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out without a capacity hint`
+	}
+	return out
+}
+
+// capture builds a closure over a local, forcing it to escape.
+//
+//lama:hotpath
+func capture() func() int {
+	total := 0
+	return func() int { // want `closure captures total and escapes`
+		total++
+		return total
+	}
+}
+
+// boxes passes a concrete value to an interface parameter.
+//
+//lama:hotpath
+func boxes(n int) {
+	sink(n) // want `argument boxes int into interface\{\}`
+}
+
+func sink(v interface{}) { _ = v }
+
+// transitive reaches its finding through an unannotated same-package
+// callee; the diagnostic names both the root and the via function.
+//
+//lama:hotpath
+func transitive(n int) string {
+	return helper(n)
+}
+
+func helper(n int) string {
+	return fmt.Sprintf("%d", n) // want `hot path \(//lama:hotpath transitive\) via helper: fmt.Sprintf formats and allocates`
+}
+
+// hinted appends within an explicit capacity; growth is budgeted.
+//
+//lama:hotpath
+func hinted(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// fieldAppend reuses pre-sized struct state.
+//
+//lama:hotpath
+func (s *state) fieldAppend(x int) {
+	s.out = append(s.out, x)
+}
+
+// errorExit constructs its error only on the failing return.
+//
+//lama:hotpath
+func errorExit(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative rank %d", n)
+	}
+	return n, nil
+}
+
+// callsCold stops at the coldpath barrier below.
+//
+//lama:hotpath
+func callsCold() int {
+	return len(buildTables())
+}
+
+// buildTables allocates freely; it runs once per topology, never per
+// claim.
+//
+//lama:coldpath one-off table construction, not on the claim path
+func buildTables() map[int][]int {
+	return map[int][]int{0: {1, 2}}
+}
+
+// allocOK accepts one allocation with a reason.
+//
+//lama:hotpath
+func allocOK(xs []int) []int {
+	out := append([]int(nil), xs...) //lama:alloc-ok fresh result slice is the function's contract
+	return out
+}
+
+// bareAllocOK shows that a reasonless acceptance does not accept.
+//
+//lama:hotpath
+func bareAllocOK(xs []int) []int {
+	//lama:alloc-ok
+	out := append([]int(nil), xs...) // want `append to a fresh slice allocates` `annotation requires a reason`
+	return out
+}
+
+// unreachable is neither annotated nor called from a root; hotpath has
+// no opinion about it.
+func unreachable() string {
+	return fmt.Sprintf("cold %d", 1)
+}

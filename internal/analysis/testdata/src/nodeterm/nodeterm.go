@@ -1,0 +1,51 @@
+// Package place is the nodeterm fixture: each forbidden ambient input in
+// flagged and sanctioned form. The package is named after a deterministic
+// package so the analyzer's package gate admits it.
+package place
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock reads the ambient clock.
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in deterministic package place: reads the wall clock`
+	return t.UnixNano()
+}
+
+// elapsed reads the clock twice over.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package place: reads the wall clock`
+}
+
+// globalRand draws from the shared source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `rand.Intn in deterministic package place: draws from the shared global source`
+}
+
+// env reads process configuration outside the options structs.
+func env() string {
+	return os.Getenv("LAMA_SEED") // want `os.Getenv in deterministic package place: reads the process environment`
+}
+
+// seededRand is the sanctioned form: an explicitly seeded generator from
+// a caller-provided seed, drawn through methods.
+func seededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// fixedTime constructs times without reading the clock.
+func fixedTime() time.Time {
+	return time.Unix(0, 0)
+}
+
+// annotatedLatency is an observability-only clock read with a reasoned
+// exemption.
+func annotatedLatency(f func()) time.Duration {
+	t0 := time.Now() //lama:nondet-ok latency measurement only, never reaches mapping output
+	f()
+	return time.Since(t0) //lama:nondet-ok latency measurement only, never reaches mapping output
+}

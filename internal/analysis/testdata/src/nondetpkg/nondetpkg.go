@@ -1,0 +1,19 @@
+// Package fixutil is the package-gate fixture: it contains shapes that
+// mapiter and nodeterm flag inside deterministic packages, but its name
+// is not in the deterministic set, so both analyzers must stay silent.
+package fixutil
+
+import "time"
+
+// witness returns the first map value iteration happens to visit.
+func witness(m map[int]string) string {
+	for _, v := range m {
+		return v
+	}
+	return ""
+}
+
+// stamp reads the wall clock.
+func stamp() time.Time {
+	return time.Now()
+}

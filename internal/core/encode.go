@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
@@ -83,12 +84,19 @@ func DecodeMap(data []byte, c *cluster.Cluster) (*Map, error) {
 			Rank: pd.Rank, Node: pd.Node, NodeName: pd.NodeName,
 			Coords: NoCoords(), PUs: pd.PUs, Oversubscribed: pd.Oversubscribed,
 		}
-		for ab, v := range pd.Coords {
+		// Sorted keys, so which unknown abbreviation gets reported does
+		// not depend on map iteration order.
+		abbrevs := make([]string, 0, len(pd.Coords))
+		for ab := range pd.Coords {
+			abbrevs = append(abbrevs, ab)
+		}
+		sort.Strings(abbrevs)
+		for _, ab := range abbrevs {
 			l, ok := hw.LevelByAbbrev(ab)
 			if !ok {
 				return nil, fmt.Errorf("core: decode map: unknown level %q", ab)
 			}
-			p.Coords.Set(l, v)
+			p.Coords.Set(l, pd.Coords[ab])
 		}
 		if pd.LeafLevel != "" {
 			l, ok := hw.LevelByName(pd.LeafLevel)

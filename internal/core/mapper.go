@@ -171,13 +171,14 @@ func (m *Mapper) ensure(np int) (*runState, error) {
 // one-off phases are observable as spans: "prune" covers the pruned dense
 // tree (shape + views, possibly cache hits), "build-shape" the
 // index-addressed iteration state derived from it.
+//lama:coldpath one-off state construction, runs once per (cluster, layout), not per Map call
 func (m *Mapper) buildState() (*runState, error) {
 	o := m.Opts.Obs
 	intra := m.Layout.IntraNode()
-	endPrune := o.StartSpan("prune")
+	endPrune := o.StartSpan(obs.SpanPrune)
 	tree := newDenseTree(m.Cluster, intra)
 	endPrune()
-	endBuild := o.StartSpan("build-shape")
+	endBuild := o.StartSpan(obs.SpanBuildShape)
 	defer endBuild()
 	r := &runState{
 		layoutLevels: append([]hw.Level(nil), m.Layout.Levels()...),
@@ -291,13 +292,14 @@ func (m *Mapper) resetCaps(r *runState) error {
 // each resource-space traversal records a "sweep" span, and completion
 // lands a "map"/"done" event plus latency metrics; with a nil Observer
 // (the default) none of the instrumentation paths execute.
+//lama:hotpath
 func (m *Mapper) Map(np int) (*Map, error) {
 	o := m.Opts.Obs
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
-	endPlace := o.StartSpan("place")
+	endPlace := o.StartSpan(obs.SpanPlace)
 	r, err := m.ensure(np)
 	if err != nil {
 		endPlace()
@@ -305,7 +307,7 @@ func (m *Mapper) Map(np int) (*Map, error) {
 	}
 	for len(r.placements) < np {
 		before := len(r.placements)
-		endSweep := o.StartSpan("sweep")
+		endSweep := o.StartSpan(obs.SpanSweep)
 		r.inner(m, len(r.iterLevels)-1)
 		endSweep()
 		r.sweeps++
@@ -325,18 +327,19 @@ func (m *Mapper) Map(np int) (*Map, error) {
 // observeDone reports one completed mapping run to the observer: a
 // "map"/"done" event and the placement-latency metrics. Callers only
 // invoke it with o possibly nil; every path inside is nil-safe.
+//lama:coldpath observability reporting, gated on an attached observer
 func (m *Mapper) observeDone(o *obs.Observer, np int, out *Map, t0 time.Time) {
 	if o == nil {
 		return
 	}
-	us := float64(time.Since(t0)) / float64(time.Microsecond)
+	us := float64(time.Since(t0)) / float64(time.Microsecond) //lama:nondet-ok latency observability only, never reaches mapping output
 	if reg := o.Reg(); reg != nil {
 		reg.Histogram("lama_map_duration_us", obs.LatencyBucketsUs).Observe(us)
 		reg.Counter("lama_maps_total").Inc()
 		reg.Counter("lama_ranks_placed_total").Add(int64(len(out.Placements)))
 	}
 	if o.Enabled() {
-		o.Emit("map", "done", obs.NoStep,
+		o.Emit(obs.SrcMap, obs.EvDone, obs.NoStep,
 			obs.F("layout", m.Layout.String()),
 			obs.F("np", np),
 			obs.F("placed", len(out.Placements)),
@@ -346,13 +349,14 @@ func (m *Mapper) observeDone(o *obs.Observer, np int, out *Map, t0 time.Time) {
 }
 
 // observeStall reports a mapping run that stalled before placing np ranks.
+//lama:coldpath observability reporting on the stall exit, gated on an attached observer
 func (m *Mapper) observeStall(o *obs.Observer, np, placed int, err error) {
 	if o == nil {
 		return
 	}
 	o.Reg().Counter("lama_map_stalls_total").Inc()
 	if o.Enabled() {
-		o.Emit("map", "stall", obs.NoStep,
+		o.Emit(obs.SrcMap, obs.EvStall, obs.NoStep,
 			obs.F("layout", m.Layout.String()),
 			obs.F("np", np),
 			obs.F("placed", placed),

@@ -98,10 +98,28 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 	}
 
 	out := &Map{Layout: old.Layout, Placements: append([]Placement(nil), old.Placements...), Sweeps: old.Sweeps}
+	mergeFailedPlacements(c, old, sub, out, fr, report)
+	recomputeOversubscription(out)
+	if err := out.Validate(c); err != nil {
+		return nil, nil, fmt.Errorf("core: remapped map inconsistent: %v", err)
+	}
+	report.LocalityAfter = neighborLocality(c, out)
+	report.Sweeps = sub.Sweeps
+	return out, report, nil
+}
+
+// mergeFailedPlacements is the remap inner loop: it writes the
+// incremental run's placement for each failed rank back into the merged
+// output, translating leaves from the scratch clone to the live cluster
+// (logical numbering is availability-independent) and counting the ranks
+// that actually moved. During a mass failure this runs once per failed
+// rank per recovery attempt, so it is held to the hot-path allocation
+// discipline.
+//
+//lama:hotpath
+func mergeFailedPlacements(c *cluster.Cluster, old, sub, out *Map, fr []int, report *RemapReport) {
 	for i, r := range fr {
 		sp := &sub.Placements[i]
-		// Translate the leaf back from the scratch clone to the live
-		// cluster: logical numbering is availability-independent.
 		var leaf *hw.Object
 		if sp.Leaf != nil {
 			leaf = c.Node(sp.Node).Topo.ObjectAt(sp.Leaf.Level, sp.Leaf.Logical)
@@ -112,7 +130,7 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 			NodeName:       sp.NodeName,
 			Coords:         sp.Coords,
 			Leaf:           leaf,
-			PUs:            append([]int(nil), sp.PUs...),
+			PUs:            append([]int(nil), sp.PUs...), //lama:alloc-ok each remapped rank owns its PU list; the merged map must not alias the incremental run
 			Oversubscribed: sp.Oversubscribed,
 		}
 		oldP := &old.Placements[r]
@@ -121,13 +139,6 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 		}
 		out.Placements[r] = np
 	}
-	recomputeOversubscription(out)
-	if err := out.Validate(c); err != nil {
-		return nil, nil, fmt.Errorf("core: remapped map inconsistent: %v", err)
-	}
-	report.LocalityAfter = neighborLocality(c, out)
-	report.Sweeps = sub.Sweeps
-	return out, report, nil
 }
 
 // samePUs reports whether two claimed-PU lists are identical.

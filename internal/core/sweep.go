@@ -65,11 +65,11 @@ func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, worke
 	}
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
 	workers = parallel.Workers(len(layouts), workers)
 	if o.Enabled() {
-		o.Emit("sweep", "start", obs.NoStep,
+		o.Emit(obs.SrcSweep, obs.EvStart, obs.NoStep,
 			obs.F("layouts", len(layouts)), obs.F("np", np), obs.F("workers", workers))
 	}
 	mappers := make([]*Mapper, workers)
@@ -86,34 +86,34 @@ func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, worke
 		mp.Layout = layout
 		var mapStart time.Time
 		if o.Enabled() {
-			mapStart = time.Now()
+			mapStart = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		m, err := mp.Map(np)
 		if err != nil {
 			if o.Enabled() {
-				o.Emit("sweep", "layout-failed", obs.NoStep,
+				o.Emit(obs.SrcSweep, obs.EvLayoutFailed, obs.NoStep,
 					obs.F("index", i), obs.F("layout", layout.String()), obs.F("error", err.Error()))
 			}
 			return fmt.Errorf("core: sweep layout %q: %w", layout, err)
 		}
 		if o.Enabled() {
-			o.Emit("sweep", "layout", obs.NoStep,
+			o.Emit(obs.SrcSweep, obs.EvLayout, obs.NoStep,
 				obs.F("index", i), obs.F("layout", layout.String()),
 				obs.F("placed", len(m.Placements)), obs.F("sweeps", m.Sweeps),
-				obs.F("us", float64(time.Since(mapStart))/float64(time.Microsecond)))
+				obs.F("us", float64(time.Since(mapStart))/float64(time.Microsecond))) //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		o.Reg().Counter("lama_sweep_layouts_total").Inc()
 		return visit(i, m)
 	})
 	if o != nil {
-		us := float64(time.Since(t0)) / float64(time.Microsecond)
+		us := float64(time.Since(t0)) / float64(time.Microsecond) //lama:nondet-ok latency observability only, never reaches mapping output
 		o.Reg().Histogram("lama_sweep_duration_us", obs.LatencyBucketsUs).Observe(us)
 		if o.Enabled() {
 			fields := []obs.Field{obs.F("layouts", len(layouts)), obs.F("us", us)}
 			if err != nil {
 				fields = append(fields, obs.F("error", err.Error()))
 			}
-			o.Emit("sweep", "done", obs.NoStep, fields...)
+			o.Emit(obs.SrcSweep, obs.EvDone, obs.NoStep, fields...)
 		}
 	}
 	return err

@@ -87,9 +87,9 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 	o := m.Opts.Obs
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
-	endPlace := o.StartSpan("place")
+	endPlace := o.StartSpan(obs.SpanPlace)
 	r, err := m.ensure(np)
 	if err != nil {
 		endPlace()
@@ -103,7 +103,7 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 			coords[l] = r.coords[i]
 		}
 		if emitVisits {
-			o.Emit("map", "visit", obs.NoStep,
+			o.Emit(obs.SrcMap, obs.EvVisit, obs.NoStep,
 				obs.F("sweep", r.sweeps),
 				obs.F("coords", coords.String()),
 				obs.F("action", action.String()),
@@ -119,7 +119,7 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 	defer func() { r.trace = nil }()
 	for len(r.placements) < np {
 		before := len(r.placements)
-		endSweep := o.StartSpan("sweep")
+		endSweep := o.StartSpan(obs.SpanSweep)
 		r.inner(m, len(r.iterLevels)-1)
 		endSweep()
 		r.sweeps++

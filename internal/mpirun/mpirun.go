@@ -20,6 +20,7 @@ import (
 	"lama/internal/commpat"
 	"lama/internal/core"
 	"lama/internal/hw"
+	"lama/internal/obs"
 	"lama/internal/orte"
 	"lama/internal/place"
 	_ "lama/internal/place/all" // link every built-in policy for --policy
@@ -422,7 +423,7 @@ func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
 		return nil, err
 	}
 	var plan *bind.Plan
-	endBind := req.Opts.Obs.StartSpan("bind")
+	endBind := req.Opts.Obs.StartSpan(obs.SpanBind)
 	if req.BindPolicy == bind.Specific && req.BindCount > 1 {
 		plan, err = bind.ComputeWidth(c, m, req.BindLevel, req.BindCount)
 	} else {
@@ -446,7 +447,7 @@ func Launch(req *Request, c *cluster.Cluster, steps int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	endLaunch := req.Opts.Obs.StartSpan("launch")
+	endLaunch := req.Opts.Obs.StartSpan(obs.SpanLaunch)
 	job, err := orte.NewRuntime(c).Launch(res.Map, res.Plan, steps)
 	endLaunch()
 	if err != nil {

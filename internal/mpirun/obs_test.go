@@ -64,6 +64,12 @@ func TestEventVocabularyUniformAcrossLevels(t *testing.T) {
 
 		vocab := map[string]bool{}
 		for _, e := range sink.Events() {
+			// Every emitted pair must come from the canonical table in
+			// internal/obs/vocab.go — the same table lamavet's obsvocab
+			// analyzer enforces at the call sites.
+			if !obs.VocabRegistered(e.Source, e.Name) {
+				t.Errorf("%s: event (%s, %s) is not in the canonical vocabulary", lv.name, e.Source, e.Name)
+			}
 			vocab[e.Source+"/"+e.Name] = true
 		}
 		var names []string
@@ -78,12 +84,15 @@ func TestEventVocabularyUniformAcrossLevels(t *testing.T) {
 		}
 		phases := map[string]bool{}
 		for _, s := range o.Phases.Spans() {
+			if !obs.SpanRegistered(s.Name) {
+				t.Errorf("%s: span label %q is not in the canonical span table", lv.name, s.Name)
+			}
 			phases[s.Name] = true
 		}
-		if !phases["place"] {
+		if !phases[obs.SpanPlace] {
 			t.Errorf("%s: no place span (phases %v)", lv.name, phases)
 		}
-		if !phases["bind"] {
+		if !phases[obs.SpanBind] {
 			t.Errorf("%s: no bind span (phases %v)", lv.name, phases)
 		}
 	}

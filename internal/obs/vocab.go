@@ -1,0 +1,177 @@
+package obs
+
+import "sort"
+
+// This file is the canonical observability vocabulary: every structured
+// event the repository emits is a (source, name) pair drawn from the
+// constants below, and every phase span label is one of the Span*
+// constants (pipeline stage spans, which are named by the stage itself,
+// are the single documented exception). The `obsvocab` analyzer in
+// internal/analysis cross-checks the table statically: an Observer.Emit
+// call with an unregistered or non-constant (source, name) pair fails
+// `lamavet`, as does a table entry nothing emits. Grow the vocabulary by
+// adding a constant AND a table row — never by passing a fresh string
+// literal at an emission site.
+
+// Event sources: the "src" key of every emitted event.
+const (
+	// SrcMap is the mapping engine (core.Mapper and the place.Run wrapper).
+	SrcMap = "map"
+	// SrcSweep is the layout / policy sweep drivers (core.SweepLayouts,
+	// place.Sweep).
+	SrcSweep = "sweep"
+	// SrcPipeline is the composable post-pass pipeline (place.Pipeline).
+	SrcPipeline = "pipeline"
+	// SrcSupervise is the fault-tolerance supervisor (orte.Supervisor).
+	SrcSupervise = "supervise"
+	// SrcRM is the resource manager (rm.Realloc retry loop).
+	SrcRM = "rm"
+	// SrcTopogen is the topology generator CLI.
+	SrcTopogen = "topogen"
+)
+
+// Event names: the "event" key, scoped by source in the vocabulary table.
+const (
+	// EvDone closes a unit of work (a map, a sweep, a supervised run).
+	EvDone = "done"
+	// EvStall reports a mapping run that could not place every rank.
+	EvStall = "stall"
+	// EvVisit streams one visited coordinate from MapTraced.
+	EvVisit = "visit"
+	// EvStart opens a unit of work (a sweep, a supervised run).
+	EvStart = "start"
+	// EvLayout and EvLayoutFailed report one layout of a layout sweep.
+	EvLayout       = "layout"
+	EvLayoutFailed = "layout-failed"
+	// EvJob and EvJobFailed report one job of a cross-policy sweep.
+	EvJob       = "job"
+	EvJobFailed = "job-failed"
+	// EvStage reports one completed pipeline post-pass stage.
+	EvStage = "stage"
+	// EvNodeFailure and EvFailure are injected hardware/rank failures.
+	EvNodeFailure = "node-failure"
+	EvFailure     = "failure"
+	// EvHeartbeatMiss and EvDetect are the detection pipeline: a missed
+	// heartbeat, then the failure declared after the detection window.
+	EvHeartbeatMiss = "heartbeat-miss"
+	EvDetect        = "detect"
+	// EvRealloc, EvRemap, EvRespawn, EvShrink, EvAbort, EvTeardown are the
+	// supervisor's recovery actions.
+	EvRealloc  = "realloc"
+	EvRemap    = "remap"
+	EvRespawn  = "respawn"
+	EvShrink   = "shrink"
+	EvAbort    = "abort"
+	EvTeardown = "teardown"
+	// EvReallocRetry is one backoff retry of rm.Realloc.
+	EvReallocRetry = "realloc-retry"
+	// EvGenerate is topogen's cluster construction event.
+	EvGenerate = "generate"
+)
+
+// Phase span names (PhaseTimer labels). Pipeline stages span under their
+// own StageName (e.g. the reorder pass's SpanReorder).
+const (
+	// SpanPrune and SpanBuildShape are the mapper's one-off build phases.
+	SpanPrune      = "prune"
+	SpanBuildShape = "build-shape"
+	// SpanSweep is one resource-space traversal inside a mapping run.
+	SpanSweep = "sweep"
+	// SpanPlace envelops one placement run, whichever policy produced it.
+	SpanPlace = "place"
+	// SpanBind and SpanLaunch are the downstream pipeline steps.
+	SpanBind   = "bind"
+	SpanLaunch = "launch"
+	// SpanReorder is the communicator-reorder post-pass stage.
+	SpanReorder = "reorder"
+	// SpanGenerate is topogen's cluster construction phase.
+	SpanGenerate = "generate"
+)
+
+// VocabEntry is one registered (source, name) event pair.
+type VocabEntry struct {
+	Source string
+	Name   string
+}
+
+// vocab is the canonical emission set. Ordered by source, then by the
+// rough lifecycle order within the source, for readability; Vocabulary
+// returns a sorted copy.
+var vocab = []VocabEntry{
+	{SrcMap, EvDone},
+	{SrcMap, EvStall},
+	{SrcMap, EvVisit},
+
+	{SrcSweep, EvStart},
+	{SrcSweep, EvLayout},
+	{SrcSweep, EvLayoutFailed},
+	{SrcSweep, EvJob},
+	{SrcSweep, EvJobFailed},
+	{SrcSweep, EvDone},
+
+	{SrcPipeline, EvStage},
+
+	{SrcSupervise, EvStart},
+	{SrcSupervise, EvNodeFailure},
+	{SrcSupervise, EvFailure},
+	{SrcSupervise, EvHeartbeatMiss},
+	{SrcSupervise, EvDetect},
+	{SrcSupervise, EvRealloc},
+	{SrcSupervise, EvRemap},
+	{SrcSupervise, EvRespawn},
+	{SrcSupervise, EvShrink},
+	{SrcSupervise, EvAbort},
+	{SrcSupervise, EvTeardown},
+	{SrcSupervise, EvDone},
+
+	{SrcRM, EvReallocRetry},
+
+	{SrcTopogen, EvGenerate},
+}
+
+// spanNames is the registered phase-span label set.
+var spanNames = []string{
+	SpanPrune, SpanBuildShape, SpanSweep, SpanPlace,
+	SpanBind, SpanLaunch, SpanReorder, SpanGenerate,
+}
+
+// Vocabulary returns the registered (source, name) pairs sorted by
+// source, then name.
+func Vocabulary() []VocabEntry {
+	out := append([]VocabEntry(nil), vocab...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// VocabRegistered reports whether (source, name) is a registered event
+// pair.
+func VocabRegistered(source, name string) bool {
+	for _, e := range vocab {
+		if e.Source == source && e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SpanNames returns the registered phase-span labels, sorted.
+func SpanNames() []string {
+	out := append([]string(nil), spanNames...)
+	sort.Strings(out)
+	return out
+}
+
+// SpanRegistered reports whether name is a registered phase-span label.
+func SpanRegistered(name string) bool {
+	for _, s := range spanNames {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

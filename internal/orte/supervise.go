@@ -174,7 +174,7 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 		return nil, err
 	}
 	o := s.Opts.Obs
-	endBind := o.StartSpan("bind")
+	endBind := o.StartSpan(obs.SpanBind)
 	bplan, err := bind.Compute(s.Runtime.Cluster, m, s.BindPolicy, s.BindLevel)
 	endBind()
 	if err != nil {
@@ -210,7 +210,7 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
 	o := s.Opts.Obs
 	if o.Enabled() {
-		o.Emit("supervise", "start", obs.NoStep,
+		o.Emit(obs.SrcSupervise, obs.EvStart, obs.NoStep,
 			obs.F("policy", FTAbort.String()), obs.F("np", np), obs.F("steps", steps))
 	}
 	var failures []Failure
@@ -242,7 +242,7 @@ func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan
 		rep.Completed = true
 		rep.FinalRanks = np
 		if o.Enabled() {
-			o.Emit("supervise", "done", obs.NoStep,
+			o.Emit(obs.SrcSupervise, obs.EvDone, obs.NoStep,
 				obs.F("completed", true), obs.F("final_ranks", np))
 		}
 		return rep, nil
@@ -261,9 +261,9 @@ func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan
 	rep.Events = []RecoveryEvent{ev}
 	o.Reg().Counter("lama_failures_detected_total").Add(int64(len(ev.Ranks)))
 	if o.Enabled() {
-		o.Emit("supervise", "detect", ev.DetectedStep,
+		o.Emit(obs.SrcSupervise, obs.EvDetect, ev.DetectedStep,
 			obs.F("fail_step", ev.FailStep), obs.F("ranks", ev.Ranks))
-		o.Emit("supervise", "abort", ev.DetectedStep, obs.F("policy", FTAbort.String()))
+		o.Emit(obs.SrcSupervise, obs.EvAbort, ev.DetectedStep, obs.F("policy", FTAbort.String()))
 	}
 	return rep, nil
 }
@@ -289,7 +289,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 	}
 	o := s.Opts.Obs
 	if o.Enabled() {
-		o.Emit("supervise", "start", obs.NoStep,
+		o.Emit(obs.SrcSupervise, obs.EvStart, obs.NoStep,
 			obs.F("policy", s.Config.Policy.String()), obs.F("np", np),
 			obs.F("steps", steps), obs.F("window", window))
 	}
@@ -330,7 +330,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 				}
 			}
 			if o.Enabled() {
-				o.Emit("supervise", "node-failure", step, obs.F("node", node))
+				o.Emit(obs.SrcSupervise, obs.EvNodeFailure, step, obs.F("node", node))
 			}
 			ni++
 		}
@@ -338,7 +338,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 		for fi < len(plan.Failures) && plan.Failures[fi].Step == step {
 			kill(plan.Failures[fi].Rank, step)
 			if o.Enabled() {
-				o.Emit("supervise", "failure", step, obs.F("rank", plan.Failures[fi].Rank))
+				o.Emit(obs.SrcSupervise, obs.EvFailure, step, obs.F("rank", plan.Failures[fi].Rank))
 			}
 			fi++
 		}
@@ -356,12 +356,12 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 			}
 		}
 		if len(missed) > 0 {
-			o.Emit("supervise", "heartbeat-miss", step, obs.F("ranks", missed))
+			o.Emit(obs.SrcSupervise, obs.EvHeartbeatMiss, step, obs.F("ranks", missed))
 		}
 		if len(due) > 0 {
 			o.Reg().Counter("lama_failures_detected_total").Add(int64(len(due)))
 			if o.Enabled() {
-				o.Emit("supervise", "detect", step, obs.F("ranks", due))
+				o.Emit(obs.SrcSupervise, obs.EvDetect, step, obs.F("ranks", due))
 			}
 			if err := s.recover(rep, procs, alive, handled, deadAt, due, step); err != nil {
 				return nil, err
@@ -404,7 +404,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 		}
 		rep.Events = append(rep.Events, ev)
 		if o.Enabled() {
-			o.Emit("supervise", "teardown", steps,
+			o.Emit(obs.SrcSupervise, obs.EvTeardown, steps,
 				obs.F("fail_step", ev.FailStep), obs.F("ranks", late))
 		}
 	}
@@ -430,7 +430,7 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 	}
 	rep.Completed = !aborted && rep.FinalRanks > 0
 	if o.Enabled() {
-		o.Emit("supervise", "done", obs.NoStep,
+		o.Emit(obs.SrcSupervise, obs.EvDone, obs.NoStep,
 			obs.F("completed", rep.Completed), obs.F("final_ranks", rep.FinalRanks),
 			obs.F("restarts", rep.Restarts))
 	}
@@ -470,7 +470,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		rep.Events = append(rep.Events, ev)
 		rep.Aborted = true
 		if o.Enabled() {
-			o.Emit("supervise", "abort", step, obs.F("reason", reason))
+			o.Emit(obs.SrcSupervise, obs.EvAbort, step, obs.F("reason", reason))
 		}
 	}
 
@@ -478,7 +478,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		ev.Action = "shrink"
 		rep.Events = append(rep.Events, ev)
 		if o.Enabled() {
-			o.Emit("supervise", "shrink", step, obs.F("ranks", due))
+			o.Emit(obs.SrcSupervise, obs.EvShrink, step, obs.F("ranks", due))
 		}
 		return nil
 	}
@@ -498,7 +498,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 			return nil
 		}
 		if o.Enabled() {
-			o.Emit("supervise", "realloc", step,
+			o.Emit(obs.SrcSupervise, obs.EvRealloc, step,
 				obs.F("failed_node", node), obs.F("spare", spare))
 		}
 	}
@@ -508,7 +508,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		abort(fmt.Sprintf("remap failed: %v", err))
 		return nil
 	}
-	endBind := o.StartSpan("bind")
+	endBind := o.StartSpan(obs.SpanBind)
 	nplan, err := bind.Compute(c, nm, s.BindPolicy, s.BindLevel)
 	endBind()
 	if err != nil {
@@ -523,7 +523,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 	ev.RanksMoved = rrep.RanksMoved
 	o.Reg().Histogram("lama_remap_duration_us", obs.LatencyBucketsUs).Observe(ev.RemapUs)
 	if o.Enabled() {
-		o.Emit("supervise", "remap", step,
+		o.Emit(obs.SrcSupervise, obs.EvRemap, step,
 			obs.F("ranks_moved", ev.RanksMoved), obs.F("us", ev.RemapUs))
 	}
 
@@ -562,7 +562,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 		reg.Histogram("lama_recovery_replay_steps", obs.StepBuckets).Observe(float64(ev.ReplaySteps))
 	}
 	if o.Enabled() {
-		o.Emit("supervise", "respawn", step,
+		o.Emit(obs.SrcSupervise, obs.EvRespawn, step,
 			obs.F("ranks", due), obs.F("replay_steps", ev.ReplaySteps))
 	}
 	return nil

@@ -46,7 +46,7 @@ func (pl *Pipeline) Run(req *Request) (*core.Map, error) {
 	for _, st := range pl.Stages {
 		var t0 time.Time
 		if o != nil {
-			t0 = time.Now()
+			t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		end := o.StartSpan(st.StageName())
 		next, err := st.Apply(req, m)
@@ -59,11 +59,11 @@ func (pl *Pipeline) Run(req *Request) (*core.Map, error) {
 				st.StageName(), m.NumRanks(), next.NumRanks())
 		}
 		if o.Enabled() {
-			o.Emit("pipeline", "stage", obs.NoStep,
+			o.Emit(obs.SrcPipeline, obs.EvStage, obs.NoStep,
 				obs.F("stage", st.StageName()),
 				obs.F("policy", pl.Policy.Name()),
 				obs.F("ranks", next.NumRanks()),
-				obs.F("us", float64(time.Since(t0))/float64(time.Microsecond)))
+				obs.F("us", float64(time.Since(t0))/float64(time.Microsecond))) //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		m = next
 	}

@@ -177,9 +177,9 @@ func Run(p Policy, req *Request) (*core.Map, error) {
 	o := req.Opts.Obs
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
-	endPlace := o.StartSpan("place")
+	endPlace := o.StartSpan(obs.SpanPlace)
 	m, err := p.Place(req)
 	endPlace()
 	if o == nil {
@@ -188,21 +188,21 @@ func Run(p Policy, req *Request) (*core.Map, error) {
 	if err != nil {
 		o.Reg().Counter("lama_map_stalls_total").Inc()
 		if o.Enabled() {
-			o.Emit("map", "stall", obs.NoStep,
+			o.Emit(obs.SrcMap, obs.EvStall, obs.NoStep,
 				obs.F("policy", p.Name()),
 				obs.F("np", req.NP),
 				obs.F("error", err.Error()))
 		}
 		return nil, err
 	}
-	us := float64(time.Since(t0)) / float64(time.Microsecond)
+	us := float64(time.Since(t0)) / float64(time.Microsecond) //lama:nondet-ok latency observability only, never reaches mapping output
 	if reg := o.Reg(); reg != nil {
 		reg.Histogram("lama_map_duration_us", obs.LatencyBucketsUs).Observe(us)
 		reg.Counter("lama_maps_total").Inc()
 		reg.Counter("lama_ranks_placed_total").Add(int64(len(m.Placements)))
 	}
 	if o.Enabled() {
-		o.Emit("map", "done", obs.NoStep,
+		o.Emit(obs.SrcMap, obs.EvDone, obs.NoStep,
 			obs.F("policy", p.Name()),
 			obs.F("np", req.NP),
 			obs.F("placed", len(m.Placements)),

@@ -50,11 +50,11 @@ func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) er
 	}
 	var t0 time.Time
 	if o != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
 	workers = parallel.Workers(len(jobs), workers)
 	if o.Enabled() {
-		o.Emit("sweep", "start", obs.NoStep,
+		o.Emit(obs.SrcSweep, obs.EvStart, obs.NoStep,
 			obs.F("jobs", len(jobs)), obs.F("workers", workers))
 	}
 	err := parallel.ForEachWorker(len(jobs), workers, func(_, i int) error {
@@ -71,35 +71,35 @@ func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) er
 		}
 		var jobStart time.Time
 		if o.Enabled() {
-			jobStart = time.Now()
+			jobStart = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		m, err := Run(job.Policy, req)
 		if err != nil {
 			if o.Enabled() {
-				o.Emit("sweep", "job-failed", obs.NoStep,
+				o.Emit(obs.SrcSweep, obs.EvJobFailed, obs.NoStep,
 					obs.F("index", i), obs.F("policy", job.Policy.Name()),
 					obs.F("error", err.Error()))
 			}
 			return err
 		}
 		if o.Enabled() {
-			o.Emit("sweep", "job", obs.NoStep,
+			o.Emit(obs.SrcSweep, obs.EvJob, obs.NoStep,
 				obs.F("index", i), obs.F("policy", job.Policy.Name()),
 				obs.F("placed", len(m.Placements)), obs.F("sweeps", m.Sweeps),
-				obs.F("us", float64(time.Since(jobStart))/float64(time.Microsecond)))
+				obs.F("us", float64(time.Since(jobStart))/float64(time.Microsecond))) //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		o.Reg().Counter("lama_sweep_jobs_total").Inc()
 		return visit(i, m)
 	})
 	if o != nil {
-		us := float64(time.Since(t0)) / float64(time.Microsecond)
+		us := float64(time.Since(t0)) / float64(time.Microsecond) //lama:nondet-ok latency observability only, never reaches mapping output
 		o.Reg().Histogram("lama_sweep_duration_us", obs.LatencyBucketsUs).Observe(us)
 		if o.Enabled() {
 			fields := []obs.Field{obs.F("jobs", len(jobs)), obs.F("us", us)}
 			if err != nil {
 				fields = append(fields, obs.F("error", err.Error()))
 			}
-			o.Emit("sweep", "done", obs.NoStep, fields...)
+			o.Emit(obs.SrcSweep, obs.EvDone, obs.NoStep, fields...)
 		}
 	}
 	return err

@@ -5,6 +5,7 @@ import (
 
 	"lama/internal/core"
 	"lama/internal/netsim"
+	"lama/internal/obs"
 	"lama/internal/place"
 )
 
@@ -22,8 +23,9 @@ type Pass struct {
 	OnResult func(*Result)
 }
 
-// StageName returns "reorder", the pipeline span and event label.
-func (p *Pass) StageName() string { return "reorder" }
+// StageName returns the registered reorder span label, the pipeline span
+// and event label.
+func (p *Pass) StageName() string { return obs.SpanReorder }
 
 // Apply runs the optimizer using the request's traffic matrix. A request
 // without one is an error: composing a reorder stage is an explicit ask

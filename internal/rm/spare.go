@@ -162,7 +162,7 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 			}
 			rc.Obs.Reg().Counter("lama_realloc_retries_total").Inc()
 			if rc.Obs.Enabled() {
-				rc.Obs.Emit("rm", "realloc-retry", obs.NoStep,
+				rc.Obs.Emit(obs.SrcRM, obs.EvReallocRetry, obs.NoStep,
 					obs.F("node", failedName), obs.F("attempt", attempt),
 					obs.F("backoff_us", float64(backoff)/float64(time.Microsecond)))
 			}
