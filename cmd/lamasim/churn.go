@@ -1,0 +1,239 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"lama/internal/bind"
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/faultaware"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/obs"
+	"lama/internal/orte"
+	"lama/internal/place"
+	"lama/internal/rm"
+)
+
+// churnConfig parameterizes the long-horizon churn scenario.
+type churnConfig struct {
+	spec           string
+	np, nodes      int
+	layout, policy string
+	spares         int
+	pool           int
+	steps          int
+	mtbf           float64
+	seed           int64
+	detect         int
+	chassisSize    int
+	rackSize       int
+	resizePeriod   int
+	resizeDelta    int
+	critical       int
+	maxRestarts    int
+}
+
+// runChurn is the long-horizon elasticity-under-failures scenario: a pool
+// with a failure-domain model, a job placed through the fault-aware
+// pipeline stage, and a supervised run whose injection plan combines
+// MTBF-driven whole-node failures (riskier nodes fail sooner) with
+// periodic alternating grow/shrink resizes. Every recovery and resize is
+// folded into step-indexed recovered-locality, migration-cost, and
+// world-size curves in the run report, so the proactive placement and
+// topology-aware spare machinery can be judged over thousands of steps
+// rather than a single failure.
+func runChurn(out io.Writer, sp hw.Spec, obsFlags *obs.CLIFlags, o *obs.Observer,
+	closeObs func() error, cfg churnConfig) error {
+	layout, err := core.ParseLayout(cfg.layout)
+	if err != nil {
+		return err
+	}
+	poolN := cfg.pool
+	if poolN <= 0 {
+		// Default headroom: spares plus a few free nodes for realloc once
+		// the spare pool runs dry.
+		poolN = cfg.nodes + cfg.spares + 4
+	}
+	if poolN < cfg.nodes+cfg.spares {
+		return fmt.Errorf("-pool %d smaller than -nodes %d + -spares %d", poolN, cfg.nodes, cfg.spares)
+	}
+	pool := cluster.Homogeneous(poolN, sp)
+	pool.AttachFaultModel(cfg.chassisSize, cfg.rackSize, cfg.seed)
+	mgr := rm.NewManager(pool)
+	mgr.Obs = o
+	slots := cfg.nodes * usableCores(pool.Node(0))
+	alloc, err := mgr.AllocWithSpares(rm.WholeNode, slots, cfg.spares)
+	if err != nil {
+		return err
+	}
+	granted := alloc.Granted
+
+	// Initial placement through the pipeline: the chosen policy followed
+	// by the fault-aware critical-rank spread.
+	pol, ok := place.Lookup(cfg.policy)
+	if !ok {
+		return fmt.Errorf("unknown placement policy %q for -churn", cfg.policy)
+	}
+	var stages []place.Stage
+	var spread *faultaware.Result
+	crit := make([]int, 0, cfg.critical)
+	for r := 0; r < cfg.critical && r < cfg.np; r++ {
+		crit = append(crit, r)
+	}
+	if len(crit) > 0 {
+		stages = append(stages, &faultaware.Stage{
+			Critical: crit,
+			OnResult: func(r *faultaware.Result) { spread = r },
+		})
+	}
+	pl := &place.Pipeline{Policy: pol, Stages: stages}
+	m, err := pl.Run(&place.Request{
+		Cluster: granted, NP: cfg.np, Layout: layout, Seed: cfg.seed,
+		Opts: core.Options{Obs: o},
+	})
+	if err != nil {
+		return err
+	}
+
+	sup := &orte.Supervisor{
+		Runtime:    orte.NewRuntime(granted),
+		Layout:     layout,
+		Opts:       core.Options{Obs: o},
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		InitialMap: m,
+		Config: orte.SuperviseConfig{
+			Policy:          orte.FTRespawn,
+			MaxRestarts:     cfg.maxRestarts,
+			DetectionWindow: cfg.detect,
+		},
+		SpareProvider: func(failedNode int) (int, error) {
+			res, err := mgr.Realloc(alloc, granted.Nodes[failedNode].Name,
+				rm.RetryConfig{Obs: o})
+			if err != nil {
+				return -1, err
+			}
+			return res.GrantedIndex, nil
+		},
+	}
+
+	mtbf := cfg.mtbf
+	if mtbf <= 0 {
+		// Default: an average node survives about twice the horizon, so a
+		// handful of the riskier nodes fail during the run.
+		mtbf = 2 * float64(cfg.steps)
+	}
+	nodeFails, err := orte.NodeMTBFSchedule(cfg.seed, granted, cfg.steps, mtbf)
+	if err != nil {
+		return err
+	}
+	plan := orte.InjectionPlan{NodeFailures: nodeFails}
+	if cfg.resizePeriod > 0 {
+		delta := cfg.resizeDelta
+		if delta <= 0 {
+			delta = maxOf(1, cfg.np/8)
+		}
+		for i, t := 0, cfg.resizePeriod; t < cfg.steps; i, t = i+1, t+cfg.resizePeriod {
+			d := delta
+			if i%2 == 1 {
+				d = -delta
+			}
+			plan.Resizes = append(plan.Resizes, orte.ResizeEvent{Step: t, Delta: d})
+		}
+	}
+
+	fmt.Fprintf(out, "churn: pool %d x %s (%d-node chassis, %d-chassis racks), job %d nodes + %d spares, np=%d, steps=%d, mtbf=%.0f\n",
+		poolN, cfg.spec, cfg.chassisSize, cfg.rackSize, cfg.nodes, cfg.spares, cfg.np, cfg.steps, mtbf)
+	if spread != nil {
+		fmt.Fprintf(out, "fault-aware spread: %d critical ranks over %d->%d chassis (%d swaps, locality %.3f -> %.3f)\n",
+			len(spread.Critical), spread.ChassisBefore, spread.ChassisAfter,
+			spread.Swaps, spread.LocalityBefore, spread.LocalityAfter)
+	}
+	fmt.Fprintf(out, "schedule: %d node failures, %d resizes\n\n", len(nodeFails), len(plan.Resizes))
+
+	rep, err := sup.Run(cfg.np, cfg.steps, plan)
+	if err != nil {
+		return err
+	}
+	series := churnSeries(cfg.np, rep.Events)
+	for _, ev := range rep.Events {
+		fmt.Fprintf(out, "step %4d: %-8s", ev.DetectedStep, ev.Action)
+		switch ev.Action {
+		case "grow", "release":
+			fmt.Fprintf(out, " delta %+d", ev.Delta)
+		default:
+			fmt.Fprintf(out, " failure from step %d, ranks %v", ev.FailStep, ev.Ranks)
+		}
+		if ev.Action == "respawn" {
+			fmt.Fprintf(out, " (moved %d, replayed %d, locality %.3f -> %.3f)",
+				ev.RanksMoved, ev.ReplaySteps, ev.LocalityBefore, ev.LocalityAfter)
+		}
+		if ev.Reason != "" {
+			fmt.Fprintf(out, ": %s", ev.Reason)
+		}
+		fmt.Fprintln(out)
+	}
+	if len(rep.Events) > 0 {
+		fmt.Fprintln(out)
+	}
+	rsum := metrics.SummarizeRecovery(rep)
+	fmt.Fprintln(out, rsum.Render())
+	rsum.Record(o.Reg())
+	if rep.Map != nil {
+		metrics.Summarize(granted, rep.Map).Record(o.Reg())
+	}
+	if err := closeObs(); err != nil {
+		return err
+	}
+	report := o.Report("lamasim", map[string]any{
+		"scenario": "churn", "np": cfg.np, "nodes": cfg.nodes, "pool": poolN,
+		"spec": cfg.spec, "layout": cfg.layout, "policy": cfg.policy,
+		"spares": cfg.spares, "steps": cfg.steps, "mtbf": mtbf,
+		"seed": cfg.seed, "chassisSize": cfg.chassisSize, "rackSize": cfg.rackSize,
+		"resizePeriod": cfg.resizePeriod, "critical": cfg.critical,
+		"detectionWindow": rep.DetectionWindow,
+	})
+	report.Recovery = recoveryTimeline(rep.Events)
+	report.Series = series
+	return obsFlags.WriteReport(report)
+}
+
+// churnSeries folds the supervisor's event stream into the three curves
+// the churn report carries: recovered locality (neighbor locality after
+// each recovery or resize), cumulative migration cost (placements moved
+// plus steps replayed), and world size.
+func churnSeries(np int, events []orte.RecoveryEvent) map[string][]obs.SeriesPoint {
+	var locality, cost, world []obs.SeriesPoint
+	moved, size := 0, np
+	world = append(world, obs.SeriesPoint{Step: 0, Value: float64(size)})
+	for _, ev := range events {
+		switch ev.Action {
+		case "respawn":
+			moved += ev.RanksMoved + ev.ReplaySteps
+			locality = append(locality, obs.SeriesPoint{Step: ev.DetectedStep, Value: ev.LocalityAfter})
+		case "grow", "release":
+			if ev.Reason == "" { // applied, not rejected
+				size += ev.Delta
+				locality = append(locality, obs.SeriesPoint{Step: ev.DetectedStep, Value: ev.LocalityAfter})
+				world = append(world, obs.SeriesPoint{Step: ev.DetectedStep, Value: float64(size)})
+			}
+		case "shrink":
+			// FTShrink survivors keep running; nothing moves.
+		}
+		cost = append(cost, obs.SeriesPoint{Step: ev.DetectedStep, Value: float64(moved)})
+	}
+	return map[string][]obs.SeriesPoint{
+		"recovered_locality": locality,
+		"migration_cost":     cost,
+		"world_size":         world,
+	}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -70,9 +70,17 @@ func run(args []string, out io.Writer) error {
 	failNode := fs.Int("fail-node", -1, "inject: fail this node at -fail-step (-ft)")
 	failRank := fs.Int("fail-rank", -1, "inject: crash this rank at -fail-step (-ft)")
 	failStep := fs.Int("fail-step", 10, "inject: failure step (-ft)")
-	mtbf := fs.Float64("mtbf", 0, "inject: per-rank exponential MTBF in steps, 0 = off (-ft)")
+	mtbf := fs.Float64("mtbf", 0, "inject: per-rank exponential MTBF in steps, 0 = off (-ft); per-node MTBF for -churn (0 = 2x horizon)")
 	seed := fs.Int64("seed", 1, "rng seed for -mtbf")
 	detect := fs.Int("detect", 0, "detection window in steps, 0 = routed-tree default (-ft)")
+	churn := fs.Bool("churn", false, "run the long-horizon churn scenario: fault-aware placement, MTBF node failures, periodic grow/shrink")
+	poolSize := fs.Int("pool", 0, "pool size in nodes for -churn (0 = nodes+spares+4)")
+	churnPolicy := fs.String("churn-policy", "lama", "placement policy the churn pipeline starts from")
+	chassisSize := fs.Int("chassis-size", 2, "nodes per chassis in the failure-domain model (-churn)")
+	rackSize := fs.Int("rack-size", 2, "chassis per rack in the failure-domain model (-churn)")
+	resizePeriod := fs.Int("resize-period", 0, "steps between alternating grow/shrink resizes, 0 = off (-churn)")
+	resizeDelta := fs.Int("resize-delta", 0, "ranks per resize, 0 = np/8 (-churn)")
+	critical := fs.Int("critical", 0, "number of leading ranks to spread across failure domains (-churn)")
 	validate := fs.String("validate", "", "validate observability outputs instead of running: comma-separated paths (.jsonl = event trace, otherwise runreport JSON)")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +97,16 @@ func run(args []string, out io.Writer) error {
 	o, closeObs, err := obsFlags.Observer(os.Stderr)
 	if err != nil {
 		return err
+	}
+	if *churn {
+		return runChurn(out, sp, obsFlags, o, closeObs, churnConfig{
+			spec: *spec, np: *np, nodes: *nodes, layout: *layout,
+			policy: *churnPolicy, spares: *spares, pool: *poolSize,
+			steps: *steps, mtbf: *mtbf, seed: *seed, detect: *detect,
+			chassisSize: *chassisSize, rackSize: *rackSize,
+			resizePeriod: *resizePeriod, resizeDelta: *resizeDelta,
+			critical: *critical, maxRestarts: *maxRestarts,
+		})
 	}
 	if *ft != "" {
 		return runFT(out, sp, obsFlags, o, closeObs, ftConfig{

@@ -155,15 +155,16 @@ func RunPackages(dir string, patterns []string, suite []*Analyzer, finish bool) 
 // golden-equivalence and repeated-run tests pin. mapiter and nodeterm
 // enforce only inside these.
 var DeterministicPkgNames = map[string]bool{
-	"core":      true,
-	"place":     true,
-	"treematch": true,
-	"baseline":  true,
-	"torus":     true,
-	"rankfile":  true,
-	"reorder":   true,
-	"permute":   true,
-	"hw":        true,
+	"core":       true,
+	"place":      true,
+	"treematch":  true,
+	"baseline":   true,
+	"torus":      true,
+	"rankfile":   true,
+	"reorder":    true,
+	"permute":    true,
+	"hw":         true,
+	"faultaware": true,
 }
 
 // deterministic reports whether the pass's package is part of the

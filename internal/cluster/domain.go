@@ -1,0 +1,215 @@
+// Failure-domain model: the proactive half of the fault-tolerance story.
+// Nodes live in a physical hierarchy — several nodes share a chassis
+// (power supply, backplane), several chassis share a rack (PDU, top-of-rack
+// switch) — and failures correlate within those domains. Vardas et al.
+// (PAPERS.md, "Topology and Fault-Aware Process Placement") show that
+// placement should anticipate this: spread a job's critical ranks across
+// failure domains and keep replacement resources topologically near the
+// ranks they would inherit. The FaultModel below carries the labels and a
+// seeded per-node failure-history/MTBF-weight table that placement stages
+// (internal/faultaware), the resource manager (rm.Realloc spare choice),
+// and failure injection (orte.NodeMTBFSchedule) all consume; FailNode
+// feeds observed failures back into it.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultDomain labels one node's position in the failure hierarchy.
+// Chassis indices are global (chassis 3 is the same chassis whichever rack
+// it sits in), so comparing Chassis alone decides chassis-level
+// correlation.
+type FaultDomain struct {
+	// Chassis is the node's chassis index within the cluster.
+	Chassis int
+	// Rack is the node's rack index within the cluster.
+	Rack int
+}
+
+// FaultModel is the per-cluster failure-domain and failure-history table:
+// one domain label, one MTBF weight, and one observed-failure counter per
+// node. The zero node count model is valid and reports every node as its
+// own domain with unit weight.
+type FaultModel struct {
+	domains []FaultDomain
+	// weights are per-node failure-rate weights relative to the cluster
+	// mean (1.0): a node with weight 2 is expected to fail twice as often.
+	weights []float64
+	// fails counts observed failures per node (FailNode feedback).
+	fails []int
+}
+
+// NewFaultModel builds the model for n nodes grouped nodesPerChassis to a
+// chassis and chassisPerRack to a rack (both clamped to >= 1), with
+// per-node MTBF weights drawn uniformly from [0.5, 1.5) by a generator
+// seeded with seed — deterministic for a given (n, grouping, seed) tuple,
+// mirroring the repository's seeded failure injection.
+func NewFaultModel(n, nodesPerChassis, chassisPerRack int, seed int64) *FaultModel {
+	if n < 0 {
+		panic(fmt.Sprintf("cluster: negative node count %d", n))
+	}
+	if nodesPerChassis < 1 {
+		nodesPerChassis = 1
+	}
+	if chassisPerRack < 1 {
+		chassisPerRack = 1
+	}
+	m := &FaultModel{
+		domains: make([]FaultDomain, n),
+		weights: make([]float64, n),
+		fails:   make([]int, n),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		chassis := i / nodesPerChassis
+		m.domains[i] = FaultDomain{Chassis: chassis, Rack: chassis / chassisPerRack}
+		m.weights[i] = 0.5 + rng.Float64()
+	}
+	return m
+}
+
+// AttachFaultModel builds and attaches a model matching the cluster's
+// node count, returning it for further configuration.
+func (c *Cluster) AttachFaultModel(nodesPerChassis, chassisPerRack int, seed int64) *FaultModel {
+	c.Faults = NewFaultModel(c.NumNodes(), nodesPerChassis, chassisPerRack, seed)
+	return c.Faults
+}
+
+// NumNodes returns the number of nodes the model covers.
+func (m *FaultModel) NumNodes() int { return len(m.domains) }
+
+// Domain returns node i's failure domain. Nodes outside the model (a
+// replacement view appended after construction, or a nil model) get a
+// singleton domain of their own — the conservative default: they share
+// failures with nobody.
+func (m *FaultModel) Domain(i int) FaultDomain {
+	if m == nil || i < 0 || i >= len(m.domains) {
+		return FaultDomain{Chassis: -1 - i, Rack: -1 - i}
+	}
+	return m.domains[i]
+}
+
+// SetDomain overrides node i's domain label (e.g. when a replacement node
+// joins an existing chassis). Out-of-range indices grow the table.
+func (m *FaultModel) SetDomain(i int, d FaultDomain) {
+	if i < 0 {
+		return
+	}
+	for len(m.domains) <= i {
+		m.domains = append(m.domains, FaultDomain{Chassis: -1 - len(m.domains), Rack: -1 - len(m.domains)})
+		m.weights = append(m.weights, 1)
+		m.fails = append(m.fails, 0)
+	}
+	m.domains[i] = d
+}
+
+// SameChassis reports whether nodes a and b share a chassis (the tightest
+// correlated-failure domain).
+func (m *FaultModel) SameChassis(a, b int) bool {
+	return m.Domain(a).Chassis == m.Domain(b).Chassis
+}
+
+// SameRack reports whether nodes a and b share a rack.
+func (m *FaultModel) SameRack(a, b int) bool {
+	return m.Domain(a).Rack == m.Domain(b).Rack
+}
+
+// RecordFailure feeds one observed failure of node i into the history
+// table. FailNode calls it automatically; out-of-model nodes are grown
+// into the table so replacement views accumulate history too.
+func (m *FaultModel) RecordFailure(i int) {
+	if m == nil || i < 0 {
+		return
+	}
+	if i >= len(m.fails) {
+		m.SetDomain(i, m.Domain(i))
+	}
+	m.fails[i]++
+}
+
+// Failures returns the observed failure count of node i.
+func (m *FaultModel) Failures(i int) int {
+	if m == nil || i < 0 || i >= len(m.fails) {
+		return 0
+	}
+	return m.fails[i]
+}
+
+// Weight returns node i's seeded MTBF weight (1.0 = cluster mean failure
+// rate). Out-of-model nodes weigh 1.
+func (m *FaultModel) Weight(i int) float64 {
+	if m == nil || i < 0 || i >= len(m.weights) {
+		return 1
+	}
+	return m.weights[i]
+}
+
+// Risk is the model's failure-rate estimate for node i: the seeded MTBF
+// weight scaled up by observed failure history (each recorded failure
+// doubles down on the node being suspect). Placement and spare selection
+// minimize it.
+func (m *FaultModel) Risk(i int) float64 {
+	return m.Weight(i) * float64(1+m.Failures(i))
+}
+
+// Spread counts the distinct chassis and racks covered by the given node
+// indices — the quantity fault-aware placement maximizes for a job's
+// critical ranks.
+func (m *FaultModel) Spread(nodes []int) (chassis, racks int) {
+	seenC := map[int]bool{}
+	seenR := map[int]bool{}
+	for _, n := range nodes {
+		d := m.Domain(n)
+		seenC[d.Chassis] = true
+		seenR[d.Rack] = true
+	}
+	return len(seenC), len(seenR)
+}
+
+// Derive builds the model for a view cluster whose node i corresponds to
+// source node indices[i], carrying over domain labels, weights, and
+// failure history — how a resource-manager grant hands a job the
+// failure-domain picture of exactly the nodes it received. A nil source
+// derives nil.
+func (m *FaultModel) Derive(indices []int) *FaultModel {
+	if m == nil {
+		return nil
+	}
+	out := &FaultModel{
+		domains: make([]FaultDomain, len(indices)),
+		weights: make([]float64, len(indices)),
+		fails:   make([]int, len(indices)),
+	}
+	for i, src := range indices {
+		out.domains[i] = m.Domain(src)
+		out.weights[i] = m.Weight(src)
+		out.fails[i] = m.Failures(src)
+	}
+	return out
+}
+
+// Adopt copies node srcIdx's domain, weight, and history from src into
+// slot i (growing the table as needed) — how a granted view's model stays
+// in sync when the resource manager appends a replacement node.
+func (m *FaultModel) Adopt(i int, src *FaultModel, srcIdx int) {
+	if m == nil || i < 0 {
+		return
+	}
+	m.SetDomain(i, src.Domain(srcIdx))
+	m.weights[i] = src.Weight(srcIdx)
+	m.fails[i] = src.Failures(srcIdx)
+}
+
+// Clone deep-copies the model.
+func (m *FaultModel) Clone() *FaultModel {
+	if m == nil {
+		return nil
+	}
+	return &FaultModel{
+		domains: append([]FaultDomain(nil), m.domains...),
+		weights: append([]float64(nil), m.weights...),
+		fails:   append([]int(nil), m.fails...),
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"testing"
+
+	"lama/internal/hw"
+)
+
+func TestFaultModelGrouping(t *testing.T) {
+	m := NewFaultModel(12, 2, 3, 1) // 2 nodes/chassis, 3 chassis/rack
+	if m.NumNodes() != 12 {
+		t.Fatalf("NumNodes = %d", m.NumNodes())
+	}
+	for i := 0; i < 12; i++ {
+		d := m.Domain(i)
+		if d.Chassis != i/2 || d.Rack != i/6 {
+			t.Fatalf("node %d domain = %+v, want chassis %d rack %d", i, d, i/2, i/6)
+		}
+	}
+	if !m.SameChassis(0, 1) || m.SameChassis(1, 2) {
+		t.Fatal("chassis grouping wrong")
+	}
+	if !m.SameRack(0, 5) || m.SameRack(5, 6) {
+		t.Fatal("rack grouping wrong")
+	}
+	chassis, racks := m.Spread([]int{0, 1, 2, 6})
+	if chassis != 3 || racks != 2 {
+		t.Fatalf("Spread = (%d, %d), want (3, 2)", chassis, racks)
+	}
+}
+
+func TestFaultModelDeterministicWeights(t *testing.T) {
+	a := NewFaultModel(8, 2, 2, 42)
+	b := NewFaultModel(8, 2, 2, 42)
+	other := NewFaultModel(8, 2, 2, 43)
+	var differs bool
+	for i := 0; i < 8; i++ {
+		if a.Weight(i) != b.Weight(i) {
+			t.Fatalf("same seed, different weight at %d", i)
+		}
+		if a.Weight(i) < 0.5 || a.Weight(i) >= 1.5 {
+			t.Fatalf("weight %f out of [0.5, 1.5)", a.Weight(i))
+		}
+		if a.Weight(i) != other.Weight(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical weight tables")
+	}
+}
+
+func TestFaultModelRiskAndFeedback(t *testing.T) {
+	m := NewFaultModel(4, 2, 2, 7)
+	if m.Failures(1) != 0 || m.Risk(1) != m.Weight(1) {
+		t.Fatal("fresh node should have zero history and risk == weight")
+	}
+	m.RecordFailure(1)
+	m.RecordFailure(1)
+	if m.Failures(1) != 2 {
+		t.Fatalf("Failures = %d", m.Failures(1))
+	}
+	if got, want := m.Risk(1), m.Weight(1)*3; got != want {
+		t.Fatalf("Risk = %f, want %f", got, want)
+	}
+}
+
+// TestFailNodeFeedsFaultModel: the cluster-level failure path must record
+// history in the attached model exactly once per transition to failed.
+func TestFailNodeFeedsFaultModel(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := Homogeneous(4, sp)
+	c.AttachFaultModel(2, 2, 3)
+	c.FailNode(2)
+	c.FailNode(2) // already failed: no double count
+	if got := c.Faults.Failures(2); got != 1 {
+		t.Fatalf("Failures(2) = %d, want 1", got)
+	}
+	if got := c.Faults.Failures(0); got != 0 {
+		t.Fatalf("Failures(0) = %d, want 0", got)
+	}
+}
+
+func TestFaultModelOutOfRangeAndNil(t *testing.T) {
+	var nilM *FaultModel
+	if d := nilM.Domain(3); d.Chassis != -4 || d.Rack != -4 {
+		t.Fatalf("nil model Domain = %+v", d)
+	}
+	if nilM.SameChassis(0, 1) {
+		t.Fatal("nil model singleton domains must not collide")
+	}
+	if nilM.Weight(0) != 1 || nilM.Failures(0) != 0 || nilM.Risk(0) != 1 {
+		t.Fatal("nil model defaults wrong")
+	}
+	nilM.RecordFailure(0) // must not panic
+	if nilM.Clone() != nil || nilM.Derive([]int{0}) != nil {
+		t.Fatal("nil model Clone/Derive should stay nil")
+	}
+
+	m := NewFaultModel(2, 1, 1, 0)
+	if d := m.Domain(9); d.Chassis != -10 {
+		t.Fatalf("out-of-range Domain = %+v", d)
+	}
+	if m.SameChassis(5, 6) {
+		t.Fatal("distinct out-of-range nodes share a singleton domain")
+	}
+	m.RecordFailure(5) // grows the table
+	if m.Failures(5) != 1 {
+		t.Fatal("history for grown slot lost")
+	}
+}
+
+func TestFaultModelDeriveAndAdopt(t *testing.T) {
+	src := NewFaultModel(8, 2, 2, 11)
+	src.RecordFailure(6)
+	view := src.Derive([]int{6, 1, 3})
+	for vi, si := range []int{6, 1, 3} {
+		if view.Domain(vi) != src.Domain(si) {
+			t.Fatalf("view node %d domain %+v != source node %d %+v", vi, view.Domain(vi), si, src.Domain(si))
+		}
+		if view.Weight(vi) != src.Weight(si) || view.Failures(vi) != src.Failures(si) {
+			t.Fatalf("view node %d weight/history diverge from source %d", vi, si)
+		}
+	}
+	// Adopt node 7 into a new slot 3, as Realloc does for a replacement.
+	view.Adopt(3, src, 7)
+	if view.Domain(3) != src.Domain(7) || view.Weight(3) != src.Weight(7) {
+		t.Fatal("Adopt did not carry domain/weight")
+	}
+	// The view is a copy: feedback on it must not touch the source.
+	view.RecordFailure(0)
+	if src.Failures(6) != 1 {
+		t.Fatal("view feedback leaked into source model")
+	}
+}
+
+func TestFaultModelClonePropagation(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := Homogeneous(4, sp)
+	c.AttachFaultModel(2, 2, 5)
+	cl := c.Clone()
+	if cl.Faults == nil {
+		t.Fatal("Clone dropped the fault model")
+	}
+	cl.Faults.RecordFailure(0)
+	if c.Faults.Failures(0) != 0 {
+		t.Fatal("clone shares history with original")
+	}
+	if cl.Faults.Domain(1) != c.Faults.Domain(1) || cl.Faults.Weight(1) != c.Faults.Weight(1) {
+		t.Fatal("clone diverges from original labels/weights")
+	}
+}

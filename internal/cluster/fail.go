@@ -19,9 +19,23 @@ func (c *Cluster) FailNode(i int) bool {
 	if n == nil {
 		return false
 	}
+	root := n.Topo.ObjectAt(hw.LevelMachine, 0)
+	if root == nil {
+		return false
+	}
+	if !root.Available {
+		return true // already failed: idempotent, no double-counted history
+	}
 	// Route through the topology API so the mutation advances the
 	// topology's generation counter and invalidates mapping-engine caches.
-	return n.Topo.SetAvailable(hw.LevelMachine, 0, false)
+	changed := n.Topo.SetAvailable(hw.LevelMachine, 0, false)
+	if changed {
+		// Feed the loss back into the failure-history table so future
+		// spare selection and proactive placement weigh this node (and,
+		// through its domain labels, its chassis) as riskier.
+		c.Faults.RecordFailure(i)
+	}
+	return changed
 }
 
 // FailPUs marks the given PU OS indices of node i unavailable — a partial

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// Elastic (malleable) job support: grow and shrink as first-class mapping
+// operations. ExpandMap is the grow counterpart of RemapSurvivors — an
+// incremental LAMA run that places ONLY the new ranks while provably
+// leaving every existing placement untouched — and ShrinkMap releases a
+// set of ranks' resources without disturbing the survivors' placements.
+// Both are differential-tested against the naive MapReference oracle.
+
+// ExpandReport summarizes one incremental grow.
+type ExpandReport struct {
+	// Added lists the new ranks, ascending (oldNP .. oldNP+add-1).
+	Added []int
+	// Nodes lists the distinct node indices the new ranks landed on,
+	// ascending.
+	Nodes []int
+	// LocalityBefore and LocalityAfter give the map's neighbor locality
+	// (see NeighborLocality) before and after the grow.
+	LocalityBefore, LocalityAfter float64
+	// Sweeps is the number of resource-space sweeps the incremental run
+	// needed to place the new ranks.
+	Sweeps int
+}
+
+// ExpandMap grows a job by `add` ranks: it re-runs the LAMA over ONLY the
+// new ranks against the cluster's current resources, with every existing
+// rank's claimed PUs withheld, and appends the results as ranks
+// oldNP..oldNP+add-1. Existing rank→PU assignments are carried over
+// byte-identical — a new rank can never land on (or oversubscribe) an
+// existing rank's processors, so a grow migrates nothing. The cluster may
+// have gained nodes (rm.Realloc appends replacement views) or lost them
+// (FailNode) since the original mapping; both are picked up through the
+// availability mechanism exactly as in RemapSurvivors.
+func ExpandMap(c *cluster.Cluster, layout Layout, opts Options, old *Map, add int) (*Map, *ExpandReport, error) {
+	if c == nil || c.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("core: empty cluster")
+	}
+	if old == nil || old.NumRanks() == 0 {
+		return nil, nil, fmt.Errorf("core: empty map")
+	}
+	if add <= 0 {
+		return nil, nil, fmt.Errorf("core: non-positive grow delta %d", add)
+	}
+	oldNP := old.NumRanks()
+	report := &ExpandReport{LocalityBefore: NeighborLocality(c, old)}
+
+	// Withhold every existing placement's PUs on a scratch clone, then run
+	// the LAMA for just the new ranks. The clone inherits any failure
+	// restrictions already recorded on c.
+	scratch := c.Clone()
+	withheld := make([]*hw.CPUSet, scratch.NumNodes())
+	for i := range old.Placements {
+		p := &old.Placements[i]
+		if scratch.Node(p.Node) == nil {
+			return nil, nil, fmt.Errorf("core: rank %d on unknown node %d", p.Rank, p.Node)
+		}
+		if withheld[p.Node] == nil {
+			withheld[p.Node] = &hw.CPUSet{}
+		}
+		for _, pu := range p.PUs {
+			withheld[p.Node].Set(pu)
+		}
+	}
+	for node, pus := range withheld {
+		scratch.Node(node).Topo.Offline(pus)
+	}
+	mapper, err := NewMapper(scratch, layout, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := mapper.Map(add)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: incremental grow of %d ranks failed: %w", add, err)
+	}
+
+	out := &Map{
+		Layout:     old.Layout,
+		Placements: append(append(make([]Placement, 0, oldNP+add), old.Placements...), sub.Placements...),
+		Sweeps:     old.Sweeps,
+	}
+	seen := map[int]bool{}
+	for i := range sub.Placements {
+		sp := &sub.Placements[i]
+		np := &out.Placements[oldNP+i]
+		np.Rank = oldNP + i
+		// Translate the leaf from the scratch clone to the live cluster
+		// (logical numbering is availability-independent).
+		if sp.Leaf != nil {
+			np.Leaf = c.Node(sp.Node).Topo.ObjectAt(sp.Leaf.Level, sp.Leaf.Logical)
+		}
+		np.PUs = append([]int(nil), sp.PUs...)
+		report.Added = append(report.Added, np.Rank)
+		if !seen[sp.Node] {
+			seen[sp.Node] = true
+			report.Nodes = append(report.Nodes, sp.Node)
+		}
+	}
+	sort.Ints(report.Nodes)
+	recomputeOversubscription(out)
+	if err := out.Validate(c); err != nil {
+		return nil, nil, fmt.Errorf("core: grown map inconsistent: %v", err)
+	}
+	report.LocalityAfter = NeighborLocality(c, out)
+	report.Sweeps = sub.Sweeps
+	return out, report, nil
+}
+
+// ShrinkReport summarizes one shrink.
+type ShrinkReport struct {
+	// Released lists the removed ranks (old numbering), ascending.
+	Released []int
+	// FreedPUs counts the PU claims the removed ranks gave back.
+	FreedPUs int
+	// LocalityBefore and LocalityAfter give the map's neighbor locality
+	// before and after the shrink.
+	LocalityBefore, LocalityAfter float64
+}
+
+// ShrinkMap releases the given ranks from a map: their placements are
+// dropped, the survivors keep their node/PU/leaf/coordinate assignments
+// byte-identical, and ranks are renumbered densely in surviving order
+// (removing the tail is therefore a pure truncation — no survivor's rank
+// changes either). At least one rank must survive.
+func ShrinkMap(c *cluster.Cluster, old *Map, remove []int) (*Map, *ShrinkReport, error) {
+	if c == nil || c.NumNodes() == 0 {
+		return nil, nil, fmt.Errorf("core: empty cluster")
+	}
+	if old == nil || old.NumRanks() == 0 {
+		return nil, nil, fmt.Errorf("core: empty map")
+	}
+	set := map[int]bool{}
+	for _, r := range remove {
+		if r < 0 || r >= old.NumRanks() {
+			return nil, nil, fmt.Errorf("core: shrink of unknown rank %d (map has %d)", r, old.NumRanks())
+		}
+		set[r] = true
+	}
+	if len(set) >= old.NumRanks() {
+		return nil, nil, fmt.Errorf("core: shrink would release all %d ranks", old.NumRanks())
+	}
+	report := &ShrinkReport{LocalityBefore: NeighborLocality(c, old)}
+	out := &Map{Layout: old.Layout, Sweeps: old.Sweeps,
+		Placements: make([]Placement, 0, old.NumRanks()-len(set))}
+	for i := range old.Placements {
+		p := old.Placements[i]
+		if set[p.Rank] {
+			report.Released = append(report.Released, p.Rank)
+			report.FreedPUs += len(p.PUs)
+			continue
+		}
+		p.Rank = len(out.Placements)
+		out.Placements = append(out.Placements, p)
+	}
+	sort.Ints(report.Released)
+	recomputeOversubscription(out)
+	if err := out.Validate(c); err != nil {
+		return nil, nil, fmt.Errorf("core: shrunk map inconsistent: %v", err)
+	}
+	report.LocalityAfter = NeighborLocality(c, out)
+	return out, report, nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// samePlacement compares the fields that define where a rank runs.
+func samePlacement(a, b Placement) bool {
+	return a.Node == b.Node && a.Leaf == b.Leaf &&
+		reflect.DeepEqual(a.PUs, b.PUs) && reflect.DeepEqual(a.Coords, b.Coords)
+}
+
+// TestExpandMapMatchesReference is the grow differential test: growing an
+// np-rank map by k ranks must (a) leave the first np placements
+// byte-identical and (b) produce exactly the map the naive reference
+// oracle computes for np+k ranks in one shot — the incremental run over
+// withheld resources and the odometer over the full space can only agree
+// by placing the new ranks identically.
+func TestExpandMapMatchesReference(t *testing.T) {
+	for _, layout := range []string{"csbnh", "ncsbh", "scbnh", "hcsbn"} {
+		for _, tc := range []struct{ np, add int }{{8, 6}, {1, 1}, {12, 12}, {5, 13}} {
+			c := fig2Cluster(t, 3) // 36 PUs; all cases fit without oversubscription
+			mapper, err := NewMapper(c, MustParseLayout(layout), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			old, err := mapper.Map(tc.np)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := append([]Placement(nil), old.Placements...)
+
+			grown, rep, err := ExpandMap(c, mapper.Layout, Options{}, old, tc.add)
+			if err != nil {
+				t.Fatalf("%s np=%d add=%d: %v", layout, tc.np, tc.add, err)
+			}
+			oracle, err := mapper.MapReference(tc.np + tc.add)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if grown.NumRanks() != tc.np+tc.add {
+				t.Fatalf("%s: grown to %d ranks, want %d", layout, grown.NumRanks(), tc.np+tc.add)
+			}
+			for r := 0; r < tc.np; r++ {
+				if !samePlacement(grown.Placements[r], before[r]) {
+					t.Fatalf("%s np=%d add=%d: existing rank %d moved:\n%+v ->\n%+v",
+						layout, tc.np, tc.add, r, before[r], grown.Placements[r])
+				}
+			}
+			for r := 0; r < grown.NumRanks(); r++ {
+				if !samePlacement(grown.Placements[r], oracle.Placements[r]) {
+					t.Fatalf("%s np=%d add=%d: rank %d diverges from oracle:\n got %+v\nwant %+v",
+						layout, tc.np, tc.add, r, grown.Placements[r], oracle.Placements[r])
+				}
+			}
+			// The input map must not have been mutated.
+			if !reflect.DeepEqual(old.Placements, before) {
+				t.Fatalf("%s: ExpandMap mutated its input", layout)
+			}
+			if len(rep.Added) != tc.add || rep.Added[0] != tc.np {
+				t.Fatalf("report.Added = %v", rep.Added)
+			}
+			if err := grown.Validate(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestExpandMapPostFailure grows a job that already lost a node and was
+// remapped: the grow must leave every (remapped) placement untouched,
+// avoid the dead node, and not collide with any existing claim — the
+// acceptance scenario for elasticity composing with fault recovery.
+func TestExpandMapPostFailure(t *testing.T) {
+	c, m := remapSetup(t, 3, 12)
+	var failed []int
+	for i := range m.Placements {
+		if m.Placements[i].Node == 0 {
+			failed = append(failed, i)
+		}
+	}
+	c.FailNode(0)
+	rm, _, err := RemapSurvivors(c, m.Layout, Options{}, m, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]Placement(nil), rm.Placements...)
+
+	grown, rep, err := ExpandMap(c, m.Layout, Options{}, rm, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range before {
+		if !samePlacement(grown.Placements[r], before[r]) {
+			t.Fatalf("post-failure grow moved rank %d: %+v -> %+v", r, before[r], grown.Placements[r])
+		}
+	}
+	claimed := map[[2]int]bool{}
+	for _, p := range before {
+		for _, pu := range p.PUs {
+			claimed[[2]int{p.Node, pu}] = true
+		}
+	}
+	for r := len(before); r < grown.NumRanks(); r++ {
+		p := grown.Placements[r]
+		if p.Node == 0 {
+			t.Fatalf("new rank %d placed on dead node 0", r)
+		}
+		for _, pu := range p.PUs {
+			if claimed[[2]int{p.Node, pu}] {
+				t.Fatalf("new rank %d collides on node %d PU %d", r, p.Node, pu)
+			}
+		}
+	}
+	if len(rep.Nodes) == 0 || rep.Nodes[0] == 0 {
+		t.Fatalf("report.Nodes = %v", rep.Nodes)
+	}
+	if err := grown.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpandMapOntoReplacementNode: a full cluster rejects a grow; after a
+// replacement node is granted (what rm.Realloc does) the same grow lands
+// entirely on the new node with the old placements untouched.
+func TestExpandMapOntoReplacementNode(t *testing.T) {
+	c, m := remapSetup(t, 2, 24) // both fig2 nodes completely full
+	if _, _, err := ExpandMap(c, m.Layout, Options{}, m, 4); err == nil {
+		t.Fatal("grow beyond capacity should fail")
+	}
+	sp, _ := hw.Preset("fig2")
+	c.Nodes = append(c.Nodes, &cluster.Node{Name: "spare0", Topo: hw.New(sp)})
+	before := append([]Placement(nil), m.Placements...)
+	grown, rep, err := ExpandMap(c, m.Layout, Options{}, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range before {
+		if !samePlacement(grown.Placements[r], before[r]) {
+			t.Fatalf("rank %d moved", r)
+		}
+	}
+	for r := 24; r < 28; r++ {
+		if grown.Placements[r].Node != 2 {
+			t.Fatalf("new rank %d on node %d, want spare node 2", r, grown.Placements[r].Node)
+		}
+	}
+	if !reflect.DeepEqual(rep.Nodes, []int{2}) {
+		t.Fatalf("report.Nodes = %v", rep.Nodes)
+	}
+}
+
+func TestExpandMapErrors(t *testing.T) {
+	c, m := remapSetup(t, 2, 8)
+	if _, _, err := ExpandMap(c, m.Layout, Options{}, m, 0); err == nil {
+		t.Fatal("zero delta")
+	}
+	if _, _, err := ExpandMap(c, m.Layout, Options{}, m, -3); err == nil {
+		t.Fatal("negative delta")
+	}
+	if _, _, err := ExpandMap(c, m.Layout, Options{}, nil, 1); err == nil {
+		t.Fatal("nil map")
+	}
+	if _, _, err := ExpandMap(nil, m.Layout, Options{}, m, 1); err == nil {
+		t.Fatal("nil cluster")
+	}
+}
+
+// TestShrinkMapTailIsTruncation: releasing the highest-numbered ranks
+// leaves every survivor's placement AND rank untouched — a pure
+// truncation, which is what the supervisor's elastic release relies on.
+func TestShrinkMapTailIsTruncation(t *testing.T) {
+	c, m := remapSetup(t, 2, 12)
+	shrunk, rep, err := ShrinkMap(c, m, []int{9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.NumRanks() != 9 {
+		t.Fatalf("ranks = %d", shrunk.NumRanks())
+	}
+	if !reflect.DeepEqual(shrunk.Placements, m.Placements[:9]) {
+		t.Fatal("tail shrink is not a pure truncation")
+	}
+	if !reflect.DeepEqual(rep.Released, []int{9, 10, 11}) || rep.FreedPUs == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if err := shrunk.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkMapMiddleRenumbers: releasing an interior rank keeps every
+// survivor's resources but renumbers densely in surviving order.
+func TestShrinkMapMiddleRenumbers(t *testing.T) {
+	c, m := remapSetup(t, 2, 8)
+	shrunk, _, err := ShrinkMap(c, m, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, old := range []int{0, 1, 3, 4, 6, 7} {
+		got := shrunk.Placements[want]
+		if got.Rank != want || got.Node != m.Placements[old].Node ||
+			!reflect.DeepEqual(got.PUs, m.Placements[old].PUs) {
+			t.Fatalf("survivor (old rank %d) = %+v", old, got)
+		}
+		want++
+	}
+}
+
+func TestShrinkMapErrors(t *testing.T) {
+	c, m := remapSetup(t, 2, 4)
+	if _, _, err := ShrinkMap(c, m, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("shrink to zero ranks")
+	}
+	if _, _, err := ShrinkMap(c, m, []int{7}); err == nil {
+		t.Fatal("unknown rank")
+	}
+	if _, _, err := ShrinkMap(c, nil, []int{0}); err == nil {
+		t.Fatal("nil map")
+	}
+}
+
+// TestExpandShrinkRoundTrip: growing by k and releasing the same k ranks
+// reproduces the original map exactly.
+func TestExpandShrinkRoundTrip(t *testing.T) {
+	c, m := remapSetup(t, 2, 10)
+	grown, _, err := ExpandMap(c, m.Layout, Options{}, m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ShrinkMap(c, grown, []int{10, 11, 12, 13, 14, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Placements, m.Placements) {
+		t.Fatal("grow+shrink round trip diverged")
+	}
+}

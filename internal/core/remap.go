@@ -57,7 +57,7 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 	}
 	sort.Ints(fr)
 
-	report := &RemapReport{Failed: fr, LocalityBefore: neighborLocality(c, old)}
+	report := &RemapReport{Failed: fr, LocalityBefore: NeighborLocality(c, old)}
 	if len(fr) == 0 {
 		// Nothing to do: return a copy so callers may mutate freely.
 		out := &Map{Layout: old.Layout, Placements: append([]Placement(nil), old.Placements...), Sweeps: old.Sweeps}
@@ -103,7 +103,7 @@ func RemapSurvivors(c *cluster.Cluster, layout Layout, opts Options, old *Map, f
 	if err := out.Validate(c); err != nil {
 		return nil, nil, fmt.Errorf("core: remapped map inconsistent: %v", err)
 	}
-	report.LocalityAfter = neighborLocality(c, out)
+	report.LocalityAfter = NeighborLocality(c, out)
 	report.Sweeps = sub.Sweeps
 	return out, report, nil
 }
@@ -177,11 +177,12 @@ func recomputeOversubscription(m *Map) {
 	}
 }
 
-// neighborLocality is the mean LCA depth of consecutive ranks placed on
+// NeighborLocality is the mean LCA depth of consecutive ranks placed on
 // the same node (higher = closer), 0 when no such pairs exist — the same
 // statistic as metrics.MapSummary.AvgNeighborLevel, computed here so the
-// remapper can report migration cost without an import cycle.
-func neighborLocality(c *cluster.Cluster, m *Map) float64 {
+// remapper, the grow/shrink operations, and the fault-aware placement
+// stage can report migration cost without an import cycle.
+func NeighborLocality(c *cluster.Cluster, m *Map) float64 {
 	depthSum, pairs := 0, 0
 	for i := 1; i < m.NumRanks(); i++ {
 		a, b := &m.Placements[i-1], &m.Placements[i]

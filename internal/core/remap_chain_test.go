@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// failAndRemap kills one node and remaps the ranks stranded on it,
+// returning the new map and the set of ranks that had to move.
+func failAndRemap(t *testing.T, c *cluster.Cluster, m *Map, node int) (*Map, []int) {
+	t.Helper()
+	var failed []int
+	for i := range m.Placements {
+		if m.Placements[i].Node == node {
+			failed = append(failed, i)
+		}
+	}
+	c.FailNode(node)
+	nm, _, err := RemapSurvivors(c, m.Layout, Options{}, m, failed)
+	if err != nil {
+		t.Fatalf("remap after failing node %d: %v", node, err)
+	}
+	return nm, failed
+}
+
+// checkChainInvariants asserts the remap-of-remap contract after each link
+// in a failure chain: survivors byte-identical to the previous map, no rank
+// left on any dead node, no two ranks' PU claims colliding, and the map
+// internally consistent.
+func checkChainInvariants(t *testing.T, c *cluster.Cluster, prev, next *Map, moved []int, dead map[int]bool) {
+	t.Helper()
+	movedSet := map[int]bool{}
+	for _, r := range moved {
+		movedSet[r] = true
+	}
+	for r := range next.Placements {
+		got := next.Placements[r]
+		if !movedSet[r] {
+			if !samePlacement(got, prev.Placements[r]) {
+				t.Fatalf("survivor %d moved: %+v -> %+v", r, prev.Placements[r], got)
+			}
+		}
+		if dead[got.Node] {
+			t.Fatalf("rank %d sits on dead node %d", r, got.Node)
+		}
+	}
+	used := map[[2]int]int{}
+	for r := range next.Placements {
+		p := next.Placements[r]
+		for _, pu := range p.PUs {
+			key := [2]int{p.Node, pu}
+			if prevRank, ok := used[key]; ok && !next.Oversubscribed() {
+				t.Fatalf("ranks %d and %d both claim node %d PU %d", prevRank, r, p.Node, pu)
+			}
+			used[key] = r
+		}
+	}
+	if err := next.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemapSurvivorsChainedFailures drives sequential whole-node failures
+// — each remap feeding the next (remap-of-remap) — on a homogeneous
+// cluster and asserts the survivor-stability contract holds at every link,
+// not just the first.
+func TestRemapSurvivorsChainedFailures(t *testing.T) {
+	// 5 fig2 nodes, 24 ranks: after three failures the 24 ranks still fit
+	// on the 2 remaining nodes (24 PUs) without oversubscription.
+	c, m := remapSetup(t, 5, 24)
+	dead := map[int]bool{}
+	for _, node := range []int{1, 3, 0} {
+		next, moved := failAndRemap(t, c, m, node)
+		dead[node] = true
+		checkChainInvariants(t, c, m, next, moved, dead)
+		m = next
+	}
+}
+
+// TestRemapSurvivorsChainedHeterogeneous repeats the chained-failure drill
+// on a heterogeneous cluster (different topologies per node), where leaf
+// translation and per-node capacity differ between source and destination
+// of every migration.
+func TestRemapSurvivorsChainedHeterogeneous(t *testing.T) {
+	fig2, _ := hw.Preset("fig2")          // 12 PUs
+	nehalem, _ := hw.Preset("nehalem-ep") // 16 PUs
+	dual, _ := hw.Preset("dual-board")    // 8 PUs
+	wide, _ := hw.Preset("fig2-wide")     // 12 PUs
+	c := cluster.FromSpecs(fig2, nehalem, dual, wide, nehalem)
+	mapper, err := NewMapper(c, MustParseLayout("csbnh"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := map[int]bool{}
+	for _, node := range []int{0, 2, 4} {
+		next, moved := failAndRemap(t, c, m, node)
+		dead[node] = true
+		checkChainInvariants(t, c, m, next, moved, dead)
+		m = next
+	}
+}
+
+// TestRemapThenExpandThenRemap interleaves the elastic and fault paths:
+// fail → remap → grow → fail again → remap. The final map must keep every
+// rank that was stable through the second failure byte-identical to its
+// post-grow placement.
+func TestRemapThenExpandThenRemap(t *testing.T) {
+	c, m := remapSetup(t, 4, 16)
+	m, moved := failAndRemap(t, c, m, 0)
+	dead := map[int]bool{0: true}
+	_ = moved
+
+	grown, _, err := ExpandMap(c, m.Layout, Options{}, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range m.Placements {
+		if !samePlacement(grown.Placements[r], m.Placements[r]) {
+			t.Fatalf("grow moved rank %d", r)
+		}
+	}
+
+	next, moved2 := failAndRemap(t, c, grown, 2)
+	dead[2] = true
+	checkChainInvariants(t, c, grown, next, moved2, dead)
+	if next.NumRanks() != 20 {
+		t.Fatalf("ranks = %d, want 20", next.NumRanks())
+	}
+	if !reflect.DeepEqual(next.Layout, m.Layout) {
+		t.Fatal("layout changed across chain")
+	}
+}

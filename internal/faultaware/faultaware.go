@@ -1,0 +1,230 @@
+// Package faultaware adds proactive failure-domain awareness to the
+// placement pipeline. Locality-first mapping packs a job tightly, which is
+// exactly wrong for its critical ranks: a chassis-level failure then takes
+// out the whole set at once. The Stage below is a composable post-pass
+// (place.Stage) that re-spreads a designated set of critical ranks across
+// failure domains while bounding the locality it gives up, and
+// SpareTargets ranks replacement candidates so spares sit topologically
+// near the rank groups they would inherit — the two proactive halves of
+// the fault-tolerance story (cf. Vardas et al., PAPERS.md). It composes
+// with any registered policy: lama, by-slot, treematch, ...
+package faultaware
+
+import (
+	"fmt"
+	"sort"
+
+	"lama/internal/cluster"
+	"lama/internal/core"
+	"lama/internal/obs"
+	"lama/internal/place"
+)
+
+// DefaultMaxLocalityLoss bounds the relative neighbor-locality loss the
+// spreading pass may trade for domain diversity when the stage does not
+// set its own bound.
+const DefaultMaxLocalityLoss = 0.25
+
+// Stage is the fault-aware placement post-pass. Inserted between place
+// and bind (after any reorder), it swaps critical ranks' placements with
+// non-critical ones so that no two critical ranks share a chassis, as far
+// as the map and the locality budget allow. Processors stay fixed — only
+// the rank→processor assignment changes — so the pass preserves rank
+// count, PU claims, and oversubscription structure by construction.
+type Stage struct {
+	// Critical lists the application ranks to spread (e.g. checkpoint
+	// writers, replica leaders, rank 0). Duplicates are ignored; an empty
+	// list makes the stage a no-op.
+	Critical []int
+	// MaxLocalityLoss bounds the cumulative relative loss of neighbor
+	// locality (core.NeighborLocality) the spreading may cost, measured
+	// against the incoming map. Zero or negative means
+	// DefaultMaxLocalityLoss. A swap that would push the total loss past
+	// the bound is not taken.
+	MaxLocalityLoss float64
+	// OnResult, when set, receives the spreading outcome for reporting.
+	OnResult func(*Result)
+}
+
+// Result reports what one spreading pass did.
+type Result struct {
+	// Critical is the validated, deduplicated critical set, ascending.
+	Critical []int
+	// Swaps counts the placement swaps taken.
+	Swaps int
+	// ChassisBefore/After and RacksBefore/After count the distinct failure
+	// domains covered by the critical set before and after spreading.
+	ChassisBefore, ChassisAfter int
+	RacksBefore, RacksAfter     int
+	// LocalityBefore and LocalityAfter give the whole map's neighbor
+	// locality before and after; their difference is the J-delta the pass
+	// paid for domain diversity.
+	LocalityBefore, LocalityAfter float64
+}
+
+// StageName returns the registered faultaware span label.
+func (s *Stage) StageName() string { return obs.SpanFaultAware }
+
+// Apply spreads the critical ranks. For each critical rank whose chassis
+// is already claimed by an earlier critical rank, it evaluates swapping
+// that rank's placement with every non-critical rank sitting on an
+// unclaimed chassis and takes the swap that keeps neighbor locality
+// highest — unless even the best swap would push the cumulative locality
+// loss past the budget, in which case the rank stays put (bounded loss
+// beats full diversity). The result is emitted as a "faultaware"/"spread"
+// event carrying the locality J-delta.
+func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+	if req == nil || req.Cluster == nil {
+		return nil, fmt.Errorf("faultaware: nil request or cluster")
+	}
+	crit, err := validCritical(s.Critical, m.NumRanks())
+	if err != nil {
+		return nil, err
+	}
+	c := req.Cluster
+	model := c.Faults // nil is fine: every node is its own singleton domain
+	res := &Result{Critical: crit, LocalityBefore: core.NeighborLocality(c, m)}
+	res.ChassisBefore, res.RacksBefore = model.Spread(criticalNodes(m, crit))
+
+	budget := s.MaxLocalityLoss
+	if budget <= 0 {
+		budget = DefaultMaxLocalityLoss
+	}
+	floor := res.LocalityBefore * (1 - budget)
+
+	out := &core.Map{Layout: m.Layout, Sweeps: m.Sweeps,
+		Placements: append([]core.Placement(nil), m.Placements...)}
+	isCrit := make([]bool, out.NumRanks())
+	for _, r := range crit {
+		isCrit[r] = true
+	}
+	claimed := map[int]bool{}
+	for _, r := range crit {
+		ch := model.Domain(out.Placements[r].Node).Chassis
+		if !claimed[ch] {
+			claimed[ch] = true
+			continue
+		}
+		// Chassis conflict: find the best partner swap.
+		best, bestLoc := -1, 0.0
+		for j := 0; j < out.NumRanks(); j++ {
+			if isCrit[j] || claimed[model.Domain(out.Placements[j].Node).Chassis] {
+				continue
+			}
+			swapPlacements(out, r, j)
+			loc := core.NeighborLocality(c, out)
+			swapPlacements(out, r, j)
+			if best < 0 || loc > bestLoc {
+				best, bestLoc = j, loc
+			}
+		}
+		if best < 0 {
+			// No unclaimed chassis hosts a non-critical rank; this rank
+			// stays where it is, sharing a chassis with another critical.
+			continue
+		}
+		if res.LocalityBefore > 0 && bestLoc < floor {
+			continue // the cheapest spread is still too expensive
+		}
+		swapPlacements(out, r, best)
+		res.Swaps++
+		claimed[model.Domain(out.Placements[r].Node).Chassis] = true
+	}
+
+	res.LocalityAfter = core.NeighborLocality(c, out)
+	res.ChassisAfter, res.RacksAfter = model.Spread(criticalNodes(out, crit))
+	if s.OnResult != nil {
+		s.OnResult(res)
+	}
+	if o := req.Opts.Obs; o.Enabled() {
+		o.Emit(obs.SrcFaultAware, obs.EvSpread, obs.NoStep,
+			obs.F("critical", len(crit)),
+			obs.F("swaps", res.Swaps),
+			obs.F("chassis_before", res.ChassisBefore),
+			obs.F("chassis_after", res.ChassisAfter),
+			obs.F("racks_before", res.RacksBefore),
+			obs.F("racks_after", res.RacksAfter),
+			obs.F("locality_before", res.LocalityBefore),
+			obs.F("locality_after", res.LocalityAfter),
+			obs.F("j_delta", res.LocalityAfter-res.LocalityBefore))
+	}
+	if res.Swaps == 0 {
+		return m, nil
+	}
+	return out, nil
+}
+
+// validCritical dedupes, sorts, and range-checks the critical set.
+func validCritical(critical []int, np int) ([]int, error) {
+	seen := map[int]bool{}
+	out := make([]int, 0, len(critical))
+	for _, r := range critical {
+		if r < 0 || r >= np {
+			return nil, fmt.Errorf("faultaware: critical rank %d out of range (map has %d)", r, np)
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// criticalNodes collects the node index of each critical rank.
+func criticalNodes(m *core.Map, crit []int) []int {
+	nodes := make([]int, len(crit))
+	for i, r := range crit {
+		nodes[i] = m.Placements[r].Node
+	}
+	return nodes
+}
+
+// swapPlacements exchanges everything but the Rank field between two
+// placements, so rank order stays canonical while the processor
+// assignment moves.
+func swapPlacements(m *core.Map, a, b int) {
+	pa, pb := &m.Placements[a], &m.Placements[b]
+	*pa, *pb = *pb, *pa
+	pa.Rank, pb.Rank = a, b
+}
+
+// SpareTargets ranks candidate spare nodes by how well they would serve
+// as replacements for the job mapped in m: a good spare shares a rack
+// with the job (short migration distance when it inherits ranks) but not
+// a chassis (it must survive the correlated failure it exists to absorb),
+// and carries low model risk. Candidates are returned best-first;
+// ordering is deterministic (ties break on node index). The helper is
+// pure — rm.Realloc and the churn scenario both consume it.
+func SpareTargets(c *cluster.Cluster, m *core.Map, candidates []int) []int {
+	model := c.Faults
+	jobChassis := map[int]bool{}
+	jobRacks := map[int]bool{}
+	if m != nil {
+		for i := range m.Placements {
+			d := model.Domain(m.Placements[i].Node)
+			jobChassis[d.Chassis] = true
+			jobRacks[d.Rack] = true
+		}
+	}
+	out := append([]int(nil), candidates...)
+	sort.SliceStable(out, func(x, y int) bool {
+		a, b := out[x], out[y]
+		da, db := model.Domain(a), model.Domain(b)
+		// Off-chassis beats on-chassis: a spare inside a job chassis dies
+		// with the domain it should replace.
+		if oa, ob := !jobChassis[da.Chassis], !jobChassis[db.Chassis]; oa != ob {
+			return oa
+		}
+		// Near beats far: same rack keeps the replacement topologically
+		// close to the ranks it inherits.
+		if na, nb := jobRacks[da.Rack], jobRacks[db.Rack]; na != nb {
+			return na
+		}
+		if ra, rb := model.Risk(a), model.Risk(b); ra != rb {
+			return ra < rb
+		}
+		return a < b
+	})
+	return out
+}

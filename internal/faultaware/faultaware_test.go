@@ -1,0 +1,264 @@
+package faultaware
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/place"
+	_ "lama/internal/place/all"
+)
+
+// testCluster builds n fig2 nodes grouped two to a chassis, two chassis
+// to a rack.
+func testCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	sp, ok := hw.Preset("fig2")
+	if !ok {
+		t.Fatal("fig2 preset missing")
+	}
+	c := cluster.Homogeneous(n, sp)
+	c.AttachFaultModel(2, 2, 1)
+	return c
+}
+
+func request(c *cluster.Cluster, np int) *place.Request {
+	return &place.Request{
+		Cluster: c, NP: np, Layout: core.MustParseLayout("csbnh"),
+		Traffic: commpat.Ring(np, 1), Seed: 3,
+	}
+}
+
+// chassisOf returns the distinct chassis indices covering the given ranks.
+func chassisOf(c *cluster.Cluster, m *core.Map, ranks []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range ranks {
+		ch := c.Faults.Domain(m.Placements[r].Node).Chassis
+		if !seen[ch] {
+			seen[ch] = true
+			out = append(out, ch)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestStageComposesWithPolicies is the acceptance check: the fault-aware
+// stage must compose with the lama policy, the by-slot baseline, and the
+// traffic-aware treematch policy, in each case spreading the critical
+// ranks over more chassis without changing rank count or PU claims.
+func TestStageComposesWithPolicies(t *testing.T) {
+	for _, policy := range []string{"lama", "by-slot", "treematch"} {
+		t.Run(policy, func(t *testing.T) {
+			c := testCluster(t, 8) // 4 chassis
+			pol, ok := place.Lookup(policy)
+			if !ok {
+				t.Fatalf("policy %q not registered", policy)
+			}
+			// 80 ranks over 8×12 PUs: every chassis hosts ranks, so full
+			// critical spread is reachable by swapping.
+			req := request(c, 80)
+			base, err := place.Run(pol, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crit := []int{0, 1, 2, 3}
+			var res *Result
+			pl := &place.Pipeline{Policy: pol, Stages: []place.Stage{
+				&Stage{Critical: crit, MaxLocalityLoss: 1, // diversity first
+					OnResult: func(r *Result) { res = r }},
+			}}
+			m, err := pl.Run(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res == nil {
+				t.Fatal("OnResult never called")
+			}
+			if m.NumRanks() != base.NumRanks() {
+				t.Fatalf("rank count changed: %d -> %d", base.NumRanks(), m.NumRanks())
+			}
+			// The stage only permutes rank→processor assignment: the
+			// multiset of (node, PUs) claims must be exactly preserved.
+			claims := func(mm *core.Map) []string {
+				var out []string
+				for i := range mm.Placements {
+					p := mm.Placements[i]
+					out = append(out, string(rune('A'+p.Node))+intsKey(p.PUs))
+				}
+				sort.Strings(out)
+				return out
+			}
+			if !reflect.DeepEqual(claims(base), claims(m)) {
+				t.Fatalf("%s: stage changed the PU-claim multiset", policy)
+			}
+			// With 4 chassis, 4 critical ranks, and an unlimited budget the
+			// critical set must end up fully spread.
+			if got := len(chassisOf(c, m, crit)); got != 4 {
+				t.Fatalf("%s: critical ranks on %d chassis, want 4 (result %+v)", policy, got, res)
+			}
+			if res.ChassisAfter != 4 || res.ChassisAfter < res.ChassisBefore {
+				t.Fatalf("%s: result %+v", policy, res)
+			}
+			if err := m.Validate(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func intsKey(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s += "," + string(rune('0'+x))
+	}
+	return s
+}
+
+// TestStageBoundedLocalityLoss: with a zero budget... the tightest budget
+// representable (tiny epsilon) must refuse swaps that cost locality, while
+// an unlimited budget takes them — the J-delta knob works.
+func TestStageBoundedLocalityLoss(t *testing.T) {
+	c := testCluster(t, 8)
+	req := request(c, 16)
+	pol, _ := place.Lookup("lama")
+
+	run := func(budget float64) *Result {
+		var res *Result
+		pl := &place.Pipeline{Policy: pol, Stages: []place.Stage{
+			&Stage{Critical: []int{0, 1, 2, 3}, MaxLocalityLoss: budget,
+				OnResult: func(r *Result) { res = r }},
+		}}
+		if _, err := pl.Run(req); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tight := run(1e-9)
+	loose := run(1)
+	if loose.Swaps == 0 {
+		t.Fatal("unlimited budget should spread a packed critical set")
+	}
+	if tight.Swaps > 0 {
+		// Any swap taken under the epsilon budget must have been free.
+		if tight.LocalityAfter < tight.LocalityBefore*(1-1e-6) {
+			t.Fatalf("tight budget paid locality: %+v", tight)
+		}
+	}
+	// The loose run's loss stays within its (trivially satisfied) bound and
+	// the tight run's locality is no worse than the loose run's.
+	if tight.LocalityAfter < loose.LocalityAfter-1e-9 {
+		t.Fatalf("tight %f < loose %f", tight.LocalityAfter, loose.LocalityAfter)
+	}
+}
+
+func TestStageNoOpWithoutConflicts(t *testing.T) {
+	c := testCluster(t, 8)
+	req := request(c, 8)
+	pol, _ := place.Lookup("by-node") // one rank per node round-robin
+	base, err := place.Run(pol, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stage{Critical: []int{0, 2}} // nodes 0 and 2: different chassis
+	m, err := st.Apply(req, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != base {
+		t.Fatal("conflict-free critical set must return the input map unchanged")
+	}
+	// Empty critical set: also a no-op.
+	st = &Stage{}
+	if m, err = st.Apply(req, base); err != nil || m != base {
+		t.Fatalf("empty critical set: %v", err)
+	}
+}
+
+func TestStageRejectsBadCritical(t *testing.T) {
+	c := testCluster(t, 4)
+	req := request(c, 8)
+	pol, _ := place.Lookup("lama")
+	base, err := place.Run(pol, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{-1}, {8}, {0, 99}} {
+		if _, err := (&Stage{Critical: bad}).Apply(req, base); err == nil {
+			t.Fatalf("critical %v accepted", bad)
+		}
+	}
+	// Duplicates are fine and deduped.
+	var res *Result
+	if _, err := (&Stage{Critical: []int{1, 1, 0}, OnResult: func(r *Result) { res = r }}).Apply(req, base); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Critical, []int{0, 1}) {
+		t.Fatalf("critical = %v", res.Critical)
+	}
+}
+
+// TestStageNilFaultModel: without a model every node is its own singleton
+// chassis, so any critical set on distinct nodes is already spread and on
+// shared nodes cannot improve — the stage must not panic or swap wrongly.
+func TestStageNilFaultModel(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(4, sp) // no AttachFaultModel
+	req := request(c, 8)
+	pol, _ := place.Lookup("lama")
+	base, err := place.Run(pol, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	m, err := (&Stage{Critical: []int{0, 1, 2}, OnResult: func(r *Result) { res = r }}).Apply(req, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if res.ChassisAfter < res.ChassisBefore {
+		t.Fatalf("diversity regressed: %+v", res)
+	}
+}
+
+func TestSpareTargetsOrdering(t *testing.T) {
+	c := testCluster(t, 12) // chassis = i/2, rack = i/4
+	pol, _ := place.Lookup("lama")
+	// Job occupies nodes 0..3 (chassis 0-1, rack 0).
+	req := request(c, 48)
+	m, err := place.Run(pol, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobNodes := map[int]bool{}
+	for i := range m.Placements {
+		jobNodes[m.Placements[i].Node] = true
+	}
+	// Candidates: 1 (on a job chassis), 5 (off-chassis, may share rack 1),
+	// 8 and 10 (off-chassis, far rack 2).
+	got := SpareTargets(c, m, []int{10, 1, 8, 5})
+	if got[len(got)-1] != 1 {
+		t.Fatalf("on-chassis candidate should rank last: %v", got)
+	}
+	if got[0] == 1 {
+		t.Fatalf("on-chassis candidate ranked first: %v", got)
+	}
+	// Determinism: same inputs, same order.
+	again := SpareTargets(c, m, []int{10, 1, 8, 5})
+	if !reflect.DeepEqual(got, again) {
+		t.Fatalf("non-deterministic ordering: %v vs %v", got, again)
+	}
+	// Input slice untouched.
+	in := []int{10, 1, 8, 5}
+	SpareTargets(c, m, in)
+	if !reflect.DeepEqual(in, []int{10, 1, 8, 5}) {
+		t.Fatal("SpareTargets mutated its input")
+	}
+}

@@ -17,9 +17,11 @@ type RecoverySummary struct {
 	// world size at the end.
 	Completed, Aborted bool
 	FinalRanks         int
-	// FailureEvents counts recovery events of any kind; Restarts counts
-	// respawn events.
+	// FailureEvents counts failure-recovery events (elastic grow/release
+	// resizes are accounted separately); Restarts counts respawn events.
 	FailureEvents, Restarts int
+	// Grows and Shrinks count applied elastic resizes.
+	Grows, Shrinks int
 	// RanksLost is the number of ranks that died and were never respawned;
 	// RanksMigrated the placements moved by remaps; ReplaySteps the steps
 	// re-executed after restarts.
@@ -37,11 +39,17 @@ func SummarizeRecovery(rep *orte.SuperviseReport) RecoverySummary {
 		Completed:       rep.Completed,
 		Aborted:         rep.Aborted,
 		FinalRanks:      rep.FinalRanks,
-		FailureEvents:   len(rep.Events),
 		Restarts:        rep.Restarts,
+		Grows:           rep.Grows,
+		Shrinks:         rep.Shrinks,
 		RanksMigrated:   rep.RanksMigrated,
 		ReplaySteps:     rep.ReplaySteps,
 		TotalRemapUs:    rep.TotalRemapUs,
+	}
+	for _, ev := range rep.Events {
+		if ev.Action != "grow" && ev.Action != "release" {
+			s.FailureEvents++
+		}
 	}
 	for _, o := range rep.Outcomes {
 		if o.State == orte.Failed {
@@ -61,6 +69,8 @@ func (s RecoverySummary) Record(reg *obs.Registry) {
 	reg.Gauge("lama_recovery_final_ranks").Set(float64(s.FinalRanks))
 	reg.Gauge("lama_recovery_failure_events").Set(float64(s.FailureEvents))
 	reg.Gauge("lama_recovery_restarts").Set(float64(s.Restarts))
+	reg.Gauge("lama_recovery_grows").Set(float64(s.Grows))
+	reg.Gauge("lama_recovery_shrinks").Set(float64(s.Shrinks))
 	reg.Gauge("lama_recovery_ranks_lost").Set(float64(s.RanksLost))
 	reg.Gauge("lama_recovery_ranks_migrated").Set(float64(s.RanksMigrated))
 	// "replayed", not "replay": lama_recovery_replay_steps is the
@@ -85,6 +95,8 @@ func (s RecoverySummary) Render() string {
 	t.AddRow("final ranks", I(s.FinalRanks))
 	t.AddRow("failure events", I(s.FailureEvents))
 	t.AddRow("restarts", I(s.Restarts))
+	t.AddRow("grows", I(s.Grows))
+	t.AddRow("shrinks", I(s.Shrinks))
 	t.AddRow("ranks lost", I(s.RanksLost))
 	t.AddRow("ranks migrated", I(s.RanksMigrated))
 	t.AddRow("replayed steps", I(s.ReplaySteps))

@@ -91,3 +91,43 @@ func TestRecoverySummaryRecord(t *testing.T) {
 	}
 	s.Record(nil) // nil registry must be a no-op
 }
+
+// TestSummarizeRecoveryElastic: grows and releases are counted as elastic
+// operations, not as failure events, and surface in the rendered table.
+func TestSummarizeRecoveryElastic(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(2, sp)
+	s := &orte.Supervisor{
+		Runtime:    orte.NewRuntime(c),
+		Layout:     core.MustParseLayout("csbnh"),
+		BindPolicy: bind.Specific,
+		BindLevel:  hw.LevelPU,
+		Config:     orte.SuperviseConfig{Policy: orte.FTRespawn, MaxRestarts: -1, DetectionWindow: 1},
+	}
+	rep, err := s.Run(8, 30, orte.InjectionPlan{
+		Resizes:      []orte.ResizeEvent{{Step: 3, Delta: 4}, {Step: 10, Delta: -2}},
+		NodeFailures: []orte.NodeFailure{{Node: 0, Step: 15}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeRecovery(rep)
+	if sum.Grows != 1 || sum.Shrinks != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.FailureEvents != 1 { // resizes are not failures
+		t.Fatalf("FailureEvents = %d, want 1 (%+v)", sum.FailureEvents, sum)
+	}
+	out := sum.Render()
+	for _, want := range []string{"grows", "shrinks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	reg := obs.NewRegistry()
+	sum.Record(reg)
+	snap := reg.Snapshot()
+	if snap.Gauges["lama_recovery_grows"] != 1 || snap.Gauges["lama_recovery_shrinks"] != 1 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}

@@ -24,6 +24,15 @@ type TimelineEntry struct {
 	Detail map[string]any `json:"detail,omitempty"`
 }
 
+// SeriesPoint is one sample of a step-indexed curve (recovered locality,
+// migration cost, world size, ...) a long-horizon run records.
+type SeriesPoint struct {
+	// Step is the virtual step the sample was taken at.
+	Step int `json:"step"`
+	// Value is the sampled quantity.
+	Value float64 `json:"value"`
+}
+
 // RunReport is the single machine-readable document a CLI run emits via
 // -metrics-out: the run configuration, the per-phase wall-time spans, the
 // metrics registry snapshot, and (for supervised runs) the recovery
@@ -45,6 +54,9 @@ type RunReport struct {
 	Metrics *MetricsSnapshot `json:"metrics,omitempty"`
 	// Recovery is the supervised run's recovery timeline, in step order.
 	Recovery []TimelineEntry `json:"recovery,omitempty"`
+	// Series holds step-indexed curves by name (e.g. the churn scenario's
+	// "recovered_locality" and "migration_cost"), each in step order.
+	Series map[string][]SeriesPoint `json:"series,omitempty"`
 }
 
 // Report assembles a run report from the observer's timer and registry
@@ -115,6 +127,16 @@ func ValidateRunReport(data []byte) (*RunReport, error) {
 	for _, e := range rep.Recovery {
 		if e.Action == "" {
 			return nil, fmt.Errorf("obs: recovery entry with no action at step %d", e.Step)
+		}
+	}
+	for name, pts := range rep.Series {
+		if name == "" {
+			return nil, fmt.Errorf("obs: series with empty name")
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Step < pts[i-1].Step {
+				return nil, fmt.Errorf("obs: series %s not in step order at index %d", name, i)
+			}
 		}
 	}
 	return &rep, nil

@@ -28,6 +28,9 @@ const (
 	SrcRM = "rm"
 	// SrcTopogen is the topology generator CLI.
 	SrcTopogen = "topogen"
+	// SrcFaultAware is the fault-aware placement stage
+	// (faultaware.Stage's critical-rank domain spread).
+	SrcFaultAware = "faultaware"
 )
 
 // Event names: the "event" key, scoped by source in the vocabulary table.
@@ -63,10 +66,21 @@ const (
 	EvShrink   = "shrink"
 	EvAbort    = "abort"
 	EvTeardown = "teardown"
-	// EvReallocRetry is one backoff retry of rm.Realloc.
-	EvReallocRetry = "realloc-retry"
+	// EvReallocRetry is one backoff retry of rm.Realloc; EvReallocExhausted
+	// is the give-up after the retry budget (the job gets no replacement).
+	EvReallocRetry     = "realloc-retry"
+	EvReallocExhausted = "realloc-exhausted"
+	// EvSparePlan reports one fault-model-steered spare/replacement choice
+	// by the resource manager (domain-diverse, topology-near selection).
+	EvSparePlan = "spare-plan"
 	// EvGenerate is topogen's cluster construction event.
 	EvGenerate = "generate"
+	// EvSpread reports one fault-aware critical-rank spread pass: domains
+	// covered before/after and the locality/J cost of the swaps.
+	EvSpread = "spread"
+	// EvGrow is the supervisor's elastic expand operation (EvShrink, shared
+	// with the failure-shrink policy, is its release counterpart).
+	EvGrow = "grow"
 )
 
 // Phase span names (PhaseTimer labels). Pipeline stages span under their
@@ -84,6 +98,9 @@ const (
 	SpanLaunch = "launch"
 	// SpanReorder is the communicator-reorder post-pass stage.
 	SpanReorder = "reorder"
+	// SpanFaultAware is the fault-aware critical-rank spread post-pass
+	// stage.
+	SpanFaultAware = "faultaware"
 	// SpanGenerate is topogen's cluster construction phase.
 	SpanGenerate = "generate"
 )
@@ -118,6 +135,7 @@ var vocab = []VocabEntry{
 	{SrcSupervise, EvDetect},
 	{SrcSupervise, EvRealloc},
 	{SrcSupervise, EvRemap},
+	{SrcSupervise, EvGrow},
 	{SrcSupervise, EvRespawn},
 	{SrcSupervise, EvShrink},
 	{SrcSupervise, EvAbort},
@@ -125,6 +143,10 @@ var vocab = []VocabEntry{
 	{SrcSupervise, EvDone},
 
 	{SrcRM, EvReallocRetry},
+	{SrcRM, EvReallocExhausted},
+	{SrcRM, EvSparePlan},
+
+	{SrcFaultAware, EvSpread},
 
 	{SrcTopogen, EvGenerate},
 }
@@ -132,7 +154,7 @@ var vocab = []VocabEntry{
 // spanNames is the registered phase-span label set.
 var spanNames = []string{
 	SpanPrune, SpanBuildShape, SpanSweep, SpanPlace,
-	SpanBind, SpanLaunch, SpanReorder, SpanGenerate,
+	SpanBind, SpanLaunch, SpanReorder, SpanFaultAware, SpanGenerate,
 }
 
 // Vocabulary returns the registered (source, name) pairs sorted by

@@ -1,0 +1,184 @@
+package orte
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// TestSupervisorGrow: a mid-run grow adds exactly the new ranks, leaves
+// every existing placement untouched, and is accounted in the report.
+func TestSupervisorGrow(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(8, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 3, Delta: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Grows != 1 || rep.Shrinks != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Map.NumRanks() != 12 {
+		t.Fatalf("final ranks = %d, want 12", rep.Map.NumRanks())
+	}
+	if len(rep.Events) != 1 {
+		t.Fatalf("events = %+v", rep.Events)
+	}
+	ev := rep.Events[0]
+	if ev.Action != "grow" || ev.Delta != 4 || ev.Reason != "" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !reflect.DeepEqual(ev.Ranks, []int{8, 9, 10, 11}) {
+		t.Fatalf("new ranks = %v", ev.Ranks)
+	}
+	// New processes start at the resize step, not step 0.
+	for _, p := range rep.Procs[8:] {
+		if p.StartStep != 3 {
+			t.Fatalf("new process started at %d, want 3", p.StartStep)
+		}
+	}
+}
+
+// TestSupervisorRelease: a shrink retires the tail ranks, archives their
+// processes, and the survivors run to completion.
+func TestSupervisorRelease(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(12, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 4, Delta: -5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Shrinks != 1 || rep.Grows != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Map.NumRanks() != 7 {
+		t.Fatalf("final ranks = %d, want 7", rep.Map.NumRanks())
+	}
+	ev := rep.Events[0]
+	if ev.Action != "release" || ev.Delta != -5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(rep.Archived) != 5 {
+		t.Fatalf("archived = %d", len(rep.Archived))
+	}
+	if len(rep.Procs) != 7 {
+		t.Fatalf("procs = %d", len(rep.Procs))
+	}
+}
+
+// TestSupervisorRejectedGrowKeepsRunning: a grow beyond capacity is
+// recorded with a reason but the job completes at its old size.
+func TestSupervisorRejectedGrowKeepsRunning(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	rep, err := s.Run(24, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 3, Delta: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Grows != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Map.NumRanks() != 24 {
+		t.Fatalf("final ranks = %d, want 24", rep.Map.NumRanks())
+	}
+	if ev := rep.Events[0]; ev.Action != "grow" || ev.Reason == "" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+// TestSupervisorGrowThenFailure: the elastic and fault paths compose — a
+// grown world survives a later node failure with a respawn.
+func TestSupervisorGrowThenFailure(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	s.Config.DetectionWindow = 1
+	plan := InjectionPlan{
+		Resizes:      []ResizeEvent{{Step: 2, Delta: 4}},
+		NodeFailures: []NodeFailure{{Node: 0, Step: 5}},
+	}
+	rep, err := s.Run(8, 20, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Grows != 1 || rep.Restarts == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Map.NumRanks() != 12 {
+		t.Fatalf("final ranks = %d, want 12", rep.Map.NumRanks())
+	}
+	// Nothing may sit on the failed node in the final map.
+	for i := range rep.Map.Placements {
+		if rep.Map.Placements[i].Node == 0 {
+			t.Fatalf("rank %d still on failed node", i)
+		}
+	}
+}
+
+func TestSupervisorResizeValidation(t *testing.T) {
+	s := supervisor(t, 2, FTRespawn)
+	if _, err := s.Run(8, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: -1, Delta: 2}}}); err == nil {
+		t.Fatal("negative resize step accepted")
+	}
+	s = supervisor(t, 2, FTRespawn)
+	if _, err := s.Run(8, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 2, Delta: 0}}}); err == nil {
+		t.Fatal("zero resize delta accepted")
+	}
+	s = supervisor(t, 2, FTAbort)
+	if _, err := s.Run(8, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 2, Delta: 2}}}); err == nil {
+		t.Fatal("FTAbort must reject elastic resizes")
+	}
+}
+
+// TestNodeMTBFScheduleDeterministic: the MTBF-driven failure schedule is a
+// pure function of (seed, cluster, horizon) and is sorted by step.
+func TestNodeMTBFScheduleDeterministic(t *testing.T) {
+	sp, _ := hw.Preset("fig2")
+	c := cluster.Homogeneous(16, sp)
+	c.AttachFaultModel(2, 2, 9)
+	a, err := NodeMTBFSchedule(5, c, 1000, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NodeMTBFSchedule(5, c, 1000, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no failures over a horizon beyond the MTBF — suspicious")
+	}
+	for i, f := range a {
+		if f.Step < 0 || f.Step >= 1000 {
+			t.Fatalf("failure %d out of horizon: %+v", i, f)
+		}
+		if f.Node < 0 || f.Node >= 16 {
+			t.Fatalf("failure %d names unknown node: %+v", i, f)
+		}
+		if i > 0 && f.Step < a[i-1].Step {
+			t.Fatal("schedule not sorted by step")
+		}
+	}
+	other, err := NodeMTBFSchedule(6, c, 1000, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestNormalizeDedupesResizes: Normalize sorts resizes by step and drops
+// exact duplicates.
+func TestNormalizeDedupesResizes(t *testing.T) {
+	p := InjectionPlan{Resizes: []ResizeEvent{
+		{Step: 7, Delta: -2}, {Step: 3, Delta: 4}, {Step: 7, Delta: -2}, {Step: 3, Delta: 4},
+	}}
+	p.Normalize()
+	want := []ResizeEvent{{Step: 3, Delta: 4}, {Step: 7, Delta: -2}}
+	if !reflect.DeepEqual(p.Resizes, want) {
+		t.Fatalf("normalized = %v", p.Resizes)
+	}
+	if p.Empty() {
+		t.Fatal("plan with resizes reports empty")
+	}
+}

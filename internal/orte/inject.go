@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"lama/internal/cluster"
 	"lama/internal/core"
 )
 
@@ -15,21 +16,33 @@ type NodeFailure struct {
 	Step int
 }
 
-// InjectionPlan is a deterministic failure schedule for one supervised
-// run: individual rank crashes plus correlated whole-node losses.
+// ResizeEvent schedules an elastic world-size change at a step (0-based):
+// a positive Delta grows the job by that many ranks (placed incrementally
+// by core.ExpandMap), a negative Delta releases that many of the
+// highest-numbered ranks (core.ShrinkMap). Resizes apply before any
+// failure scheduled for the same step.
+type ResizeEvent struct {
+	Step  int
+	Delta int
+}
+
+// InjectionPlan is a deterministic schedule for one supervised run:
+// individual rank crashes, correlated whole-node losses, and elastic
+// grow/shrink requests.
 type InjectionPlan struct {
 	Failures     []Failure
 	NodeFailures []NodeFailure
+	Resizes      []ResizeEvent
 }
 
 // Empty reports whether the plan injects nothing.
 func (p *InjectionPlan) Empty() bool {
-	return p == nil || (len(p.Failures) == 0 && len(p.NodeFailures) == 0)
+	return p == nil || (len(p.Failures) == 0 && len(p.NodeFailures) == 0 && len(p.Resizes) == 0)
 }
 
-// Normalize sorts both schedules by (Step, Rank) / (Step, Node) and drops
-// exact duplicates, so a plan applies identically regardless of the order
-// failures were declared in.
+// Normalize sorts all schedules by (Step, Rank) / (Step, Node) /
+// (Step, Delta) and drops exact duplicates, so a plan applies identically
+// regardless of the order events were declared in.
 func (p *InjectionPlan) Normalize() {
 	sort.Slice(p.Failures, func(i, j int) bool {
 		if p.Failures[i].Step != p.Failures[j].Step {
@@ -45,6 +58,23 @@ func (p *InjectionPlan) Normalize() {
 		return p.NodeFailures[i].Node < p.NodeFailures[j].Node
 	})
 	p.NodeFailures = dedupeNodeFailures(p.NodeFailures)
+	sort.Slice(p.Resizes, func(i, j int) bool {
+		if p.Resizes[i].Step != p.Resizes[j].Step {
+			return p.Resizes[i].Step < p.Resizes[j].Step
+		}
+		return p.Resizes[i].Delta < p.Resizes[j].Delta
+	})
+	p.Resizes = dedupeResizes(p.Resizes)
+}
+
+func dedupeResizes(rs []ResizeEvent) []ResizeEvent {
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || r != rs[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 func dedupeFailures(fs []Failure) []Failure {
@@ -102,6 +132,39 @@ func MTBFSchedule(seed int64, ranks, steps int, mtbfSteps float64) ([]Failure, e
 			return out[i].Step < out[j].Step
 		}
 		return out[i].Rank < out[j].Rank
+	})
+	return out, nil
+}
+
+// NodeMTBFSchedule draws, for each node of the cluster, an exponential
+// time-to-first-failure from a seeded source and schedules a whole-node
+// loss for every node whose draw lands inside the run. The mean
+// time-to-failure of node n is mtbfSteps divided by the cluster fault
+// model's Risk(n) — riskier nodes fail sooner — so the schedule exercises
+// exactly the failure statistics that proactive placement and spare
+// selection plan against. A cluster without a fault model uses uniform
+// unit risk. Deterministic for a given (seed, cluster, steps, mtbf) tuple
+// and sorted by (Step, Node); at most one failure per node.
+func NodeMTBFSchedule(seed int64, c *cluster.Cluster, steps int, mtbfSteps float64) ([]NodeFailure, error) {
+	if c == nil || c.NumNodes() == 0 || steps <= 0 {
+		return nil, fmt.Errorf("orte: empty cluster or non-positive steps")
+	}
+	if mtbfSteps <= 0 {
+		return nil, fmt.Errorf("orte: non-positive MTBF %v", mtbfSteps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []NodeFailure
+	for n := 0; n < c.NumNodes(); n++ {
+		t := rng.ExpFloat64() * mtbfSteps / c.Faults.Risk(n)
+		if s := int(t); s < steps {
+			out = append(out, NodeFailure{Node: n, Step: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Node < out[j].Node
 	})
 	return out, nil
 }

@@ -160,6 +160,7 @@ func TestSupervisorEventSequences(t *testing.T) {
 				"supervise/detect@4",
 				"rm/realloc-retry",
 				"rm/realloc-retry",
+				"rm/realloc-exhausted", // the give-up itself is traced
 				"supervise/abort@4",
 				"supervise/done",
 			},
@@ -179,6 +180,57 @@ func TestSupervisorEventSequences(t *testing.T) {
 				"supervise/heartbeat-miss@4",
 				"supervise/detect@5",
 				"supervise/shrink@5",
+				"supervise/done",
+			},
+		},
+		{
+			// An elastic grow: ExpandMap runs the LAMA for the new ranks
+			// (its own map/done) before the supervisor commits the resize.
+			name: "elastic-grow",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTRespawn)
+				s.Opts.Obs = o
+				return s, 8, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 3, Delta: 4}}}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"map/done", // ExpandMap maps the new ranks incrementally
+				"supervise/grow@3",
+				"supervise/done",
+			},
+		},
+		{
+			// An elastic release runs no mapper — survivors keep their
+			// placements, so the shrink event stands alone.
+			name: "elastic-release",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTRespawn)
+				s.Opts.Obs = o
+				return s, 12, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 3, Delta: -4}}}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"supervise/shrink@3",
+				"supervise/done",
+			},
+		},
+		{
+			// A grow beyond cluster capacity is rejected, traced, and the
+			// job keeps running at its old size.
+			name: "elastic-grow-rejected",
+			build: func(t *testing.T, o *obs.Observer) (*Supervisor, int, int, InjectionPlan) {
+				s := supervisor(t, 2, FTRespawn)
+				s.Opts.Obs = o
+				// 24 ranks fill both fig2 nodes; +4 cannot be placed.
+				return s, 24, 10, InjectionPlan{Resizes: []ResizeEvent{{Step: 3, Delta: 4}}}
+			},
+			want: []string{
+				"map/done", // the supervisor's initial placement is traced too
+				"supervise/start",
+				"map/stall",        // the incremental mapper runs out of resources
+				"supervise/grow@3", // carries ok=false and the reject reason
 				"supervise/done",
 			},
 		},

@@ -78,12 +78,22 @@ type RecoveryEvent struct {
 	Ranks []int
 	// FailedNodes lists nodes that were fully failed, ascending.
 	FailedNodes []int
-	// Action is what was done: "abort", "shrink", "respawn", or
-	// "teardown" (failure noticed only after the last step).
+	// Action is what was done: "abort", "shrink", "respawn", "teardown"
+	// (failure noticed only after the last step), or the elastic resize
+	// operations "grow" / "release".
 	Action string
 	// Reason is set when Action is "abort" under a non-abort policy
-	// (budget exhausted, no spares, remap impossible).
+	// (budget exhausted, no spares, remap impossible), or when an elastic
+	// resize was rejected (the job continues at its old size).
 	Reason string
+	// Delta is the world-size change of a "grow"/"release" event
+	// (positive = ranks added, negative = ranks released); zero for
+	// failure events.
+	Delta int
+	// LocalityBefore and LocalityAfter bracket the map's neighbor
+	// locality across an elastic resize (core.NeighborLocality); zero for
+	// failure events.
+	LocalityBefore, LocalityAfter float64
 	// RanksMoved, ReplaySteps, and RemapUs are respawn costs: placements
 	// changed, steps re-executed after restart, and remap planning time.
 	RanksMoved  int
@@ -106,6 +116,10 @@ type SuperviseReport struct {
 	// TotalRemapUs sums remap planning time.
 	Restarts, RanksMigrated, ReplaySteps int
 	TotalRemapUs                         float64
+	// Grows and Shrinks count the elastic resizes that were applied
+	// (rejected resizes appear in Events with a Reason but are not
+	// counted here).
+	Grows, Shrinks int
 	// Completed reports that the job ran through its final step with at
 	// least one rank; FinalRanks is the world size at the end; Aborted
 	// reports the job was killed.
@@ -155,6 +169,11 @@ type Supervisor struct {
 	// view to the same cluster) and return its node index. A nil provider
 	// means respawn must fit on the surviving nodes' free resources.
 	SpareProvider func(failedNode int) (int, error)
+	// InitialMap, when non-nil, is used as the job's initial placement
+	// instead of a fresh LAMA run — the hook that lets a caller feed a
+	// pipeline-produced map (e.g. one post-processed by the fault-aware
+	// spread stage) into supervision. Its rank count must equal np.
+	InitialMap *core.Map
 }
 
 // Run launches np ranks for the given number of steps under the
@@ -165,13 +184,21 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 	if steps <= 0 {
 		return nil, fmt.Errorf("orte: non-positive step count %d", steps)
 	}
-	mapper, err := core.NewMapper(s.Runtime.Cluster, s.Layout, s.Opts)
-	if err != nil {
-		return nil, err
-	}
-	m, err := mapper.Map(np)
-	if err != nil {
-		return nil, err
+	var m *core.Map
+	if s.InitialMap != nil {
+		if s.InitialMap.NumRanks() != np {
+			return nil, fmt.Errorf("orte: initial map has %d ranks, want %d", s.InitialMap.NumRanks(), np)
+		}
+		m = s.InitialMap
+	} else {
+		mapper, err := core.NewMapper(s.Runtime.Cluster, s.Layout, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err = mapper.Map(np)
+		if err != nil {
+			return nil, err
+		}
 	}
 	o := s.Opts.Obs
 	endBind := o.StartSpan(obs.SpanBind)
@@ -181,8 +208,22 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 		return nil, err
 	}
 	plan.Normalize()
+	// A rank may legitimately be scheduled to fail after a grow creates
+	// it, so rank validation bounds against the largest possible world.
+	maxNP := np
+	for _, r := range plan.Resizes {
+		if r.Step < 0 {
+			return nil, fmt.Errorf("orte: negative resize step %d", r.Step)
+		}
+		if r.Delta == 0 {
+			return nil, fmt.Errorf("orte: zero resize delta at step %d", r.Step)
+		}
+		if r.Delta > 0 {
+			maxNP += r.Delta
+		}
+	}
 	for _, f := range plan.Failures {
-		if f.Rank < 0 || f.Rank >= np {
+		if f.Rank < 0 || f.Rank >= maxNP {
 			return nil, fmt.Errorf("orte: failure for unknown rank %d", f.Rank)
 		}
 		if f.Step < 0 {
@@ -199,6 +240,9 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 	}
 
 	if s.Config.Policy == FTAbort {
+		if len(plan.Resizes) > 0 {
+			return nil, fmt.Errorf("orte: elastic resizes require the shrink or respawn policy")
+		}
 		return s.runAbort(m, bplan, np, steps, plan)
 	}
 	return s.runSupervised(m, bplan, np, steps, plan)
@@ -309,17 +353,143 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 		alive[i] = true
 	}
 	kill := func(rank, step int) {
-		if alive[rank] {
+		if rank < len(alive) && alive[rank] {
 			alive[rank] = false
 			deadAt[rank] = step
 			handled[rank] = false
 		}
 	}
 
-	fi, ni := 0, 0
+	// grow expands the world by delta ranks at a step: an incremental map
+	// over the new ranks only (existing placements provably untouched),
+	// a rebind, and fresh processes starting at the current step. A grow
+	// the cluster cannot host is rejected — recorded with a Reason — and
+	// the job continues at its old size.
+	grow := func(delta, step int) {
+		ev := RecoveryEvent{FailStep: step, DetectedStep: step, Action: "grow", Delta: delta}
+		reject := func(reason string) {
+			ev.Reason = reason
+			rep.Events = append(rep.Events, ev)
+			if o.Enabled() {
+				o.Emit(obs.SrcSupervise, obs.EvGrow, step,
+					obs.F("delta", delta), obs.F("ok", false), obs.F("reason", reason))
+			}
+		}
+		nm, xrep, err := core.ExpandMap(c, s.Layout, s.Opts, rep.Map, delta)
+		if err != nil {
+			reject(fmt.Sprintf("grow rejected: %v", err))
+			return
+		}
+		endBind := o.StartSpan(obs.SpanBind)
+		nplan, err := bind.Compute(c, nm, s.BindPolicy, s.BindLevel)
+		endBind()
+		if err == nil {
+			err = nplan.Check(c)
+		}
+		if err != nil {
+			reject(fmt.Sprintf("grow rebind failed: %v", err))
+			return
+		}
+		oldNP := len(procs)
+		fresh := make([]*Process, 0, delta)
+		for r := oldNP; r < oldNP+delta; r++ {
+			p, perr := s.newProcess(nm, nplan, r, step)
+			if perr != nil {
+				reject(perr.Error())
+				return
+			}
+			fresh = append(fresh, p)
+		}
+		procs = append(procs, fresh...)
+		for range fresh {
+			alive = append(alive, true)
+			deadAt = append(deadAt, 0)
+			handled = append(handled, false)
+			ev.Ranks = append(ev.Ranks, len(ev.Ranks)+oldNP)
+		}
+		ev.LocalityBefore, ev.LocalityAfter = xrep.LocalityBefore, xrep.LocalityAfter
+		rep.Map, rep.Plan = nm, nplan
+		rep.Events = append(rep.Events, ev)
+		rep.Grows++
+		o.Reg().Counter("lama_grows_total").Inc()
+		if o.Enabled() {
+			o.Emit(obs.SrcSupervise, obs.EvGrow, step,
+				obs.F("delta", delta), obs.F("ok", true), obs.F("new_np", len(procs)),
+				obs.F("locality_before", ev.LocalityBefore),
+				obs.F("locality_after", ev.LocalityAfter))
+		}
+	}
+
+	// release shrinks the world by k ranks at a step: the highest-numbered
+	// ranks hand back their resources (pure map truncation, survivors
+	// byte-identical), clamped so at least one rank keeps running.
+	release := func(k, step int) {
+		if k >= len(procs) {
+			k = len(procs) - 1
+		}
+		if k <= 0 {
+			return
+		}
+		ev := RecoveryEvent{FailStep: step, DetectedStep: step, Action: "release", Delta: -k}
+		for r := len(procs) - k; r < len(procs); r++ {
+			ev.Ranks = append(ev.Ranks, r)
+		}
+		nm, srep, err := core.ShrinkMap(c, rep.Map, ev.Ranks)
+		if err != nil {
+			ev.Reason = fmt.Sprintf("shrink rejected: %v", err)
+			rep.Events = append(rep.Events, ev)
+			if o.Enabled() {
+				o.Emit(obs.SrcSupervise, obs.EvShrink, step,
+					obs.F("delta", -k), obs.F("ok", false), obs.F("reason", ev.Reason))
+			}
+			return
+		}
+		endBind := o.StartSpan(obs.SpanBind)
+		nplan, err := bind.Compute(c, nm, s.BindPolicy, s.BindLevel)
+		endBind()
+		if err != nil {
+			ev.Reason = fmt.Sprintf("shrink rebind failed: %v", err)
+			rep.Events = append(rep.Events, ev)
+			if o.Enabled() {
+				o.Emit(obs.SrcSupervise, obs.EvShrink, step,
+					obs.F("delta", -k), obs.F("ok", false), obs.F("reason", ev.Reason))
+			}
+			return
+		}
+		for _, r := range ev.Ranks {
+			rep.Archived = append(rep.Archived, procs[r])
+		}
+		procs = procs[:len(procs)-k]
+		alive = alive[:len(procs)]
+		deadAt = deadAt[:len(procs)]
+		handled = handled[:len(procs)]
+		ev.LocalityBefore, ev.LocalityAfter = srep.LocalityBefore, srep.LocalityAfter
+		rep.Map, rep.Plan = nm, nplan
+		rep.Events = append(rep.Events, ev)
+		rep.Shrinks++
+		o.Reg().Counter("lama_shrinks_total").Inc()
+		if o.Enabled() {
+			o.Emit(obs.SrcSupervise, obs.EvShrink, step,
+				obs.F("delta", -k), obs.F("ok", true), obs.F("new_np", len(procs)),
+				obs.F("locality_before", ev.LocalityBefore),
+				obs.F("locality_after", ev.LocalityAfter))
+		}
+	}
+
+	fi, ni, ri := 0, 0, 0
 	aborted := false
 	abortStep := -1
 	for step := 0; step < steps && !aborted; step++ {
+		// 0. Elastic resizes scheduled for this step (before failures, so
+		// a node loss at the same step sees the post-resize world).
+		for ri < len(plan.Resizes) && plan.Resizes[ri].Step == step {
+			if d := plan.Resizes[ri].Delta; d > 0 {
+				grow(d, step)
+			} else {
+				release(-d, step)
+			}
+			ri++
+		}
 		// 1. Whole-node losses scheduled for this step.
 		for ni < len(plan.NodeFailures) && plan.NodeFailures[ni].Step == step {
 			node := plan.NodeFailures[ni].Node
@@ -521,6 +691,7 @@ func (s *Supervisor) recover(rep *SuperviseReport, procs []*Process,
 	}
 	ev.RemapUs = float64(time.Since(t0)) / float64(time.Microsecond)
 	ev.RanksMoved = rrep.RanksMoved
+	ev.LocalityBefore, ev.LocalityAfter = rrep.LocalityBefore, rrep.LocalityAfter
 	o.Reg().Histogram("lama_remap_duration_us", obs.LatencyBucketsUs).Observe(ev.RemapUs)
 	if o.Enabled() {
 		o.Emit(obs.SrcSupervise, obs.EvRemap, step,

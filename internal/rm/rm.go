@@ -13,6 +13,7 @@ import (
 
 	"lama/internal/cluster"
 	"lama/internal/hw"
+	"lama/internal/obs"
 )
 
 // Policy selects the allocation granularity.
@@ -60,6 +61,11 @@ type Allocation struct {
 
 // Manager owns a node pool and tracks which cores are busy.
 type Manager struct {
+	// Obs optionally reports allocation-time decisions (domain-aware spare
+	// reservation) as "rm" events. Nil disables them; Realloc-time events
+	// use RetryConfig.Obs instead.
+	Obs *obs.Observer
+
 	pool   *cluster.Cluster
 	busy   []map[int]bool // per pool node: core logical index -> busy
 	failed []bool         // per pool node: marked failed, never granted again
@@ -149,6 +155,7 @@ func (m *Manager) Alloc(policy Policy, slots int) (*Allocation, error) {
 
 	alloc := &Allocation{ID: m.nextID, policy: policy, cores: plan, Granted: &cluster.Cluster{}}
 	m.nextID++
+	var grantedPool []int
 	for i, node := range m.pool.Nodes {
 		granted, ok := plan[i]
 		if !ok {
@@ -163,10 +170,15 @@ func (m *Manager) Alloc(policy Policy, slots int) (*Allocation, error) {
 			view.Topo.Restrict(allowed)
 		}
 		alloc.Granted.Nodes = append(alloc.Granted.Nodes, view)
+		grantedPool = append(grantedPool, i)
 		for _, ci := range granted {
 			m.busy[i][ci] = true
 		}
 	}
+	// The grant carries the failure-domain picture of exactly its nodes,
+	// so the job's mapping pipeline can spread critical ranks without ever
+	// seeing the whole pool.
+	alloc.Granted.Faults = m.pool.Faults.Derive(grantedPool)
 	m.live[alloc.ID] = alloc
 	return alloc, nil
 }

@@ -4,6 +4,13 @@
 // that, grabs a free node from the pool with bounded retry and exponential
 // backoff) and grants the job a replacement view appended to its
 // allocation.
+//
+// When the pool cluster carries a failure-domain model (cluster.FaultModel),
+// both spare reservation and replacement choice become domain-aware: spares
+// are reserved off the job's chassis but near its racks, and Realloc prefers
+// a replacement that does not share a chassis with the node that just died,
+// stays in its rack, and carries low model risk — instead of blind
+// first-fit. A pool without a model keeps the exact first-fit behavior.
 package rm
 
 import (
@@ -81,8 +88,12 @@ func (m *Manager) AllocWithSpares(policy Policy, slots, spares int) (*Allocation
 	if err != nil {
 		return nil, err
 	}
+	jobNodes := make([]int, 0, len(a.cores))
+	for pi := range a.cores {
+		jobNodes = append(jobNodes, pi)
+	}
 	for s := 0; s < spares; s++ {
-		pi := m.findFreeWholeNode()
+		pi := m.bestFreeWholeNode(jobNodes)
 		if pi < 0 {
 			// Roll back: unreserve spares and release the base grant.
 			m.unreserveSpares(a)
@@ -92,6 +103,14 @@ func (m *Manager) AllocWithSpares(policy Policy, slots, spares int) (*Allocation
 		}
 		m.reserveNode(pi)
 		a.spares = append(a.spares, pi)
+		if m.pool.Faults != nil && m.Obs.Enabled() {
+			d := m.pool.Faults.Domain(pi)
+			m.Obs.Emit(obs.SrcRM, obs.EvSparePlan, obs.NoStep,
+				obs.F("node", m.pool.Node(pi).Name),
+				obs.F("chassis", d.Chassis), obs.F("rack", d.Rack),
+				obs.F("risk", m.pool.Faults.Risk(pi)),
+				obs.F("reserved", s+1), obs.F("of", spares))
+		}
 	}
 	return a, nil
 }
@@ -143,16 +162,22 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 
 	res := &ReallocResult{}
 	replacement := -1
-	if len(a.spares) > 0 {
-		replacement = a.spares[0]
-		a.spares = a.spares[1:]
+	if len(a.spares) == 0 {
+		// The job's spare pool is exhausted before this loss — every further
+		// recovery leans on pool free nodes and bounded retry.
+		rc.Obs.Reg().Counter("lama_spare_pool_exhausted_total").Inc()
+	} else {
+		si := m.pickSpare(a.spares, pi)
+		replacement = a.spares[si]
+		a.spares = append(a.spares[:si], a.spares[si+1:]...)
 		res.FromSpare = true
 		res.Attempts = 1
-	} else {
+	}
+	if replacement < 0 {
 		backoff := rc.BaseBackoff
 		for attempt := 1; attempt <= rc.MaxAttempts; attempt++ {
 			res.Attempts = attempt
-			if free := m.findFreeWholeNode(); free >= 0 {
+			if free := m.bestFreeWholeNode([]int{pi}); free >= 0 {
 				m.reserveNode(free)
 				replacement = free
 				break
@@ -171,9 +196,26 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 			backoff *= 2
 		}
 		if replacement < 0 {
+			rc.Obs.Reg().Counter("lama_realloc_giveup_total").Inc()
+			if rc.Obs.Enabled() {
+				rc.Obs.Emit(obs.SrcRM, obs.EvReallocExhausted, obs.NoStep,
+					obs.F("node", failedName), obs.F("attempts", res.Attempts),
+					obs.F("backoff_us", float64(res.Backoff)/float64(time.Microsecond)))
+			}
 			return nil, fmt.Errorf("%w: no replacement node after %d attempts (%v backoff)",
 				ErrInsufficient, res.Attempts, res.Backoff)
 		}
+	}
+	if m.pool.Faults != nil && rc.Obs.Enabled() {
+		d := m.pool.Faults.Domain(replacement)
+		rc.Obs.Emit(obs.SrcRM, obs.EvSparePlan, obs.NoStep,
+			obs.F("node", m.pool.Node(replacement).Name),
+			obs.F("for", failedName),
+			obs.F("from_spare", res.FromSpare),
+			obs.F("chassis", d.Chassis), obs.F("rack", d.Rack),
+			obs.F("same_chassis", m.pool.Faults.SameChassis(replacement, pi)),
+			obs.F("same_rack", m.pool.Faults.SameRack(replacement, pi)),
+			obs.F("risk", m.pool.Faults.Risk(replacement)))
 	}
 
 	node := m.pool.Node(replacement)
@@ -189,6 +231,8 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 	res.Node = view
 	res.PoolIndex = replacement
 	res.GrantedIndex = len(a.Granted.Nodes) - 1
+	// Keep the grant's failure-domain view in sync with the pool's.
+	a.Granted.Faults.Adopt(res.GrantedIndex, m.pool.Faults, replacement)
 	return res, nil
 }
 
@@ -205,6 +249,83 @@ func (m *Manager) findFreeWholeNode() int {
 		}
 	}
 	return -1
+}
+
+// pickSpare selects which reserved spare to promote for a loss of pool
+// node `failed`. Without a fault model the first-reserved spare wins
+// (first-fit, the historical behavior). With one, the spare that avoids
+// the failed node's chassis (it must survive whatever killed the
+// original), stays in its rack (topologically near the ranks it
+// inherits), and carries the lowest risk wins; reservation order breaks
+// ties. Returns an index into spares, which must be non-empty.
+func (m *Manager) pickSpare(spares []int, failed int) int {
+	f := m.pool.Faults
+	if f == nil {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(spares); i++ {
+		if betterReplacement(f, spares[i], spares[best], failed) {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestFreeWholeNode returns the free whole node best suited to replace or
+// back up the given job nodes: without a fault model it is first-fit
+// (findFreeWholeNode); with one, candidates off the job's chassis beat
+// on-chassis ones, job-rack candidates beat remote ones, then lower risk,
+// then lower pool index. The single-element avoid list is the
+// just-failed-node case of Realloc.
+func (m *Manager) bestFreeWholeNode(jobNodes []int) int {
+	f := m.pool.Faults
+	if f == nil {
+		return m.findFreeWholeNode()
+	}
+	best := -1
+	for i := range m.pool.Nodes {
+		if m.failed[i] {
+			continue
+		}
+		n := m.usableCores(i)
+		if n == 0 || m.FreeCores(i) != n {
+			continue
+		}
+		if best < 0 || betterCandidate(f, i, best, jobNodes) {
+			best = i
+		}
+	}
+	return best
+}
+
+// betterReplacement reports whether candidate a beats b as a replacement
+// for the single failed node.
+func betterReplacement(f *cluster.FaultModel, a, b, failed int) bool {
+	return betterCandidate(f, a, b, []int{failed})
+}
+
+// betterCandidate is the shared domain-aware preference order: off the
+// reference nodes' chassis first, in their racks second, lowest risk
+// third, lowest pool index last.
+func betterCandidate(f *cluster.FaultModel, a, b int, ref []int) bool {
+	aCh, bCh, aRk, bRk := false, false, false, false
+	for _, r := range ref {
+		aCh = aCh || f.SameChassis(a, r)
+		bCh = bCh || f.SameChassis(b, r)
+		aRk = aRk || f.SameRack(a, r)
+		bRk = bRk || f.SameRack(b, r)
+	}
+	if aCh != bCh {
+		return !aCh // off-chassis wins
+	}
+	if aRk != bRk {
+		return aRk // in-rack wins
+	}
+	if ra, rb := f.Risk(a), f.Risk(b); ra != rb {
+		return ra < rb
+	}
+	return a < b
 }
 
 // reserveNode marks every usable core of pool node i busy.

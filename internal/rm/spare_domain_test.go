@@ -1,0 +1,198 @@
+package rm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lama/internal/cluster"
+	"lama/internal/obs"
+)
+
+// domainPool builds a pool with an attached fault model: 2 nodes per
+// chassis, 2 chassis per rack.
+func domainPool(t *testing.T, nodes int, seed int64) (*Manager, *cluster.Cluster) {
+	t.Helper()
+	m, pool := sparePool(t, nodes)
+	pool.AttachFaultModel(2, 2, seed)
+	return m, pool
+}
+
+// TestAllocWithSparesPrefersOffChassis: with a fault model the reserved
+// spare must avoid the job's chassis — a spare that dies with the domain
+// it backs up is useless.
+func TestAllocWithSparesPrefersOffChassis(t *testing.T) {
+	m, pool := domainPool(t, 8, 1)
+	a, err := m.AllocWithSpares(WholeNode, 16, 2) // job on nodes 0,1 = chassis 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.spares {
+		if pool.Faults.SameChassis(s, 0) {
+			t.Fatalf("spare %d shares chassis with the job", s)
+		}
+	}
+}
+
+// TestReallocPicksDomainDiverseSpare: among reserved spares, the one off
+// the failed node's chassis wins even if it was reserved later.
+func TestReallocPicksDomainDiverseSpare(t *testing.T) {
+	m, pool := domainPool(t, 10, 1)
+	a, err := m.AllocWithSpares(WholeNode, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a known spare set: one sharing chassis with node 0, one not.
+	// Node 1 shares chassis 0 with node 0; node 4 sits in chassis 2.
+	m.unreserveSpares(a)
+	// Re-reserve deliberately: first an on-chassis... node 1 is part of the
+	// job (nodes 0,1), so craft labels instead: relabel node 2 into the
+	// failed node's chassis.
+	pool.Faults.SetDomain(2, pool.Faults.Domain(0))
+	for _, pi := range []int{2, 4} {
+		m.reserveNode(pi)
+		a.spares = append(a.spares, pi)
+	}
+	res, err := m.Realloc(a, pool.Node(0).Name, RetryConfig{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromSpare || res.PoolIndex != 4 {
+		t.Fatalf("picked pool node %d (fromSpare=%v), want off-chassis spare 4", res.PoolIndex, res.FromSpare)
+	}
+	// The on-chassis spare stays reserved for the next loss.
+	if a.SpareCount() != 1 || a.spares[0] != 2 {
+		t.Fatalf("remaining spares = %v", a.spares)
+	}
+}
+
+// TestReallocNilModelKeepsFirstFit: without a fault model the historical
+// behavior — promote the first-reserved spare, first-fit free node — must
+// be preserved exactly.
+func TestReallocNilModelKeepsFirstFit(t *testing.T) {
+	m, pool := sparePool(t, 6) // no AttachFaultModel
+	a, err := m.AllocWithSpares(WholeNode, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := a.spares[0]
+	res, err := m.Realloc(a, pool.Node(0).Name, RetryConfig{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromSpare || res.PoolIndex != first {
+		t.Fatalf("picked %d, want first-reserved spare %d", res.PoolIndex, first)
+	}
+}
+
+// TestReallocFreeNodePrefersLowRisk: when no spares are left, the free-node
+// scan must use the domain order (off-chassis, then in-rack, then risk)
+// instead of first-fit.
+func TestReallocFreeNodePrefersLowRisk(t *testing.T) {
+	m, pool := domainPool(t, 8, 1)
+	a, err := m.Alloc(WholeNode, 16) // nodes 0,1; no spares reserved
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free nodes 2..7. Node 2 shares rack 0 with the failed node 0 but is
+	// on chassis 1: off-chassis + in-rack beats everything farther away.
+	res, err := m.Realloc(a, pool.Node(0).Name, RetryConfig{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Faults.SameChassis(res.PoolIndex, 0) {
+		t.Fatalf("replacement %d shares chassis with the dead node", res.PoolIndex)
+	}
+	if !pool.Faults.SameRack(res.PoolIndex, 0) {
+		t.Fatalf("replacement %d left the rack though in-rack nodes were free", res.PoolIndex)
+	}
+}
+
+// TestReallocAdoptsDomainIntoGrant: the appended replacement view must
+// carry the pool node's domain label and history in the granted cluster's
+// derived model.
+func TestReallocAdoptsDomainIntoGrant(t *testing.T) {
+	m, pool := domainPool(t, 8, 3)
+	a, err := m.AllocWithSpares(WholeNode, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Granted.Faults == nil {
+		t.Fatal("grant carries no derived fault model")
+	}
+	// The granted view's labels must match the pool's for the same nodes.
+	for gi, pi := range []int{0, 1} {
+		if a.Granted.Faults.Domain(gi) != pool.Faults.Domain(pi) {
+			t.Fatalf("granted node %d domain %+v != pool node %d %+v",
+				gi, a.Granted.Faults.Domain(gi), pi, pool.Faults.Domain(pi))
+		}
+	}
+	res, err := m.Realloc(a, pool.Node(1).Name, RetryConfig{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Granted.Faults.Domain(res.GrantedIndex), pool.Faults.Domain(res.PoolIndex); got != want {
+		t.Fatalf("adopted domain %+v, want %+v", got, want)
+	}
+	if got, want := a.Granted.Faults.Weight(res.GrantedIndex), pool.Faults.Weight(res.PoolIndex); got != want {
+		t.Fatalf("adopted weight %f, want %f", got, want)
+	}
+}
+
+// TestReallocCounters: spare-pool exhaustion and give-up must tick their
+// counters and the give-up must trace an rm/realloc-exhausted event.
+func TestReallocCounters(t *testing.T) {
+	m, pool := domainPool(t, 2, 1)
+	a, err := m.Alloc(WholeNode, 16) // whole pool granted, nothing free
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	o := &obs.Observer{Sink: obs.NewJSONLSink(&buf), Metrics: reg}
+	rc := RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}, Obs: o}
+	_, err = m.Realloc(a, pool.Node(0).Name, rc)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("lama_spare_pool_exhausted_total").Value(); got != 1 {
+		t.Fatalf("spare_pool_exhausted = %v", got)
+	}
+	if got := reg.Counter("lama_realloc_giveup_total").Value(); got != 1 {
+		t.Fatalf("realloc_giveup = %v", got)
+	}
+	if !strings.Contains(buf.String(), `"realloc-exhausted"`) {
+		t.Fatalf("trace lacks realloc-exhausted event:\n%s", buf.String())
+	}
+}
+
+// TestSparePlanEvents: with a fault model and an observer, reservation and
+// replacement both emit rm/spare-plan events carrying domain fields.
+func TestSparePlanEvents(t *testing.T) {
+	var buf bytes.Buffer
+	o := &obs.Observer{Sink: obs.NewJSONLSink(&buf), Metrics: obs.NewRegistry()}
+	m, pool := domainPool(t, 8, 1)
+	m.Obs = o
+	a, err := m.AllocWithSpares(WholeNode, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Realloc(a, pool.Node(0).Name, RetryConfig{Sleep: func(time.Duration) {}, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Count(buf.String(), `"spare-plan"`)
+	if got != 3 { // 2 reservations + 1 replacement choice
+		t.Fatalf("spare-plan events = %d, want 3:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"same_chassis":false`) {
+		t.Fatal("replacement spare-plan lacks same_chassis=false")
+	}
+}
