@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,6 +62,9 @@ type jsonReport struct {
 	// Policies holds the cross-policy placement sweep rows (-policy), one
 	// per registered policy run; added in v2 additively.
 	Policies []jsonPolicyRow `json:"policies,omitempty"`
+	// NetCost holds the network-aware placement scaling series (-net), one
+	// row per np scale point; added additively, v2-compatible.
+	NetCost []exper.NetCostRow `json:"netcost,omitempty"`
 	// Lint is the static-analysis provenance of the run (added in v2
 	// additively): which lamavet suite version the numbers were taken
 	// under and whether the tree was clean when they were.
@@ -185,6 +189,9 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	jsonPath := fs.String("json", "", "write per-experiment wall time and placements/sec to this file")
 	policyList := fs.String("policy", "", `cross-policy placement sweep instead of the experiments: comma-separated registry policies, or "all"`)
+	netSpec := fs.String("net", "", "network-aware placement scaling series instead of the experiments: flat, fat-tree[:leaf], dragonfly[:group], torus[:XxYxZ]")
+	netNPs := fs.String("net-np", "4096,16384,65536,102400", "comma-separated rank counts for the -net series")
+	netRefine := fs.Bool("net-refine", true, "include the delta-J swap refinement pass in the -net series")
 	lintMode := fs.String("lint", "unchecked", `static-analysis provenance recorded in -json: "run" executes the lamavet suite over ./..., "clean"/"dirty" record a CI-supplied verdict, "unchecked" records that no verdict was taken`)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -211,6 +218,29 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	started := time.Now()
+
+	if *netSpec != "" {
+		nps, err := parseNPs(*netNPs)
+		if err != nil {
+			return err
+		}
+		rows, err := exper.NetScale(*netSpec, nps, *netRefine, o)
+		if err != nil {
+			return err
+		}
+		report.NetCost = rows
+		fmt.Fprintln(out, exper.NetScaleTable(*netSpec, rows).String())
+		report.TotalSeconds = time.Since(started).Seconds()
+		if err := writeJSON(*jsonPath, &report); err != nil {
+			return err
+		}
+		if err := closeObs(); err != nil {
+			return err
+		}
+		return obsFlags.WriteReport(o.Report("lamabench", map[string]any{
+			"net": *netSpec, "netNP": *netNPs, "netRefine": *netRefine,
+		}))
+	}
 
 	if *policyList != "" {
 		rows, t, err := policySweep(*policyList, *seed, o)
@@ -275,6 +305,26 @@ func run(args []string, out io.Writer) error {
 	return obsFlags.WriteReport(o.Report("lamabench", map[string]any{
 		"exp": *expID, "full": *full, "seed": *seed,
 	}))
+}
+
+// parseNPs parses the -net-np comma list into positive rank counts.
+func parseNPs(list string) ([]int, error) {
+	var nps []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -net-np entry %q (want positive integers)", part)
+		}
+		nps = append(nps, n)
+	}
+	if len(nps) == 0 {
+		return nil, fmt.Errorf("-net-np %q selects no scale points", list)
+	}
+	return nps, nil
 }
 
 // writeJSON marshals the report to path; an empty path is a no-op.

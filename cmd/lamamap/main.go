@@ -29,6 +29,8 @@ import (
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/mpirun"
+	"lama/internal/netorder"
+	"lama/internal/netsim"
 	"lama/internal/obs"
 	"lama/internal/place"
 	"lama/internal/rankfile"
@@ -52,6 +54,8 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "validate the planned map against the cluster and print one ok line")
 	patternName := fs.String("pattern", "", "traffic pattern for traffic-aware policies (see internal/commpat)")
 	bytesPer := fs.Float64("bytes", 1<<20, "bytes per exchange for -pattern")
+	netSpec := fs.String("net", "", "network model for network-aware post-passes: flat, fat-tree[:leaf], dragonfly[:group], torus[:XxYxZ] (needs -pattern)")
+	netRefine := fs.Bool("net-refine", false, "add delta-J pairwise-swap refinement after the -net node ordering")
 	seed := fs.Int64("seed", 1, "seed for randomized policies")
 	byNode := fs.Bool("render-by-node", true, "print the Figure 2-style per-node view")
 	asJSON := fs.Bool("json", false, "emit the map as JSON and exit")
@@ -102,6 +106,21 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown pattern %q (see commpat.Patterns)", *patternName)
 		}
 		req.Traffic = gen(req.NP, *bytesPer)
+	}
+	if *netSpec != "" {
+		if req.Traffic == nil {
+			return fmt.Errorf("-net requires -pattern (the passes need a traffic matrix)")
+		}
+		net, err := netsim.ParseNetwork(*netSpec, c.NumNodes())
+		if err != nil {
+			return err
+		}
+		req.Stages = append(req.Stages, &netorder.Stage{Net: net})
+		if *netRefine {
+			req.Stages = append(req.Stages, &netorder.Refine{Net: net})
+		}
+	} else if *netRefine {
+		return fmt.Errorf("-net-refine requires -net")
 	}
 	res, err := mpirun.Execute(req, c)
 	if err != nil {

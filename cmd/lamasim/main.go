@@ -32,6 +32,7 @@ import (
 	"lama/internal/hw"
 	"lama/internal/metrics"
 	"lama/internal/msgsim"
+	"lama/internal/netorder"
 	"lama/internal/netsim"
 	"lama/internal/obs"
 	"lama/internal/orte"
@@ -57,7 +58,8 @@ func run(args []string, out io.Writer) error {
 	patternName := fs.String("pattern", "stencil2d", "traffic pattern (see internal/commpat)")
 	trafficPath := fs.String("traffic", "", "traffic matrix file (edge list; overrides -pattern)")
 	bytesPer := fs.Float64("bytes", 1<<20, "bytes per exchange")
-	netName := fs.String("net", "flat", "network model: flat | fat-tree | torus | dragonfly")
+	netName := fs.String("net", "flat", "network model: flat | fat-tree[:leaf] | torus[:XxYxZ] | dragonfly[:group]")
+	netRefine := fs.Bool("net-refine", false, "wrap every strategy with network-aware node ordering + delta-J swap refinement")
 	policyList := fs.String("policy", "", `comma-separated placement policies to compare, or "all" for every registered one (default: LAMA layouts + treematch + random)`)
 	mode := fs.String("mode", "static", "report: static | app | coll | fluid")
 	compute := fs.Float64("compute", 500, "per-iteration compute time in us (mode app)")
@@ -130,7 +132,13 @@ func run(args []string, out io.Writer) error {
 	case "dragonfly":
 		net = netsim.NewDragonfly(4)
 	default:
-		return fmt.Errorf("unknown network %q", *netName)
+		// Parameterized specs (fat-tree:8, dragonfly:2, torus:4x2x1) go
+		// through the shared parser; the bare names above keep their
+		// legacy constructors (notably "torus" and its Grid3D dims).
+		net, err = netsim.ParseNetwork(*netName, *nodes)
+		if err != nil {
+			return err
+		}
 	}
 	model := netsim.NewModel(net)
 
@@ -171,6 +179,24 @@ func run(args []string, out io.Writer) error {
 		strategies, err = policyStrategies(*policyList, c, *np, tm, torusDims(*nodes), *seed)
 		if err != nil {
 			return err
+		}
+	}
+	if *netRefine {
+		stm := tm.Sparse()
+		for i := range strategies {
+			s := strategies[i]
+			strategies[i] = strategy{s.name + "+net", func() (*core.Map, error) {
+				m, err := s.gen()
+				if err != nil {
+					return nil, err
+				}
+				m, _, err = netorder.OrderNodes(c, model, stm, m)
+				if err != nil {
+					return nil, err
+				}
+				m, _, err = netorder.RefineMap(c, model, stm, m, 0)
+				return m, err
+			}}
 		}
 	}
 

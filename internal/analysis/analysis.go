@@ -165,6 +165,8 @@ var DeterministicPkgNames = map[string]bool{
 	"permute":    true,
 	"hw":         true,
 	"faultaware": true,
+	"netorder":   true,
+	"commpat":    true,
 }
 
 // deterministic reports whether the pass's package is part of the

@@ -1,0 +1,172 @@
+package commpat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row view of a traffic matrix: the nonzero
+// directed entries of every row stored contiguously, rows ascending,
+// columns ascending within each row. It is the form the J(C,D,Π)
+// evaluation wants — iterating communicating pairs only — and the only
+// form that exists at 100k+ ranks, where a dense n×n float64 matrix
+// would need tens of gigabytes (Schulz & Träff's sparse-QAP observation,
+// PAPERS.md).
+type CSR struct {
+	n      int
+	rowOff []int32 // len n+1; row i occupies col/val[rowOff[i]:rowOff[i+1]]
+	col    []int32
+	val    []float64
+}
+
+// Ranks returns the number of ranks.
+func (s *CSR) Ranks() int { return s.n }
+
+// NNZ returns the number of stored communicating ordered pairs.
+func (s *CSR) NNZ() int { return len(s.col) }
+
+// Row returns rank i's outgoing entries as parallel column/value slices,
+// columns ascending. Callers must not modify them.
+func (s *CSR) Row(i int) (cols []int32, vals []float64) {
+	lo, hi := s.rowOff[i], s.rowOff[i+1]
+	return s.col[lo:hi], s.val[lo:hi]
+}
+
+// Bytes returns the traffic from rank i to rank j (0 when absent or out
+// of range), by binary search within row i.
+func (s *CSR) Bytes(i, j int) float64 {
+	if i < 0 || j < 0 || i >= s.n || j >= s.n {
+		return 0
+	}
+	cols, vals := s.Row(i)
+	k := sort.Search(len(cols), func(x int) bool { return cols[x] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return vals[k]
+	}
+	return 0
+}
+
+// Total returns the total bytes stored.
+func (s *CSR) Total() float64 {
+	t := 0.0
+	for _, v := range s.val {
+		t += v
+	}
+	return t
+}
+
+// Each calls f for every communicating ordered pair in exactly the order
+// Matrix.Each uses: rows ascending, columns ascending within a row.
+func (s *CSR) Each(f func(i, j int, bytes float64)) {
+	for i := 0; i < s.n; i++ {
+		for k := s.rowOff[i]; k < s.rowOff[i+1]; k++ {
+			f(i, int(s.col[k]), s.val[k])
+		}
+	}
+}
+
+// Dense materializes the CSR as a dense Matrix (for small differential
+// tests; do not call at scale).
+func (s *CSR) Dense() *Matrix {
+	m := NewMatrix(s.n)
+	s.Each(func(i, j int, bytes float64) { m.Add(i, j, bytes) })
+	return m
+}
+
+// Sparse converts the dense matrix to its CSR view. The entry order is
+// exactly Matrix.Each's, so evaluation through either view visits the
+// same pairs in the same sequence.
+func (m *Matrix) Sparse() *CSR {
+	nnz := m.Pairs()
+	s := &CSR{
+		n:      m.n,
+		rowOff: make([]int32, m.n+1),
+		col:    make([]int32, 0, nnz),
+		val:    make([]float64, 0, nnz),
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if b := m.bytes[i*m.n+j]; b > 0 {
+				s.col = append(s.col, int32(j))
+				s.val = append(s.val, b)
+			}
+		}
+		s.rowOff[i+1] = int32(len(s.col))
+	}
+	return s
+}
+
+// Builder accumulates traffic entries directly in sparse form, for
+// patterns whose nonzero count is far below n² — at 100k ranks it is the
+// only way to construct traffic at all. Add/AddSym share Matrix.Add's
+// exact drop semantics, so a Builder and a Matrix fed the same calls
+// describe the same traffic.
+type Builder struct {
+	n   int
+	ent []csrEntry
+}
+
+type csrEntry struct {
+	row, col int32
+	val      float64
+}
+
+// NewBuilder creates a builder for an n-rank job.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("commpat: non-positive rank count %d", n))
+	}
+	return &Builder{n: n}
+}
+
+// Ranks returns the number of ranks.
+func (b *Builder) Ranks() int { return b.n }
+
+// Add accumulates traffic from i to j. Self pairs, out-of-range indices,
+// and non-positive volumes are ignored, matching Matrix.Add.
+func (b *Builder) Add(i, j int, bytes float64) {
+	if i < 0 || j < 0 || i >= b.n || j >= b.n || i == j || bytes <= 0 {
+		return
+	}
+	b.ent = append(b.ent, csrEntry{int32(i), int32(j), bytes})
+}
+
+// AddSym accumulates traffic in both directions.
+func (b *Builder) AddSym(i, j int, bytes float64) {
+	b.Add(i, j, bytes)
+	b.Add(j, i, bytes)
+}
+
+// Build sorts the accumulated entries row-major, merges duplicate pairs
+// by summing, and returns the CSR. The builder is reusable: further Adds
+// followed by another Build see all entries.
+func (b *Builder) Build() *CSR {
+	ent := append([]csrEntry(nil), b.ent...)
+	sort.Slice(ent, func(x, y int) bool {
+		if ent[x].row != ent[y].row {
+			return ent[x].row < ent[y].row
+		}
+		return ent[x].col < ent[y].col
+	})
+	s := &CSR{
+		n:      b.n,
+		rowOff: make([]int32, b.n+1),
+		col:    make([]int32, 0, len(ent)),
+		val:    make([]float64, 0, len(ent)),
+	}
+	lastRow, lastCol := int32(-1), int32(-1)
+	for _, e := range ent {
+		if e.row == lastRow && e.col == lastCol {
+			s.val[len(s.val)-1] += e.val
+			continue
+		}
+		s.col = append(s.col, e.col)
+		s.val = append(s.val, e.val)
+		s.rowOff[e.row+1]++
+		lastRow, lastCol = e.row, e.col
+	}
+	for i := 0; i < b.n; i++ {
+		s.rowOff[i+1] += s.rowOff[i]
+	}
+	return s
+}

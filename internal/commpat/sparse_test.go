@@ -1,0 +1,130 @@
+package commpat
+
+import (
+	"testing"
+)
+
+// sameTraffic asserts the CSR and Matrix describe identical traffic and
+// visit pairs in the same order.
+func sameTraffic(t *testing.T, name string, m *Matrix, s *CSR) {
+	t.Helper()
+	if m.Ranks() != s.Ranks() {
+		t.Fatalf("%s: ranks %d vs %d", name, m.Ranks(), s.Ranks())
+	}
+	if m.Pairs() != s.NNZ() {
+		t.Fatalf("%s: pairs %d vs nnz %d", name, m.Pairs(), s.NNZ())
+	}
+	type ent struct {
+		i, j int
+		b    float64
+	}
+	var dense, sparse []ent
+	m.Each(func(i, j int, b float64) { dense = append(dense, ent{i, j, b}) })
+	s.Each(func(i, j int, b float64) { sparse = append(sparse, ent{i, j, b}) })
+	if len(dense) != len(sparse) {
+		t.Fatalf("%s: %d dense entries vs %d sparse", name, len(dense), len(sparse))
+	}
+	for k := range dense {
+		if dense[k] != sparse[k] {
+			t.Fatalf("%s: entry %d: dense %+v, sparse %+v", name, k, dense[k], sparse[k])
+		}
+	}
+}
+
+func TestSparseMatchesMatrix(t *testing.T) {
+	for _, p := range Patterns() {
+		for _, n := range []int{1, 2, 7, 16, 36} {
+			m := p.Gen(n, 1000)
+			sameTraffic(t, p.Name, m, m.Sparse())
+		}
+	}
+}
+
+func TestSparseAccessors(t *testing.T) {
+	m := Ring(8, 100)
+	s := m.Sparse()
+	if s.Total() != m.Total() {
+		t.Fatalf("total %g vs %g", s.Total(), m.Total())
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if s.Bytes(i, j) != m.Bytes(i, j) {
+				t.Fatalf("bytes(%d,%d): %g vs %g", i, j, s.Bytes(i, j), m.Bytes(i, j))
+			}
+		}
+	}
+	if s.Bytes(-1, 0) != 0 || s.Bytes(0, 99) != 0 {
+		t.Fatal("out-of-range bytes should be 0")
+	}
+	cols, vals := s.Row(0)
+	if len(cols) != 2 || len(vals) != 2 {
+		t.Fatalf("row 0 has %d entries, want 2", len(cols))
+	}
+	sameTraffic(t, "dense-roundtrip", s.Dense(), s)
+}
+
+// TestBuilderMatchesMatrix feeds identical Add/AddSym sequences to a
+// Matrix and a Builder and requires identical traffic, including the
+// drop semantics (self pairs, out-of-range, non-positive volumes) and
+// duplicate merging.
+func TestBuilderMatchesMatrix(t *testing.T) {
+	n := 10
+	m := NewMatrix(n)
+	b := NewBuilder(n)
+	feed := func(a adder) {
+		a.Add(0, 1, 5)
+		a.Add(0, 1, 7)    // duplicate: merges
+		a.Add(1, 0, 2)    // reverse direction is distinct
+		a.Add(3, 3, 9)    // self: dropped
+		a.Add(-1, 2, 4)   // out of range: dropped
+		a.Add(2, n, 4)    // out of range: dropped
+		a.Add(4, 5, 0)    // non-positive: dropped
+		a.Add(4, 5, -3)   // non-positive: dropped
+		a.AddSym(8, 9, 6) // both directions
+		a.Add(9, 2, 1)    // out-of-order row: Build must sort
+	}
+	feed(m)
+	feed(b)
+	sameTraffic(t, "builder", m, b.Build())
+}
+
+func TestBuilderReusable(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(0, 1, 1)
+	s1 := b.Build()
+	b.Add(1, 2, 1)
+	s2 := b.Build()
+	if s1.NNZ() != 1 || s2.NNZ() != 2 {
+		t.Fatalf("nnz %d then %d, want 1 then 2", s1.NNZ(), s2.NNZ())
+	}
+}
+
+func TestNewBuilderPanicsOnBadRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewBuilder(0)
+}
+
+// TestSparsePatternsMatchDense pins the satellite guarantee: the
+// direct-CSR generators produce entry-for-entry what the dense
+// generators produce.
+func TestSparsePatternsMatchDense(t *testing.T) {
+	for _, sp := range SparsePatterns() {
+		gen, ok := ByName(sp.Name)
+		if !ok {
+			t.Fatalf("sparse pattern %q has no dense twin", sp.Name)
+		}
+		for _, n := range []int{2, 5, 16, 27, 64} {
+			sameTraffic(t, sp.Name, gen(n, 777), sp.Gen(n, 777))
+		}
+	}
+	if _, ok := SparseByName("ring"); !ok {
+		t.Fatal("SparseByName(ring)")
+	}
+	if _, ok := SparseByName("alltoall"); ok {
+		t.Fatal("alltoall is dense-only (O(n²) nonzeros)")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"lama/internal/cluster"
+)
+
+// LocalityTally is NeighborLocality's integer state — the LCA depth sum
+// and pair count over consecutive same-node rank pairs — held explicitly
+// so placement search loops can price a candidate swap in O(1) instead of
+// rescanning all ranks. Because the state is integral, a tally updated
+// through LocalitySwapDelta stays bit-identical to a full recompute: the
+// final division happens once, in Value.
+type LocalityTally struct {
+	DepthSum int
+	Pairs    int
+}
+
+// NewLocalityTally scans the map once and returns the full tally,
+// equivalent in cost and result to NeighborLocality.
+func NewLocalityTally(c *cluster.Cluster, m *Map) LocalityTally {
+	var t LocalityTally
+	for i := 1; i < m.NumRanks(); i++ {
+		d, p := pairLocality(c, m, i-1, i, -1, -1)
+		t.DepthSum += d
+		t.Pairs += p
+	}
+	return t
+}
+
+// Value returns the mean LCA depth, 0 when no same-node pairs exist.
+func (t LocalityTally) Value() float64 {
+	if t.Pairs == 0 {
+		return 0
+	}
+	return float64(t.DepthSum) / float64(t.Pairs)
+}
+
+// AfterSwap returns the locality value the map would have after a swap
+// whose delta is (dDepth, dPairs), without mutating the tally.
+func (t LocalityTally) AfterSwap(dDepth, dPairs int) float64 {
+	return LocalityTally{t.DepthSum + dDepth, t.Pairs + dPairs}.Value()
+}
+
+// Apply commits a swap's delta to the tally.
+func (t *LocalityTally) Apply(dDepth, dPairs int) {
+	t.DepthSum += dDepth
+	t.Pairs += dPairs
+}
+
+// LocalitySwapDelta returns the change in the locality tally if ranks a
+// and b exchanged placements, in O(1): only the consecutive pairs
+// touching a or b can change. The map is not modified.
+func LocalitySwapDelta(c *cluster.Cluster, m *Map, a, b int) (dDepth, dPairs int) {
+	if a == b {
+		return 0, 0
+	}
+	// Pair-start candidates: the pairs (p, p+1) where p or p+1 is a or b.
+	starts := [4]int{a - 1, a, b - 1, b}
+	n := 0
+	seen := [4]int{}
+	for _, p := range starts {
+		if p < 0 || p+1 >= m.NumRanks() {
+			continue
+		}
+		dup := false
+		for k := 0; k < n; k++ {
+			if seen[k] == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[n] = p
+		n++
+		bd, bp := pairLocality(c, m, p, p+1, -1, -1)
+		ad, ap := pairLocality(c, m, p, p+1, a, b)
+		dDepth += ad - bd
+		dPairs += ap - bp
+	}
+	return dDepth, dPairs
+}
+
+// pairLocality scores one consecutive rank pair (i, i+1 as i, j): its
+// LCA depth and 1 when both ranks share a node, zeros otherwise. When
+// swapA/swapB are rank indices (not -1), the pair is scored as if those
+// two ranks had exchanged placements.
+func pairLocality(c *cluster.Cluster, m *Map, i, j, swapA, swapB int) (depth, pairs int) {
+	pa := redirect(m, i, swapA, swapB)
+	pb := redirect(m, j, swapA, swapB)
+	if pa.Node != pb.Node {
+		return 0, 0
+	}
+	level := c.Node(pa.Node).Topo.CommonAncestorLevel(pa.PU(), pb.PU())
+	return level.Depth(), 1
+}
+
+// redirect returns rank idx's placement under the hypothetical swap of
+// swapA and swapB.
+func redirect(m *Map, idx, swapA, swapB int) *Placement {
+	if idx == swapA {
+		return &m.Placements[swapB]
+	}
+	if idx == swapB {
+		return &m.Placements[swapA]
+	}
+	return &m.Placements[idx]
+}

@@ -183,18 +183,5 @@ func recomputeOversubscription(m *Map) {
 // remapper, the grow/shrink operations, and the fault-aware placement
 // stage can report migration cost without an import cycle.
 func NeighborLocality(c *cluster.Cluster, m *Map) float64 {
-	depthSum, pairs := 0, 0
-	for i := 1; i < m.NumRanks(); i++ {
-		a, b := &m.Placements[i-1], &m.Placements[i]
-		if a.Node != b.Node {
-			continue
-		}
-		level := c.Node(a.Node).Topo.CommonAncestorLevel(a.PU(), b.PU())
-		depthSum += level.Depth()
-		pairs++
-	}
-	if pairs == 0 {
-		return 0
-	}
-	return float64(depthSum) / float64(pairs)
+	return NewLocalityTally(c, m).Value()
 }

@@ -83,7 +83,8 @@ func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
 	}
 	c := req.Cluster
 	model := c.Faults // nil is fine: every node is its own singleton domain
-	res := &Result{Critical: crit, LocalityBefore: core.NeighborLocality(c, m)}
+	tally := core.NewLocalityTally(c, m)
+	res := &Result{Critical: crit, LocalityBefore: tally.Value()}
 	res.ChassisBefore, res.RacksBefore = model.Spread(criticalNodes(m, crit))
 
 	budget := s.MaxLocalityLoss
@@ -105,17 +106,21 @@ func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
 			claimed[ch] = true
 			continue
 		}
-		// Chassis conflict: find the best partner swap.
-		best, bestLoc := -1, 0.0
+		// Chassis conflict: find the best partner swap. Each candidate is
+		// priced incrementally — only the consecutive pairs touching the
+		// two swapped ranks can change, so a candidate costs O(1) instead
+		// of a full-map locality rescan. The tally is integral, so the
+		// values match what core.NeighborLocality would report on the
+		// swapped map exactly, not just approximately.
+		best, bestLoc, bestDD, bestDP := -1, 0.0, 0, 0
 		for j := 0; j < out.NumRanks(); j++ {
 			if isCrit[j] || claimed[model.Domain(out.Placements[j].Node).Chassis] {
 				continue
 			}
-			swapPlacements(out, r, j)
-			loc := core.NeighborLocality(c, out)
-			swapPlacements(out, r, j)
+			dd, dp := core.LocalitySwapDelta(c, out, r, j)
+			loc := tally.AfterSwap(dd, dp)
 			if best < 0 || loc > bestLoc {
-				best, bestLoc = j, loc
+				best, bestLoc, bestDD, bestDP = j, loc, dd, dp
 			}
 		}
 		if best < 0 {
@@ -127,11 +132,12 @@ func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
 			continue // the cheapest spread is still too expensive
 		}
 		swapPlacements(out, r, best)
+		tally.Apply(bestDD, bestDP)
 		res.Swaps++
 		claimed[model.Domain(out.Placements[r].Node).Chassis] = true
 	}
 
-	res.LocalityAfter = core.NeighborLocality(c, out)
+	res.LocalityAfter = tally.Value()
 	res.ChassisAfter, res.RacksAfter = model.Spread(criticalNodes(out, crit))
 	if s.OnResult != nil {
 		s.OnResult(res)

@@ -262,3 +262,39 @@ func TestSpareTargetsOrdering(t *testing.T) {
 		t.Fatal("SpareTargets mutated its input")
 	}
 }
+
+// TestIncrementalLocalityMatchesFull pins the incremental tally the
+// candidate loop now uses to the full core.NeighborLocality recompute:
+// the traced before/after values must be bit-identical to what a rescan
+// of the final map reports (the tally is integer state, so no float
+// drift accumulates across swaps).
+func TestIncrementalLocalityMatchesFull(t *testing.T) {
+	c := testCluster(t, 8)
+	pol, _ := place.Lookup("lama")
+	req := request(c, 80)
+	base, err := place.Run(pol, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *Result
+	pl := &place.Pipeline{Policy: pol, Stages: []place.Stage{
+		&Stage{Critical: []int{0, 1, 2, 3, 4, 5}, MaxLocalityLoss: 1,
+			OnResult: func(r *Result) { res = r }},
+	}}
+	m, err := pl.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("OnResult never called")
+	}
+	if res.Swaps == 0 {
+		t.Fatal("want swaps so the tally actually updates incrementally")
+	}
+	if got, want := res.LocalityBefore, core.NeighborLocality(c, base); got != want {
+		t.Fatalf("LocalityBefore = %v, full recompute = %v", got, want)
+	}
+	if got, want := res.LocalityAfter, core.NeighborLocality(c, m); got != want {
+		t.Fatalf("LocalityAfter = %v, full recompute = %v", got, want)
+	}
+}

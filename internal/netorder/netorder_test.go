@@ -1,0 +1,309 @@
+package netorder
+
+import (
+	"reflect"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/netsim"
+	"lama/internal/place"
+	_ "lama/internal/place/all"
+	"lama/internal/torus"
+)
+
+func testCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	sp, ok := hw.Preset("fig2")
+	if !ok {
+		t.Fatal("fig2 preset missing")
+	}
+	return cluster.Homogeneous(n, sp)
+}
+
+func mapJob(t *testing.T, c *cluster.Cluster, np int) *core.Map {
+	t.Helper()
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// scatterMap spreads a ring's consecutive ranks across distant nodes so
+// the network passes have something to fix: ranks are dealt round-robin
+// over the nodes ("ncsbh"-style), the worst case for neighbor traffic.
+func scatterMap(t *testing.T, c *cluster.Cluster, np int) *core.Map {
+	t.Helper()
+	mapper, err := core.NewMapper(c, core.MustParseLayout("ncsbh"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func evalJ(t *testing.T, c *cluster.Cluster, mo *netsim.Model, tm *commpat.CSR, m *core.Map) float64 {
+	t.Helper()
+	rep, err := mo.EvaluateSparse(c, m, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.TotalTime
+}
+
+func TestRefineImprovesScatteredRing(t *testing.T) {
+	c := testCluster(t, 8)
+	np := 64
+	m := scatterMap(t, c, np)
+	mo := netsim.NewModel(netsim.NewFatTree(2))
+	tm := commpat.Ring(np, 4096).Sparse()
+
+	out, res, err := RefineMap(c, mo, tm, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("scattered ring should offer improving swaps")
+	}
+	if res.JAfter >= res.JBefore {
+		t.Fatalf("J did not improve: %g -> %g", res.JBefore, res.JAfter)
+	}
+	// The reported J values must match a from-scratch oracle evaluation.
+	if got := evalJ(t, c, mo, tm, out); !closeRel(got, res.JAfter) {
+		t.Fatalf("JAfter %g, oracle %g", res.JAfter, got)
+	}
+	if got := evalJ(t, c, mo, tm, m); !closeRel(got, res.JBefore) {
+		t.Fatalf("JBefore %g, oracle %g", res.JBefore, got)
+	}
+	// Rank permutation only: same multiset of processor claims.
+	if got, want := claimSet(out), claimSet(m); !reflect.DeepEqual(got, want) {
+		t.Fatal("refinement changed the processor claim set")
+	}
+	// Input map untouched.
+	if evalJ(t, c, mo, tm, m) != res.JBefore {
+		t.Fatal("input map mutated")
+	}
+}
+
+func closeRel(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return d <= 1e-9*scale || d <= 1e-9
+}
+
+func claimSet(m *core.Map) map[[2]int]int {
+	out := map[[2]int]int{}
+	for i := range m.Placements {
+		p := &m.Placements[i]
+		out[[2]int{p.Node, p.PU()}]++
+	}
+	return out
+}
+
+func TestRefineNoOpOnPackedRing(t *testing.T) {
+	c := testCluster(t, 4)
+	np := 48
+	m := mapJob(t, c, np) // packed: ring neighbors already adjacent
+	mo := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(np, 1024).Sparse()
+	out, res, err := RefineMap(c, mo, tm, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps == 0 && out != m {
+		t.Fatal("no-swap refinement must return the input map")
+	}
+	if res.JAfter > res.JBefore {
+		t.Fatalf("J regressed: %g -> %g", res.JBefore, res.JAfter)
+	}
+}
+
+// TestOrderNodesImprovesShuffledStencil builds a map whose node-groups
+// are deliberately mis-ordered on a fat-tree (consecutive groups land in
+// different leaves) and checks the ordering pass brings J down without
+// touching intra-node structure.
+func TestOrderNodesImprovesShuffledStencil(t *testing.T) {
+	c := testCluster(t, 8)
+	np := 96 // 12 PUs per fig2 node
+	m := mapJob(t, c, np)
+	// Shuffle which physical node hosts each group: 0..7 -> interleaved.
+	shuffle := []int{0, 4, 1, 5, 2, 6, 3, 7}
+	for i := range m.Placements {
+		p := &m.Placements[i]
+		old := p.Node
+		p.Node = shuffle[old]
+		p.NodeName = c.Nodes[shuffle[old]].Name
+		if p.Coords[hw.LevelMachine] >= 0 {
+			p.Coords[hw.LevelMachine] = shuffle[old]
+		}
+	}
+	mo := netsim.NewModel(netsim.NewFatTree(2))
+	tm := commpat.Ring(np, 8192).Sparse()
+
+	out, res, err := OrderNodes(c, mo, tm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovedNodes == 0 || res.JAfter >= res.JBefore {
+		t.Fatalf("ordering did not help: %+v", res)
+	}
+	if got := evalJ(t, c, mo, tm, out); !closeRel(got, res.JAfter) {
+		t.Fatalf("JAfter %g, oracle %g", res.JAfter, got)
+	}
+	if got, want := len(out.Placements), len(m.Placements); got != want {
+		t.Fatalf("rank count changed: %d -> %d", want, got)
+	}
+	// Groups moved wholesale: per-node rank sets permute, PU claims ride
+	// along unchanged.
+	for i := range out.Placements {
+		if out.Placements[i].PU() != m.Placements[i].PU() {
+			t.Fatalf("rank %d changed PU", i)
+		}
+	}
+}
+
+func TestOrderNodesRevertsWhenNoGain(t *testing.T) {
+	c := testCluster(t, 4)
+	np := 48
+	m := mapJob(t, c, np) // already contiguous: ordering cannot help a flat net
+	mo := netsim.NewModel(netsim.NewFlat())
+	tm := commpat.Ring(np, 1024).Sparse()
+	out, res, err := OrderNodes(c, mo, tm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovedNodes != 0 && res.JAfter >= res.JBefore {
+		t.Fatalf("kept a non-improving permutation: %+v", res)
+	}
+	if res.MovedNodes == 0 && out != m {
+		t.Fatal("no-move ordering must return the input map")
+	}
+}
+
+// TestDeterminism pins byte-identical repeatability: same inputs, same
+// outputs, across repeated runs of ordering, refinement, and the staged
+// pipeline (swap tie-breaking is first-minimal, ordering tie-breaking is
+// lowest-index, so nothing depends on map iteration or randomness).
+func TestDeterminism(t *testing.T) {
+	c := testCluster(t, 8)
+	np := 64
+	mo := netsim.NewModel(netsim.NewDragonfly(2))
+	tm := commpat.Ring(np, 4096).Sparse()
+
+	type outcome struct {
+		placements []core.Placement
+		order      Result
+		refine     RefineResult
+	}
+	run := func() outcome {
+		m := scatterMap(t, c, np)
+		o1, r1, err := OrderNodes(c, mo, tm, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, r2, err := RefineMap(c, mo, tm, o1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{o2.Placements, *r1, *r2}
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		again := run()
+		if !reflect.DeepEqual(first.order, again.order) {
+			t.Fatalf("order result differs: %+v vs %+v", first.order, again.order)
+		}
+		if !reflect.DeepEqual(first.refine, again.refine) {
+			t.Fatalf("refine result differs: %+v vs %+v", first.refine, again.refine)
+		}
+		if len(first.placements) != len(again.placements) {
+			t.Fatal("length differs")
+		}
+		for r := range first.placements {
+			a, b := &first.placements[r], &again.placements[r]
+			if a.Node != b.Node || a.PU() != b.PU() {
+				t.Fatalf("rank %d placement differs: %d/%d vs %d/%d",
+					r, a.Node, a.PU(), b.Node, b.PU())
+			}
+		}
+	}
+}
+
+// TestStagesComposeWithPolicies runs netorder.Stage + Refine as pipeline
+// post-passes behind registered policies, on both fat-tree and torus.
+func TestStagesComposeWithPolicies(t *testing.T) {
+	nets := map[string]netsim.Network{
+		"fat-tree": netsim.NewFatTree(2),
+		"torus":    netsim.NewTorus3D(torus.Dims{X: 4, Y: 2, Z: 1}),
+	}
+	for nname, net := range nets {
+		for _, policy := range []string{"lama", "by-slot"} {
+			t.Run(nname+"/"+policy, func(t *testing.T) {
+				c := testCluster(t, 8)
+				pol, ok := place.Lookup(policy)
+				if !ok {
+					t.Fatalf("policy %q not registered", policy)
+				}
+				np := 64
+				req := &place.Request{
+					Cluster: c, NP: np, Layout: core.MustParseLayout("ncsbh"),
+					Traffic: commpat.Ring(np, 4096),
+				}
+				var or *Result
+				var rr *RefineResult
+				pl := &place.Pipeline{Policy: pol, Stages: []place.Stage{
+					&Stage{Net: net, OnResult: func(r *Result) { or = r }},
+					&Refine{Net: net, OnResult: func(r *RefineResult) { rr = r }},
+				}}
+				m, err := pl.Run(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if or == nil || rr == nil {
+					t.Fatal("stage results not reported")
+				}
+				if m.NumRanks() != np {
+					t.Fatalf("rank count %d", m.NumRanks())
+				}
+				if rr.JAfter > or.JAfter+1e-9 {
+					t.Fatalf("refine regressed J: order %g, refine %g", or.JAfter, rr.JAfter)
+				}
+			})
+		}
+	}
+}
+
+func TestStageNeedsTraffic(t *testing.T) {
+	c := testCluster(t, 2)
+	req := &place.Request{Cluster: c, NP: 4, Layout: core.MustParseLayout("csbnh")}
+	m := mapJob(t, c, 4)
+	st := &Stage{Net: netsim.NewFlat()}
+	if _, err := st.Apply(req, m); err == nil {
+		t.Fatal("stage without traffic must error")
+	}
+	rf := &Refine{Net: netsim.NewFlat()}
+	if _, err := rf.Apply(req, m); err == nil {
+		t.Fatal("refine without traffic must error")
+	}
+	none := &Stage{}
+	req.Traffic = commpat.Ring(4, 1)
+	if _, err := none.Apply(req, m); err == nil {
+		t.Fatal("stage without network must error")
+	}
+}

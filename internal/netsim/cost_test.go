@@ -1,0 +1,389 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/hw"
+	"lama/internal/torus"
+)
+
+// relClose compares with relative tolerance: bytes*invBW vs bytes/BW
+// differ by ulps, and the differential tests sum many such terms.
+func relClose(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// testNetworks builds one of each network kind sized for n nodes.
+func testNetworks(t *testing.T, n int) map[string]Network {
+	t.Helper()
+	lat := make([][]float64, n)
+	bw := make([][]float64, n)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		lat[i] = make([]float64, n)
+		bw[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				bw[i][j] = 1
+				continue
+			}
+			lat[i][j] = 0.5 + float64((i+j)%3)
+			bw[i][j] = 1000 + 500*float64(r.Intn(3))
+		}
+	}
+	mn, err := NewMatrixNet(lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Network{
+		"flat":      NewFlat(),
+		"fat-tree":  NewFatTree(2),
+		"dragonfly": NewDragonfly(2),
+		"torus":     NewTorus3D(torus.FitDims(n)),
+		"matrix":    mn,
+	}
+}
+
+func TestDistancesMatchNetworks(t *testing.T) {
+	const n = 8
+	for name, net := range testNetworks(t, n) {
+		d, err := NewDistances(net, n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if got, want := int(d.Hops(a, b)), net.Hops(a, b); got != want {
+					t.Fatalf("%s hops(%d,%d) = %d, want %d", name, a, b, got, want)
+				}
+				const bytes = 4096
+				want := net.Latency(a, b) + bytes/net.Bandwidth(a, b)
+				if a == b {
+					want = net.Latency(a, b) // self pairs carry no transfer cost
+				}
+				if got := d.PairCost(a, b, bytes); !relClose(got, want, 1e-12) {
+					t.Fatalf("%s paircost(%d,%d) = %g, want %g", name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDistancesRejectsHugeMatrixNet(t *testing.T) {
+	lat := [][]float64{{0, 1}, {1, 0}}
+	bw := [][]float64{{1, 1}, {1, 1}}
+	mn, err := NewMatrixNet(lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDistances(mn, MaxPairNodes+1); err == nil {
+		t.Fatal("want error past MaxPairNodes")
+	}
+}
+
+// testClusters returns the placement substrates the differential tests
+// run over: homogeneous, heterogeneous, and one with a failed node.
+func testClusters(t *testing.T) map[string]*cluster.Cluster {
+	t.Helper()
+	fig2, _ := hw.Preset("fig2")
+	neh, _ := hw.Preset("nehalem-ep")
+	hetero := cluster.FromSpecs(fig2, neh, fig2, neh, fig2, neh)
+	failed := cluster.Homogeneous(6, fig2)
+	if !failed.FailNode(2) {
+		t.Fatal("FailNode")
+	}
+	return map[string]*cluster.Cluster{
+		"homog":  cluster.Homogeneous(6, fig2),
+		"hetero": hetero,
+		"failed": failed,
+	}
+}
+
+func testTraffic(np int) map[string]*commpat.CSR {
+	out := map[string]*commpat.CSR{
+		"alltoall": commpat.AllToAll(np, 512).Sparse(),
+		"random":   commpat.RandomPairs(np, 3*np, 2048, 42).Sparse(),
+	}
+	for _, sp := range commpat.SparsePatterns() {
+		out[sp.Name] = sp.Gen(np, 1024)
+	}
+	return out
+}
+
+func TestCostMatchesEvaluate(t *testing.T) {
+	for cname, c := range testClusters(t) {
+		np := c.TotalSlots()
+		if np > 48 {
+			np = 48
+		}
+		m := mapJob(t, c, "csbnh", np)
+		for nname, net := range testNetworks(t, c.NumNodes()) {
+			mo := NewModel(net)
+			for pname, tm := range testTraffic(np) {
+				rep, err := mo.EvaluateSparse(c, m, tm)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", cname, nname, pname, err)
+				}
+				cost, err := NewCost(c, mo, tm, m)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", cname, nname, pname, err)
+				}
+				if !relClose(cost.J(), rep.TotalTime, 1e-9) {
+					t.Fatalf("%s/%s/%s: J = %g, Evaluate = %g",
+						cname, nname, pname, cost.J(), rep.TotalTime)
+				}
+				if !relClose(cost.Recompute(), cost.J(), 1e-12) {
+					t.Fatalf("%s/%s/%s: Recompute drifted", cname, nname, pname)
+				}
+			}
+		}
+	}
+}
+
+// swapMapPlacements mirrors netorder's placement swap for the oracle map.
+func swapMapPlacements(m *core.Map, a, b int) {
+	pa, pb := &m.Placements[a], &m.Placements[b]
+	*pa, *pb = *pb, *pa
+	pa.Rank, pb.Rank = a, b
+}
+
+func cloneMap(m *core.Map) *core.Map {
+	out := &core.Map{Layout: m.Layout, Sweeps: m.Sweeps,
+		Placements: append([]core.Placement(nil), m.Placements...)}
+	return out
+}
+
+func TestDeltaSwapDifferential(t *testing.T) {
+	for cname, c := range testClusters(t) {
+		np := c.TotalSlots()
+		if np > 36 {
+			np = 36
+		}
+		m := mapJob(t, c, "csbnh", np)
+		for nname, net := range testNetworks(t, c.NumNodes()) {
+			mo := NewModel(net)
+			for pname, tm := range testTraffic(np) {
+				cost, err := NewCost(c, mo, tm, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := cloneMap(m)
+				r := rand.New(rand.NewSource(99))
+				for step := 0; step < 40; step++ {
+					a, b := r.Intn(np), r.Intn(np)
+					d := cost.DeltaSwap(a, b)
+					if got := cost.ApplySwap(a, b); got != d {
+						t.Fatalf("ApplySwap delta mismatch")
+					}
+					swapMapPlacements(oracle, a, b)
+					rep, err := mo.EvaluateSparse(c, oracle, tm)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !relClose(cost.J(), rep.TotalTime, 1e-9) {
+						t.Fatalf("%s/%s/%s step %d swap(%d,%d): J = %g, oracle = %g",
+							cname, nname, pname, step, a, b, cost.J(), rep.TotalTime)
+					}
+					if !relClose(cost.J(), cost.Recompute(), 1e-9) {
+						t.Fatalf("%s/%s/%s step %d: J drifted from Recompute", cname, nname, pname, step)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaMoveDifferential(t *testing.T) {
+	for cname, c := range testClusters(t) {
+		np := c.TotalSlots() / 2 // leave headroom so moves have free PUs
+		if np > 24 {
+			np = 24
+		}
+		m := mapJob(t, c, "csbnh", np)
+		for nname, net := range testNetworks(t, c.NumNodes()) {
+			mo := NewModel(net)
+			tm := commpat.RandomPairs(np, 2*np, 1024, 5).Sparse()
+			cost, err := NewCost(c, mo, tm, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle := cloneMap(m)
+			r := rand.New(rand.NewSource(17))
+			moved := 0
+			for step := 0; step < 60; step++ {
+				rk := r.Intn(np)
+				node := r.Intn(c.NumNodes())
+				pus := c.Node(node).Topo.Objects(hw.LevelPU)
+				pu := pus[r.Intn(len(pus))].OS
+				d, ok := cost.DeltaMove(rk, node, pu)
+				if !ok {
+					continue
+				}
+				if got, ok2 := cost.ApplyMove(rk, node, pu); !ok2 || got != d {
+					t.Fatalf("ApplyMove mismatch")
+				}
+				moved++
+				oracle.Placements[rk].Node = node
+				oracle.Placements[rk].NodeName = c.Nodes[node].Name
+				oracle.Placements[rk].PUs = []int{pu}
+				rep, err := mo.EvaluateSparse(c, oracle, tm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !relClose(cost.J(), rep.TotalTime, 1e-9) {
+					t.Fatalf("%s/%s step %d move(%d->%d/%d): J = %g, oracle = %g",
+						cname, nname, step, rk, node, pu, cost.J(), rep.TotalTime)
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("%s/%s: no move applied", cname, nname)
+			}
+		}
+	}
+}
+
+func TestDeltaMoveRejectsUnknownPU(t *testing.T) {
+	c := testClusters(t)["homog"]
+	m := mapJob(t, c, "csbnh", 12)
+	tm := commpat.Ring(12, 100).Sparse()
+	cost, err := NewCost(c, NewModel(NewFlat()), tm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cost.DeltaMove(0, 0, 9999); ok {
+		t.Fatal("unknown PU accepted")
+	}
+	if _, ok := cost.DeltaMove(0, -1, 0); ok {
+		t.Fatal("bad node accepted")
+	}
+}
+
+func TestDeltaSwapTrivial(t *testing.T) {
+	c := testClusters(t)["homog"]
+	m := mapJob(t, c, "csbnh", 12)
+	tm := commpat.Ring(12, 100).Sparse()
+	cost, err := NewCost(c, NewModel(NewFlat()), tm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cost.DeltaSwap(3, 3); d != 0 {
+		t.Fatalf("self swap delta %g", d)
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	c := testClusters(t)["homog"]
+	m := mapJob(t, c, "csbnh", 12)
+	mo := NewModel(NewFlat())
+	if _, err := NewCost(c, mo, commpat.Ring(8, 1).Sparse(), m); err == nil ||
+		!strings.Contains(err.Error(), "traffic has") {
+		t.Fatalf("rank mismatch: %v", err)
+	}
+	if _, err := NewCost(nil, mo, commpat.Ring(12, 1).Sparse(), m); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+}
+
+// TestDeltaAllocationFree pins the hot path: pricing and applying swaps
+// and moves allocates nothing in steady state.
+func TestDeltaAllocationFree(t *testing.T) {
+	c := testClusters(t)["homog"]
+	np := 24
+	m := mapJob(t, c, "csbnh", np)
+	tm := commpat.RandomPairs(np, 3*np, 1024, 3).Sparse()
+	cost, err := NewCost(c, NewModel(NewFatTree(2)), tm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		a, b := i%np, (i*7+3)%np
+		cost.DeltaSwap(a, b)
+		cost.ApplySwap(a, b)
+		cost.ApplySwap(a, b) // undo, keeping state bounded
+		cost.DeltaMove(a, cost.NodeOf(b), cost.PUOf(b))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("delta path allocates %v per op, want 0", allocs)
+	}
+}
+
+func benchSetup(b *testing.B, np int) (*cluster.Cluster, *Model, *commpat.CSR, *core.Map) {
+	b.Helper()
+	sp, _ := hw.Preset("nehalem-ep")
+	nodes := np / 16
+	if nodes < 1 {
+		nodes = 1
+	}
+	c := cluster.Homogeneous(nodes, sp)
+	mapper, err := core.NewMapper(c, core.MustParseLayout("csbnh"), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapper.Map(np)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, _ := commpat.SparseByName("ring")
+	return c, NewModel(NewDragonfly(8)), gen(np, 4096), m
+}
+
+// BenchmarkDeltaSwap vs BenchmarkEvaluateFull is the tentpole's perf
+// claim: pricing one candidate swap costs O(degree), independent of np,
+// while a full evaluation is O(nnz).
+func BenchmarkDeltaSwap(b *testing.B) {
+	for _, np := range []int{1024, 8192, 65536} {
+		b.Run(itoa(np), func(b *testing.B) {
+			c, mo, tm, m := benchSetup(b, np)
+			cost, err := NewCost(c, mo, tm, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cost.DeltaSwap(i%np, (i*31+7)%np)
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluateFull(b *testing.B) {
+	for _, np := range []int{1024, 8192, 65536} {
+		b.Run(itoa(np), func(b *testing.B) {
+			c, mo, tm, m := benchSetup(b, np)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mo.EvaluateSparse(c, m, tm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"fmt"
+)
+
+// Distances is the flat, cache-friendly inter-node distance provider: a
+// Network's Latency/Bandwidth/Hops surface precomputed into int32 hop
+// classes and per-class cost arrays, in the style of core's prunedShape.
+// Hot placement loops ask for a pair's class with pure integer
+// arithmetic — no interface dispatch, no allocation — and index the
+// per-class latency / inverse-bandwidth / hop arrays directly.
+//
+// Class 0 is always the self pair (zero cost). The structured models map
+// to tiny class sets: Flat has {self, other}; FatTree and Dragonfly have
+// {self, intra-partition, inter-partition} keyed by a per-node partition
+// id; Torus3D's class is the wrap-around Manhattan hop distance computed
+// from packed per-node coordinates. MatrixNet and unknown Network
+// implementations fall back to a probed n×n class table (bounded by
+// MaxPairNodes) that dedupes distinct (latency, bandwidth, hops) triples.
+type Distances struct {
+	n    int
+	kind distKind
+
+	// Per-class cost tables, indexed by the value Class returns.
+	lat   []float64 // one-way latency, µs
+	invBW []float64 // µs per byte (1/bandwidth)
+	hops  []int32
+
+	part  []int32 // kindPartition: node -> partition id
+	coord []int32 // kindTorus: packed x,y,z per node
+	dims  [3]int32
+	pair  []int32 // kindPair: n*n -> class
+}
+
+type distKind uint8
+
+const (
+	distUniform distKind = iota
+	distPartition
+	distTorus
+	distPair
+)
+
+// MaxPairNodes bounds the n×n fallback class table built for MatrixNet
+// and unknown Network implementations; past it the table alone would
+// dominate memory, and a structured model (flat / fat-tree / torus /
+// dragonfly) must be used instead.
+const MaxPairNodes = 4096
+
+// NewDistances precomputes the distance provider for numNodes nodes of
+// the given network. Structured models build in O(n); table-backed and
+// unknown models probe all n² pairs (and are rejected past MaxPairNodes).
+func NewDistances(net Network, numNodes int) (*Distances, error) {
+	if net == nil {
+		return nil, fmt.Errorf("netsim: distances need a network model")
+	}
+	if numNodes <= 0 {
+		return nil, fmt.Errorf("netsim: distances need a positive node count, got %d", numNodes)
+	}
+	d := &Distances{n: numNodes}
+	switch nt := net.(type) {
+	case *Flat:
+		d.kind = distUniform
+		d.lat = []float64{0, nt.Lat}
+		d.invBW = []float64{0, 1 / nt.BW}
+		d.hops = []int32{0, 1}
+	case *FatTree:
+		if nt.LeafSize <= 0 {
+			return nil, fmt.Errorf("netsim: fat-tree leaf size %d", nt.LeafSize)
+		}
+		ov := nt.Oversub
+		if ov < 1 {
+			ov = 1
+		}
+		d.kind = distPartition
+		d.part = make([]int32, numNodes)
+		for i := 0; i < numNodes; i++ {
+			d.part[i] = int32(nt.leaf(i))
+		}
+		d.lat = []float64{0, 2 * nt.LinkLat, 4 * nt.LinkLat}
+		d.invBW = []float64{0, 1 / nt.BW, ov / nt.BW}
+		d.hops = []int32{0, 2, 4}
+	case *Dragonfly:
+		taper := nt.Taper
+		if taper < 1 {
+			taper = 1
+		}
+		d.kind = distPartition
+		d.part = make([]int32, numNodes)
+		for i := 0; i < numNodes; i++ {
+			d.part[i] = int32(nt.group(i))
+		}
+		d.lat = []float64{0, nt.LocalLat, 2*nt.LocalLat + nt.GlobalLat}
+		d.invBW = []float64{0, 1 / nt.BW, taper / nt.BW}
+		d.hops = []int32{0, 1, 3}
+	case *Torus3D:
+		if err := nt.Dims.Validate(); err != nil {
+			return nil, err
+		}
+		d.kind = distTorus
+		d.dims = [3]int32{int32(nt.Dims.X), int32(nt.Dims.Y), int32(nt.Dims.Z)}
+		d.coord = make([]int32, 3*numNodes)
+		for i := 0; i < numNodes; i++ {
+			c := nt.Dims.CoordOf(i)
+			d.coord[3*i+0] = int32(c.X)
+			d.coord[3*i+1] = int32(c.Y)
+			d.coord[3*i+2] = int32(c.Z)
+		}
+		maxHop := d.torusMaxHop()
+		d.lat = make([]float64, maxHop+1)
+		d.invBW = make([]float64, maxHop+1)
+		d.hops = make([]int32, maxHop+1)
+		for h := 0; h <= maxHop; h++ {
+			d.lat[h] = float64(h) * nt.LinkLat
+			d.invBW[h] = 1 / nt.BW
+			d.hops[h] = int32(h)
+		}
+		d.invBW[0] = 0
+	default:
+		// MatrixNet and anything else: probe every ordered pair and
+		// dedupe distinct cost triples into classes.
+		if numNodes > MaxPairNodes {
+			return nil, fmt.Errorf("netsim: %s needs an n x n distance table but n=%d exceeds %d; use a structured network model at this scale",
+				net.Name(), numNodes, MaxPairNodes)
+		}
+		d.kind = distPair
+		d.pair = make([]int32, numNodes*numNodes)
+		type costKey struct {
+			lat, bw float64
+			hops    int
+		}
+		classes := map[costKey]int32{{0, 0, 0}: 0}
+		d.lat = []float64{0}
+		d.invBW = []float64{0}
+		d.hops = []int32{0}
+		for a := 0; a < numNodes; a++ {
+			for b := 0; b < numNodes; b++ {
+				if a == b {
+					continue
+				}
+				bw := net.Bandwidth(a, b)
+				if bw <= 0 {
+					return nil, fmt.Errorf("netsim: %s has non-positive bandwidth %d->%d", net.Name(), a, b)
+				}
+				key := costKey{net.Latency(a, b), bw, net.Hops(a, b)}
+				cl, ok := classes[key]
+				if !ok {
+					cl = int32(len(d.lat))
+					classes[key] = cl
+					d.lat = append(d.lat, key.lat)
+					d.invBW = append(d.invBW, 1/key.bw)
+					d.hops = append(d.hops, int32(key.hops))
+				}
+				d.pair[a*numNodes+b] = cl
+			}
+		}
+	}
+	return d, nil
+}
+
+// torusMaxHop bounds the torus hop-class count: the largest per-axis
+// wrap distance over the coordinate values actually present, summed over
+// axes. Distinct values per axis are few (at most the axis size for
+// in-range clusters), so the pairwise scan is cheap.
+func (d *Distances) torusMaxHop() int {
+	total := 0
+	for axis := 0; axis < 3; axis++ {
+		var vals []int32
+		for i := 0; i < d.n; i++ {
+			v := d.coord[3*i+axis]
+			seen := false
+			for _, u := range vals {
+				if u == v {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				vals = append(vals, v)
+			}
+		}
+		max := int32(0)
+		for x, a := range vals {
+			for _, b := range vals[x+1:] {
+				if h := axisDist32(a, b, d.dims[axis]); h > max {
+					max = h
+				}
+			}
+		}
+		total += int(max)
+	}
+	return total
+}
+
+// axisDist32 is torus.axisDist over int32: wrap-around distance along one
+// axis.
+//lama:hotpath
+func axisDist32(a, b, size int32) int32 {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if wrap := size - diff; wrap < diff && wrap >= 0 {
+		return wrap
+	}
+	return diff
+}
+
+// NumNodes returns the node count the provider was built for.
+func (d *Distances) NumNodes() int { return d.n }
+
+// NumClasses returns the number of distance classes (including self).
+func (d *Distances) NumClasses() int { return len(d.lat) }
+
+// Class returns the distance class of a node pair. Class 0 is the self
+// pair. Out-of-range nodes panic (hot path; validate at build time).
+//lama:hotpath
+func (d *Distances) Class(a, b int) int32 {
+	if a == b {
+		return 0
+	}
+	switch d.kind {
+	case distUniform:
+		return 1
+	case distPartition:
+		if d.part[a] == d.part[b] {
+			return 1
+		}
+		return 2
+	case distTorus:
+		return axisDist32(d.coord[3*a], d.coord[3*b], d.dims[0]) +
+			axisDist32(d.coord[3*a+1], d.coord[3*b+1], d.dims[1]) +
+			axisDist32(d.coord[3*a+2], d.coord[3*b+2], d.dims[2])
+	default:
+		return d.pair[a*d.n+b]
+	}
+}
+
+// Lat returns a class's one-way latency in µs.
+//lama:hotpath
+func (d *Distances) Lat(class int32) float64 { return d.lat[class] }
+
+// InvBW returns a class's inverse bandwidth in µs per byte.
+//lama:hotpath
+func (d *Distances) InvBW(class int32) float64 { return d.invBW[class] }
+
+// HopsOf returns a class's link count.
+//lama:hotpath
+func (d *Distances) HopsOf(class int32) int32 { return d.hops[class] }
+
+// Hops returns the link count between two nodes.
+//lama:hotpath
+func (d *Distances) Hops(a, b int) int32 { return d.hops[d.Class(a, b)] }
+
+// PairCost returns latency + bytes·invBW for one inter-node exchange.
+//lama:hotpath
+func (d *Distances) PairCost(a, b int, bytes float64) float64 {
+	cl := d.Class(a, b)
+	return d.lat[cl] + bytes*d.invBW[cl]
+}
+
+// Distances builds the flat distance provider for this model's network
+// over numNodes nodes. Construction is O(n) for the structured models;
+// see NewDistances for the table-backed fallback's bounds.
+func (mo *Model) Distances(numNodes int) (*Distances, error) {
+	return NewDistances(mo.Net, numNodes)
+}

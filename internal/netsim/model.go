@@ -87,8 +87,20 @@ func (mo *Model) PairCost(c *cluster.Cluster, m *core.Map, a, b int, bytes float
 }
 
 // Evaluate computes the full report for a traffic matrix under a mapping.
-// The matrix rank count must match the map's.
+// The matrix rank count must match the map's. Evaluation runs over the
+// matrix's CSR view — nonzeros only — visiting the same pairs in the
+// same order as the dense iteration did, so reports are unchanged.
 func (mo *Model) Evaluate(c *cluster.Cluster, m *core.Map, tm *commpat.Matrix) (*Report, error) {
+	if tm.Ranks() != m.NumRanks() {
+		return nil, fmt.Errorf("netsim: traffic has %d ranks, map has %d", tm.Ranks(), m.NumRanks())
+	}
+	return mo.EvaluateSparse(c, m, tm.Sparse())
+}
+
+// EvaluateSparse computes the full report for CSR traffic under a
+// mapping — the scale path: at 100k+ ranks sparse traffic is the only
+// representable form. The traffic rank count must match the map's.
+func (mo *Model) EvaluateSparse(c *cluster.Cluster, m *core.Map, tm *commpat.CSR) (*Report, error) {
 	if tm.Ranks() != m.NumRanks() {
 		return nil, fmt.Errorf("netsim: traffic has %d ranks, map has %d", tm.Ranks(), m.NumRanks())
 	}

@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lama/internal/torus"
+)
+
+// ParseNetwork resolves a CLI network spec into a model. Accepted forms:
+//
+//	flat
+//	fat-tree | fattree | fat-tree:N | fattree:N   (N = leaf size, default 4)
+//	dragonfly | dragonfly:N                       (N = group size, default 4)
+//	torus | torus:XxYxZ                           (default dims fit numNodes)
+//
+// numNodes only matters for the parameter-free torus form, which sizes
+// its dimensions with torus.FitDims.
+func ParseNetwork(spec string, numNodes int) (Network, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "flat":
+		if arg != "" {
+			return nil, fmt.Errorf("netsim: flat takes no parameter, got %q", spec)
+		}
+		return NewFlat(), nil
+	case "fat-tree", "fattree":
+		leaf := 4
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("netsim: bad fat-tree leaf size %q", arg)
+			}
+			leaf = v
+		}
+		return NewFatTree(leaf), nil
+	case "dragonfly":
+		group := 4
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("netsim: bad dragonfly group size %q", arg)
+			}
+			group = v
+		}
+		return NewDragonfly(group), nil
+	case "torus":
+		if arg == "" {
+			return NewTorus3D(torus.FitDims(numNodes)), nil
+		}
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("netsim: torus dims must be XxYxZ, got %q", arg)
+		}
+		var d [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("netsim: bad torus dimension %q in %q", p, arg)
+			}
+			d[i] = v
+		}
+		return NewTorus3D(torus.Dims{X: d[0], Y: d[1], Z: d[2]}), nil
+	}
+	return nil, fmt.Errorf("netsim: unknown network %q (want flat, fat-tree[:leaf], dragonfly[:group], torus[:XxYxZ])", spec)
+}

@@ -31,6 +31,9 @@ const (
 	// SrcFaultAware is the fault-aware placement stage
 	// (faultaware.Stage's critical-rank domain spread).
 	SrcFaultAware = "faultaware"
+	// SrcNetSim is the network-aware placement machinery (the netorder
+	// node-ordering stage and its delta-J swap refinement).
+	SrcNetSim = "netsim"
 )
 
 // Event names: the "event" key, scoped by source in the vocabulary table.
@@ -81,6 +84,12 @@ const (
 	// EvGrow is the supervisor's elastic expand operation (EvShrink, shared
 	// with the failure-shrink policy, is its release counterpart).
 	EvGrow = "grow"
+	// EvOrder reports one netorder node-ordering pass: the network-aware
+	// node permutation and the J objective before/after.
+	EvOrder = "order"
+	// EvRefine reports one delta-J pairwise-swap refinement pass: swaps
+	// applied, sweeps run, and the J objective before/after.
+	EvRefine = "refine"
 )
 
 // Phase span names (PhaseTimer labels). Pipeline stages span under their
@@ -103,6 +112,11 @@ const (
 	SpanFaultAware = "faultaware"
 	// SpanGenerate is topogen's cluster construction phase.
 	SpanGenerate = "generate"
+	// SpanNetOrder is the network-aware node-ordering post-pass stage.
+	SpanNetOrder = "netorder"
+	// SpanNetRefine is the delta-J pairwise-swap refinement post-pass
+	// stage.
+	SpanNetRefine = "netrefine"
 )
 
 // VocabEntry is one registered (source, name) event pair.
@@ -148,6 +162,9 @@ var vocab = []VocabEntry{
 
 	{SrcFaultAware, EvSpread},
 
+	{SrcNetSim, EvOrder},
+	{SrcNetSim, EvRefine},
+
 	{SrcTopogen, EvGenerate},
 }
 
@@ -155,6 +172,7 @@ var vocab = []VocabEntry{
 var spanNames = []string{
 	SpanPrune, SpanBuildShape, SpanSweep, SpanPlace,
 	SpanBind, SpanLaunch, SpanReorder, SpanFaultAware, SpanGenerate,
+	SpanNetOrder, SpanNetRefine,
 }
 
 // Vocabulary returns the registered (source, name) pairs sorted by
