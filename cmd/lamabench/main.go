@@ -19,8 +19,6 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"runtime"
-	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -146,22 +144,6 @@ func parseReport(data []byte) (*jsonReport, error) {
 	}
 }
 
-// gitRevision extracts the vcs.revision the Go toolchain stamped into the
-// build, if any (test binaries and plain `go run` outside a module often
-// have none).
-func gitRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	for _, s := range info.Settings {
-		if s.Key == "vcs.revision" {
-			return s.Value
-		}
-	}
-	return ""
-}
-
 // jsonExperiment is one experiment's timing record.
 type jsonExperiment struct {
 	ID          string  `json:"id"`
@@ -207,12 +189,15 @@ func run(args []string, out io.Writer) error {
 		for _, e := range exper.All() {
 			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Exhibit)
 		}
-		return nil
+		return closeObs()
 	}
 
+	// The provenance header and the /metrics lama_build_info gauge draw
+	// from the same source, so report and scrape identify builds alike.
+	build := obs.CurrentBuildInfo()
 	report := jsonReport{
 		Schema: reportSchema, Full: *full, Seed: *seed,
-		GoVersion: runtime.Version(), GitRevision: gitRevision(), NumCPU: runtime.NumCPU(),
+		GoVersion: build.GoVersion, GitRevision: build.GitRevision, NumCPU: build.NumCPU,
 	}
 	if report.Lint, err = lintProvenance(*lintMode); err != nil {
 		return err

@@ -12,6 +12,10 @@
 // The -cluster form is "<nodes>x<spec>", where <spec> is a preset name or
 // colon form accepted by the topology parser. Arguments after "--" are
 // mpirun-style options (see internal/mpirun).
+//
+// The shared observability flags apply: -trace-out / -metrics-out record
+// the run, and -listen serves it live (/metrics, /events, /debug/pprof)
+// while it executes.
 package main
 
 import (

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"lama/internal/bind"
 	"lama/internal/cluster"
@@ -33,6 +34,7 @@ type churnConfig struct {
 	resizeDelta    int
 	critical       int
 	maxRestarts    int
+	stepDelay      time.Duration
 }
 
 // runChurn is the long-horizon elasticity-under-failures scenario: a pool
@@ -108,6 +110,7 @@ func runChurn(out io.Writer, sp hw.Spec, obsFlags *obs.CLIFlags, o *obs.Observer
 			Policy:          orte.FTRespawn,
 			MaxRestarts:     cfg.maxRestarts,
 			DetectionWindow: cfg.detect,
+			StepDelay:       cfg.stepDelay,
 		},
 		SpareProvider: func(failedNode int) (int, error) {
 			res, err := mgr.Realloc(alloc, granted.Nodes[failedNode].Name,

@@ -13,6 +13,12 @@
 // the recovery pipeline's metrics:
 //
 //	lamasim -np 64 -nodes 8 --ft=respawn --spares=1 -fail-node 0 -fail-step 10
+//
+// With -listen the run serves its telemetry live while it executes
+// (/metrics, /metrics.json, /events, /debug/pprof); combine with
+// -step-delay to stretch a churn run long enough to scrape:
+//
+//	lamasim -churn -steps 2000 -step-delay 10ms -listen 127.0.0.1:8321
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"lama/internal/appsim"
 	"lama/internal/bind"
@@ -69,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	spares := fs.Int("spares", 0, "whole spare nodes to reserve (-ft)")
 	maxRestarts := fs.Int("max-restarts", 1, "respawn budget, negative = unlimited (-ft)")
 	steps := fs.Int("steps", 50, "virtual scheduler steps (-ft)")
+	stepDelay := fs.Duration("step-delay", 0, "wall-clock sleep per virtual step (-ft/-churn), so -listen scrapers can watch the run live")
 	failNode := fs.Int("fail-node", -1, "inject: fail this node at -fail-step (-ft)")
 	failRank := fs.Int("fail-rank", -1, "inject: crash this rank at -fail-step (-ft)")
 	failStep := fs.Int("fail-step", 10, "inject: failure step (-ft)")
@@ -108,6 +116,7 @@ func run(args []string, out io.Writer) error {
 			chassisSize: *chassisSize, rackSize: *rackSize,
 			resizePeriod: *resizePeriod, resizeDelta: *resizeDelta,
 			critical: *critical, maxRestarts: *maxRestarts,
+			stepDelay: *stepDelay,
 		})
 	}
 	if *ft != "" {
@@ -116,6 +125,7 @@ func run(args []string, out io.Writer) error {
 			policy: *ft, spares: *spares, maxRestarts: *maxRestarts,
 			steps: *steps, failNode: *failNode, failRank: *failRank,
 			failStep: *failStep, mtbf: *mtbf, seed: *seed, detect: *detect,
+			stepDelay: *stepDelay,
 		})
 	}
 	c := cluster.Homogeneous(*nodes, sp)
@@ -413,6 +423,7 @@ type ftConfig struct {
 	mtbf                float64
 	seed                int64
 	detect              int
+	stepDelay           time.Duration
 }
 
 // runFT drives the full fault-tolerance pipeline: allocate compute nodes
@@ -445,6 +456,7 @@ func runFT(out io.Writer, sp hw.Spec, obsFlags *obs.CLIFlags, o *obs.Observer,
 			Policy:          policy,
 			MaxRestarts:     cfg.maxRestarts,
 			DetectionWindow: cfg.detect,
+			StepDelay:       cfg.stepDelay,
 		},
 		SpareProvider: func(failedNode int) (int, error) {
 			res, err := mgr.Realloc(alloc, alloc.Granted.Nodes[failedNode].Name,

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func reportWithPhase(placeUs float64, stalls int64) string {
+	return fmt.Sprintf(`{
+	  "schema": "runreport/v1", "tool": "lamasim",
+	  "phaseTotalsUs": {"place": %g, "prune": 5},
+	  "metrics": {
+	    "counters": {"lama_map_stalls_total": %d, "lama_maps_total": 3},
+	    "histograms": {"lama_map_duration_us": {
+	      "buckets": [{"le":"+Inf","count":1}], "sum": %g, "count": 1}}
+	  }
+	}`, placeUs, stalls, placeUs)
+}
+
+func benchWith(wall, pps, total float64) string {
+	return fmt.Sprintf(`{
+	  "schema": "lamabench/v2",
+	  "experiments": [{"id":"E1","exhibit":"x","wallSeconds":%g,"placementsPerSec":%g}],
+	  "totalSeconds": %g
+	}`, wall, pps, total)
+}
+
+func TestDiffReportsClean(t *testing.T) {
+	oldP := writeFixture(t, "old.json", reportWithPhase(500, 0))
+	newP := writeFixture(t, "new.json", reportWithPhase(550, 0)) // +10% < 25%
+	var out bytes.Buffer
+	if err := run([]string{"diff", oldP, newP}, &out); err != nil {
+		t.Fatalf("10%% drift should pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDiffReportsPhaseRegression(t *testing.T) {
+	oldP := writeFixture(t, "old.json", reportWithPhase(500, 0))
+	newP := writeFixture(t, "new.json", reportWithPhase(800, 0)) // +60%
+	var out bytes.Buffer
+	err := run([]string{"diff", oldP, newP}, &out)
+	if err == nil || !strings.Contains(err.Error(), "phase place") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("table should mark the regression:\n%s", out.String())
+	}
+	// A looser threshold lets the same pair pass.
+	out.Reset()
+	if err := run([]string{"diff", "-threshold", "75", oldP, newP}, &out); err != nil {
+		t.Fatalf("75%% threshold should pass: %v", err)
+	}
+}
+
+func TestDiffReportsJitterFloor(t *testing.T) {
+	// The prune phase doubles (5 -> 10us) but sits below -min-us: ignored.
+	oldP := writeFixture(t, "old.json", reportWithPhase(500, 0))
+	newP := writeFixture(t, "new.json", `{
+	  "schema": "runreport/v1", "tool": "lamasim",
+	  "phaseTotalsUs": {"place": 500, "prune": 10}
+	}`)
+	var out bytes.Buffer
+	if err := run([]string{"diff", oldP, newP}, &out); err != nil {
+		t.Fatalf("sub-floor jitter should pass: %v\n%s", err, out.String())
+	}
+}
+
+func TestDiffReportsStallCounter(t *testing.T) {
+	oldP := writeFixture(t, "old.json", reportWithPhase(500, 0))
+	newP := writeFixture(t, "new.json", reportWithPhase(500, 2))
+	var out bytes.Buffer
+	err := run([]string{"diff", oldP, newP}, &out)
+	if err == nil || !strings.Contains(err.Error(), "lama_map_stalls_total") {
+		t.Fatalf("stall growth should regress regardless of threshold: %v", err)
+	}
+}
+
+func TestDiffBench(t *testing.T) {
+	oldP := writeFixture(t, "old.json", benchWith(1.0, 1000, 1.0))
+	newP := writeFixture(t, "new.json", benchWith(1.1, 950, 1.1)) // within 25%
+	var out bytes.Buffer
+	if err := run([]string{"diff", oldP, newP}, &out); err != nil {
+		t.Fatalf("small drift should pass: %v\n%s", err, out.String())
+	}
+
+	slow := writeFixture(t, "slow.json", benchWith(2.0, 1000, 2.0)) // wall +100%
+	out.Reset()
+	if err := run([]string{"diff", oldP, slow}, &out); err == nil ||
+		!strings.Contains(err.Error(), "experiment E1") {
+		t.Fatalf("err = %v", err)
+	}
+
+	weak := writeFixture(t, "weak.json", benchWith(1.0, 400, 1.0)) // throughput -60%
+	out.Reset()
+	if err := run([]string{"diff", oldP, weak}, &out); err == nil ||
+		!strings.Contains(err.Error(), "placements/s") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiffBenchJitterFloor(t *testing.T) {
+	// A 1ms experiment tripling is scheduler noise, not a regression.
+	oldP := writeFixture(t, "old.json", benchWith(0.001, 1000, 0.001))
+	newP := writeFixture(t, "new.json", benchWith(0.003, 300, 0.003))
+	var out bytes.Buffer
+	if err := run([]string{"diff", oldP, newP}, &out); err != nil {
+		t.Fatalf("sub-floor bench jitter should pass: %v\n%s", err, out.String())
+	}
+	// Lowering the floor re-arms the gate for the same pair.
+	out.Reset()
+	if err := run([]string{"diff", "-min-s", "0.0005", oldP, newP}, &out); err == nil {
+		t.Fatal("below-floor override should regress")
+	}
+}
+
+func TestDiffArgErrors(t *testing.T) {
+	report := writeFixture(t, "m.json", reportWithPhase(500, 0))
+	bench := writeFixture(t, "b.json", benchWith(1, 1, 1))
+	trace := writeFixture(t, "t.jsonl", fixtureTrace)
+	var out bytes.Buffer
+	if err := run([]string{"diff", report}, &out); err == nil {
+		t.Fatal("one file should fail")
+	}
+	if err := run([]string{"diff", report, bench}, &out); err == nil ||
+		!strings.Contains(err.Error(), "is a") {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+	if err := run([]string{"diff", trace, report}, &out); err == nil ||
+		!strings.Contains(err.Error(), "not traces") {
+		t.Fatalf("trace diff: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+// Command lamatrace analyses the observability artifacts the other CLIs
+// record: JSONL event traces (-trace-out), runreport/v1 documents
+// (-metrics-out), and lamabench -json timing reports. It is the offline
+// half of the telemetry plane — the -listen server shows a run live,
+// lamatrace answers questions about runs already on disk.
+//
+// Usage:
+//
+//	lamatrace summary trace.jsonl        # event counts, vocabulary check, J extraction
+//	lamatrace summary report.json        # phase breakdown, metrics, series
+//	lamatrace diff old.json new.json     # regression gate: nonzero exit on slowdowns
+//	lamatrace validate a.jsonl b.json    # structural validation
+//
+// diff compares two runreport/v1 documents or two lamabench -json reports
+// and exits nonzero when the new run regressed past -threshold percent —
+// the CI perf gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lama/internal/obs"
+)
+
+const usage = `usage: lamatrace <command> [flags] <file>...
+
+commands:
+  summary   per-phase latency breakdown, event counts cross-checked
+            against the observability vocabulary, and J-objective
+            before/after extraction from one artifact
+  diff      compare two runreport/v1 or two lamabench -json documents;
+            nonzero exit when the new run regressed past -threshold
+  validate  structurally validate traces and reports
+
+artifacts: .jsonl files are JSONL event traces; other files are sniffed
+by their "schema" field (runreport/v1, lamabench/v1, lamabench/v2).`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lamatrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no command\n%s", usage)
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], out)
+	case "diff":
+		return runDiff(args[1:], out)
+	case "validate":
+		return runValidateCmd(args[1:], out)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprintln(out, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q\n%s", args[0], usage)
+	}
+}
+
+// docKind discriminates the artifact types lamatrace understands.
+type docKind int
+
+const (
+	kindTrace docKind = iota
+	kindRunReport
+	kindBench
+)
+
+func (k docKind) String() string {
+	switch k {
+	case kindTrace:
+		return "JSONL trace"
+	case kindRunReport:
+		return "runreport/v1"
+	default:
+		return "lamabench report"
+	}
+}
+
+// benchReport mirrors the stable subset of the lamabench -json schema this
+// command consumes. cmd packages cannot import each other, and the schema
+// is documented append-only, so a local decode struct is the contract.
+type benchReport struct {
+	Schema       string            `json:"schema"`
+	GoVersion    string            `json:"goVersion"`
+	GitRevision  string            `json:"gitRevision"`
+	NumCPU       int               `json:"numCPU"`
+	Full         bool              `json:"full"`
+	Seed         int64             `json:"seed"`
+	Experiments  []benchExperiment `json:"experiments"`
+	TotalSeconds float64           `json:"totalSeconds"`
+}
+
+type benchExperiment struct {
+	ID               string  `json:"id"`
+	Exhibit          string  `json:"exhibit"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	Placements       int64   `json:"placements"`
+	PlacementsPerSec float64 `json:"placementsPerSec"`
+}
+
+// document is one loaded artifact; exactly one payload field is non-nil
+// (trace paths are not loaded here, only classified).
+type document struct {
+	kind   docKind
+	report *obs.RunReport
+	bench  *benchReport
+}
+
+// classify sniffs and (for JSON documents) parses one artifact. Traces are
+// classified by suffix only; their streaming consumers re-open the file.
+func classify(path string) (*document, error) {
+	if strings.HasSuffix(path, ".jsonl") {
+		return &document{kind: kindTrace}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("%s: not a JSON document: %v", path, err)
+	}
+	switch {
+	case head.Schema == obs.RunReportSchema:
+		rep, err := obs.ValidateRunReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return &document{kind: kindRunReport, report: rep}, nil
+	case strings.HasPrefix(head.Schema, "lamabench/"):
+		var rep benchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return &document{kind: kindBench, bench: &rep}, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q (want %s or lamabench/*)",
+			path, head.Schema, obs.RunReportSchema)
+	}
+}
+
+// runValidateCmd structurally validates each artifact and prints a one-line
+// verdict per file; the first malformed file fails the run.
+func runValidateCmd(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("validate: no files given")
+	}
+	for _, path := range args {
+		if strings.HasSuffix(path, ".jsonl") {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			n, bySource, err := obs.ValidateJSONLTrace(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %v", path, err)
+			}
+			fmt.Fprintf(out, "%s: ok, JSONL trace, %d events from %d sources\n", path, n, len(bySource))
+			continue
+		}
+		doc, err := classify(path)
+		if err != nil {
+			return err
+		}
+		switch doc.kind {
+		case kindRunReport:
+			fmt.Fprintf(out, "%s: ok, %s from %s (%d phases)\n",
+				path, obs.RunReportSchema, doc.report.Tool, len(doc.report.Phases))
+		case kindBench:
+			fmt.Fprintf(out, "%s: ok, %s, %d experiments\n",
+				path, doc.bench.Schema, len(doc.bench.Experiments))
+		}
+	}
+	return nil
+}

@@ -57,7 +57,7 @@ func run(args []string, out io.Writer) error {
 			sp, _ := hw.Preset(name)
 			fmt.Fprintf(out, "%-12s %s (%d PUs)\n", name, sp, sp.TotalPUs())
 		}
-		return nil
+		return closeObs()
 	}
 
 	endGen := o.StartSpan(obs.SpanGenerate)

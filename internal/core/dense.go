@@ -43,6 +43,7 @@ type prunedShape struct {
 
 // lookup resolves per-depth child indices (canonical order) to a dense
 // leaf ID, or -1 when the coordinate does not exist on this shape.
+//
 //lama:hotpath
 func (ps *prunedShape) lookup(coords []int) int32 {
 	n := int32(0)
@@ -59,6 +60,7 @@ func (ps *prunedShape) lookup(coords []int) int32 {
 // breadth-first so every node's children are contiguous; leaf IDs are
 // assigned in visit order, which is the same deterministic order
 // buildView uses to enumerate the corresponding objects.
+//
 //lama:coldpath one-off shape construction per (topology, layout)
 func buildShape(t *hw.Topology, levels []hw.Level) *prunedShape {
 	ps := &prunedShape{
@@ -110,6 +112,7 @@ type nodeView struct {
 
 // usable reports the PU list of a leaf: empty when the resource is
 // off-lined or all of its PUs are.
+//
 //lama:hotpath
 func (v *nodeView) usable(leaf int32) []int32 {
 	return v.pus[v.puOff[leaf]:v.puOff[leaf+1]]
@@ -119,6 +122,7 @@ func (v *nodeView) usable(leaf int32) []int32 {
 // same breadth-first order as buildShape to collect leaf objects, then
 // caching each leaf's usable PUs (ancestor-availability included, matching
 // Object.UsablePUs).
+//
 //lama:coldpath one-off per-node view construction
 func buildView(t *hw.Topology, shape *prunedShape) *nodeView {
 	v := &nodeView{

@@ -171,6 +171,7 @@ func (m *Mapper) ensure(np int) (*runState, error) {
 // one-off phases are observable as spans: "prune" covers the pruned dense
 // tree (shape + views, possibly cache hits), "build-shape" the
 // index-addressed iteration state derived from it.
+//
 //lama:coldpath one-off state construction, runs once per (cluster, layout), not per Map call
 func (m *Mapper) buildState() (*runState, error) {
 	o := m.Opts.Obs
@@ -291,7 +292,11 @@ func (m *Mapper) resetCaps(r *runState) error {
 // the options the run is instrumented — a "place" span envelops the call,
 // each resource-space traversal records a "sweep" span, and completion
 // lands a "map"/"done" event plus latency metrics; with a nil Observer
-// (the default) none of the instrumentation paths execute.
+// (the default) none of the instrumentation paths execute. When the
+// observer's PhaseTimer has pprof labels enabled (the -listen telemetry
+// server does this), each span additionally labels the goroutine with
+// lama_phase, so CPU profiles attribute samples per mapping phase.
+//
 //lama:hotpath
 func (m *Mapper) Map(np int) (*Map, error) {
 	o := m.Opts.Obs
@@ -327,6 +332,7 @@ func (m *Mapper) Map(np int) (*Map, error) {
 // observeDone reports one completed mapping run to the observer: a
 // "map"/"done" event and the placement-latency metrics. Callers only
 // invoke it with o possibly nil; every path inside is nil-safe.
+//
 //lama:coldpath observability reporting, gated on an attached observer
 func (m *Mapper) observeDone(o *obs.Observer, np int, out *Map, t0 time.Time) {
 	if o == nil {
@@ -349,6 +355,7 @@ func (m *Mapper) observeDone(o *obs.Observer, np int, out *Map, t0 time.Time) {
 }
 
 // observeStall reports a mapping run that stalled before placing np ranks.
+//
 //lama:coldpath observability reporting on the stall exit, gated on an attached observer
 func (m *Mapper) observeStall(o *obs.Observer, np, placed int, err error) {
 	if o == nil {

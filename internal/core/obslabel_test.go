@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"lama/internal/obs"
+)
+
+// TestMapWithPprofLabels maps with a labels-enabled observer — the exact
+// configuration the -listen telemetry server builds — and checks the run
+// both completes identically and leaves no label behind (each phase span
+// restores the unlabeled state when it ends).
+func TestMapWithPprofLabels(t *testing.T) {
+	c := fig2Cluster(t, 2)
+	plainMapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{})
+	plain, err := plainMapper.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pt := obs.NewPhaseTimer()
+	pt.EnablePprofLabels()
+	o := &obs.Observer{
+		Sink: obs.NewMemorySink(), Metrics: obs.NewRegistry(), Phases: pt,
+		Clock: func() int64 { return 0 },
+	}
+	mapper, _ := NewMapper(c, MustParseLayout("scbnh"), Options{Obs: o})
+	labeled, err := mapper.Map(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMaps(plain, labeled) {
+		t.Fatal("labeling changed the mapping")
+	}
+	if len(pt.Spans()) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "lama_phase") {
+		t.Fatalf("lama_phase label leaked past Map:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// BuildInfo identifies the binary and host behind a telemetry surface:
+// the toolchain that built it, the vcs revision stamped into the build
+// (empty for test binaries and plain `go run` outside a checkout), and
+// the host's CPU count. It is the provenance header lamabench -json has
+// carried since its v2 schema, factored here so the /metrics endpoint
+// and every run report identify their origin the same way.
+type BuildInfo struct {
+	GoVersion   string `json:"goVersion"`
+	GitRevision string `json:"gitRevision,omitempty"`
+	NumCPU      int    `json:"numCPU"`
+}
+
+// CurrentBuildInfo reads the running binary's build provenance.
+func CurrentBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				b.GitRevision = s.Value
+			}
+		}
+	}
+	return b
+}
+
+// RegisterBuildInfo publishes the running binary's provenance as the
+// lama_build_info info-style gauge (constant value 1, provenance as
+// labels) so a scrape of /metrics identifies the binary serving it.
+// Registration is idempotent; a nil registry is a no-op.
+func RegisterBuildInfo(r *Registry) {
+	b := CurrentBuildInfo()
+	r.SetInfo("lama_build_info", map[string]string{
+		"goVersion":   b.GoVersion,
+		"gitRevision": b.GitRevision,
+		"numCPU":      strconv.Itoa(b.NumCPU),
+	})
+}

@@ -8,16 +8,21 @@ import (
 )
 
 // CLIFlags is the observability flag set shared by every command:
-// -trace-out, -metrics-out, and -v mean the same thing in lamamap,
-// lamasim, lamabench, and topogen.
+// -trace-out, -metrics-out, -listen, and -v mean the same thing in
+// lamamap, lamasim, lamabench, and topogen.
 type CLIFlags struct {
 	// TraceOut is the JSONL structured-event destination ("" = off,
 	// "-" = stderr).
 	TraceOut string
 	// MetricsOut is the runreport/v1 destination ("" = off, "-" = stdout).
 	MetricsOut string
+	// Listen is the host:port the live telemetry server binds ("" = off;
+	// port 0 picks a free port, printed to stderr).
+	Listen string
 	// Verbose additionally renders every event human-readably on stderr.
 	Verbose bool
+
+	server *Server
 }
 
 // RegisterFlags installs the shared observability flags on a FlagSet.
@@ -25,20 +30,33 @@ func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 	f := &CLIFlags{}
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write structured JSONL events to this file (- for stderr)")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a runreport/v1 JSON document (config, phases, metrics) to this file (- for stdout)")
+	fs.StringVar(&f.Listen, "listen", "", "serve live telemetry (/metrics, /events, /debug/pprof) on this host:port while the run executes")
 	fs.BoolVar(&f.Verbose, "v", false, "print human-readable events to stderr")
 	return f
 }
 
 // Enabled reports that any observability output was requested.
 func (f *CLIFlags) Enabled() bool {
-	return f != nil && (f.TraceOut != "" || f.MetricsOut != "" || f.Verbose)
+	return f != nil && (f.TraceOut != "" || f.MetricsOut != "" || f.Listen != "" || f.Verbose)
+}
+
+// ListenAddr returns the telemetry server's bound address once Observer
+// has started it ("" when -listen was not given). With -listen :0 this is
+// how callers and tests learn the picked port.
+func (f *CLIFlags) ListenAddr() string {
+	if f == nil || f.server == nil {
+		return ""
+	}
+	return f.server.Addr()
 }
 
 // Observer builds the observer the flags describe, or nil (zero cost) when
-// nothing was requested. The returned closer flushes and closes every
-// opened file; call it before writing the run report is NOT required
-// (sinks and files are independent of the report), but it must run before
-// process exit.
+// nothing was requested. With -listen set it also starts the live
+// telemetry server (announced on stderr) backed by a bounded event ring
+// and enables pprof phase/policy labels, so profiles pulled from
+// /debug/pprof attribute samples to mapping phases. The returned closer
+// stops the server, flushes the sinks, and closes every opened file; it
+// must run before process exit.
 func (f *CLIFlags) Observer(stderr io.Writer) (*Observer, func() error, error) {
 	if !f.Enabled() {
 		return nil, func() error { return nil }, nil
@@ -61,6 +79,28 @@ func (f *CLIFlags) Observer(stderr io.Writer) (*Observer, func() error, error) {
 	if f.Verbose {
 		sinks = append(sinks, NewTextSink(stderr))
 	}
+	if f.MetricsOut != "" || f.Listen != "" {
+		o.Metrics = NewRegistry()
+		o.Phases = NewPhaseTimer()
+		RegisterBuildInfo(o.Metrics)
+	}
+	var server *Server
+	if f.Listen != "" {
+		ring := NewRingSink(DefaultRingCapacity)
+		ring.DropCounter = o.Metrics.Counter("lama_obs_events_dropped_total")
+		sinks = append(sinks, ring)
+		o.Phases.EnablePprofLabels()
+		server = NewServer(o.Metrics, ring)
+		addr, err := server.Start(f.Listen)
+		if err != nil {
+			for _, file := range files {
+				file.Close() // best effort: unwinding a failed setup
+			}
+			return nil, nil, err
+		}
+		f.server = server
+		fmt.Fprintf(stderr, "obs: serving telemetry on http://%s\n", addr)
+	}
 	switch len(sinks) {
 	case 0:
 	case 1:
@@ -68,11 +108,10 @@ func (f *CLIFlags) Observer(stderr io.Writer) (*Observer, func() error, error) {
 	default:
 		o.Sink = NewMultiSink(sinks...)
 	}
-	if f.MetricsOut != "" {
-		o.Metrics = NewRegistry()
-		o.Phases = NewPhaseTimer()
-	}
 	closer := func() error {
+		if server != nil {
+			server.Close() // best effort: stop serving before sinks close
+		}
 		err := o.Close()
 		for _, file := range files {
 			if cerr := file.Close(); cerr != nil && err == nil {

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	nhpprof "net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server serves an Observer's telemetry live over HTTP while a run
+// executes — the surface the lamad placement daemon will mount, already
+// shared by every CLI through the -listen flag:
+//
+//	/metrics                 Prometheus text exposition of the Registry
+//	/metrics.json            the Registry snapshot as JSON
+//	/healthz                 liveness: "ok", uptime, event totals
+//	/events                  streaming JSONL tail of the event ring
+//	                         (?replay=N newest events first, ?follow=0
+//	                         to dump the tail and close)
+//	/debug/pprof/*           the standard Go profiling endpoints; with
+//	                         profiling labels on (see PhaseTimer), CPU
+//	                         samples carry lama_phase / lama_policy
+//
+// The zero endpoints degrade gracefully: a nil Registry serves empty
+// expositions and a nil RingSink serves an empty event stream, so the
+// server can front any subset of an Observer's facilities.
+type Server struct {
+	// Registry is the metrics registry served by /metrics and
+	// /metrics.json (nil serves empty documents).
+	Registry *Registry
+	// Ring is the event buffer served by /events (nil serves none).
+	Ring *RingSink
+	// Tool names the serving binary in /healthz ("" omits it).
+	Tool string
+
+	started time.Time
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// NewServer builds a server over the given registry and event ring.
+func NewServer(reg *Registry, ring *RingSink) *Server {
+	return &Server{Registry: reg, Ring: ring, started: time.Now()}
+}
+
+// Handler returns the server's routing table; useful for mounting the
+// telemetry surface under an existing mux (lamad) or an httptest server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+	return mux
+}
+
+// Start binds addr (host:port; port 0 picks a free one) and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: -listen %s: %v", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) // Serve returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address after Start ("" before).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and every in-flight connection (including
+// /events streams and running profiles). Safe to call without Start.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "lama telemetry plane\n\n")
+	for _, line := range []string{
+		"/metrics          Prometheus text exposition",
+		"/metrics.json     metrics snapshot as JSON",
+		"/healthz          liveness and event totals",
+		"/events           streaming JSONL event tail (?replay=N, ?follow=0)",
+		"/debug/pprof/     Go profiling endpoints (lama_phase / lama_policy labels)",
+	} {
+		fmt.Fprintln(w, line)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	if s.Tool != "" {
+		fmt.Fprintf(w, "tool %s\n", s.Tool)
+	}
+	fmt.Fprintf(w, "uptime %s\n", time.Since(s.started).Round(time.Millisecond))
+	if s.Ring != nil {
+		fmt.Fprintf(w, "events %d (dropped %d)\n", s.Ring.Total(), s.Ring.Dropped())
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Registry.WritePrometheus(w) // best effort: client may be gone
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.Registry.Snapshot()
+	if snap == nil {
+		snap = &MetricsSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) // best effort: client may be gone
+}
+
+// handleEvents streams the event ring as JSONL: the newest ?replay=N
+// buffered events (default 64, 0 for none), then — unless ?follow=0 —
+// every later event until the client disconnects or the run ends. A
+// client that stalls longer than its subscription buffer loses events
+// (counted by the RingSink) rather than stalling the emitters.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.Ring == nil {
+		http.Error(w, "no event ring attached", http.StatusNotFound)
+		return
+	}
+	replay := 64
+	if v := r.URL.Query().Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad replay count", http.StatusBadRequest)
+			return
+		}
+		replay = n
+	}
+	follow := true
+	if v := r.URL.Query().Get("follow"); v == "0" || v == "false" {
+		follow = false
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	writeEvent := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !follow {
+		for _, e := range s.Ring.Tail(replay) {
+			if !writeEvent(e) {
+				return
+			}
+		}
+		return
+	}
+	// Commit the response before the first event: a follower with an empty
+	// ring would otherwise never see headers and block on connect.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	tail, sub := s.Ring.Subscribe(replay, 256)
+	if sub == nil { // sink already closed: serve the nothing we have
+		return
+	}
+	defer s.Ring.Unsubscribe(sub)
+	for _, e := range tail {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if !writeEvent(e) {
+				return
+			}
+		}
+	}
+}

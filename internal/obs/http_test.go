@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("lama_ranks_placed_total").Add(7)
+	ring := NewRingSink(32)
+	s := NewServer(reg, ring)
+	s.Tool = "obstest"
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Ring.Emit(Event{Source: SrcMap, Name: "done", Step: NoStep})
+
+	if code, body := get(t, ts.URL+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/healthz"); code != 200 ||
+		!strings.Contains(body, "ok") || !strings.Contains(body, "tool obstest") ||
+		!strings.Contains(body, "events 1 (dropped 0)") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/metrics"); code != 200 ||
+		!strings.Contains(body, "lama_ranks_placed_total 7") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("metrics.json: %d", code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["lama_ranks_placed_total"] != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if code, _ := get(t, ts.URL+"/nope"); code != 404 {
+		t.Fatalf("unknown path: %d", code)
+	}
+	// pprof index answers (profile endpoints are exercised in CI smoke).
+	if code, body := get(t, ts.URL+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d", code)
+	}
+}
+
+func TestServerNilFacilities(t *testing.T) {
+	s := NewServer(nil, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, body := get(t, ts.URL+"/metrics"); code != 200 || body != "" {
+		t.Fatalf("nil-registry metrics: %d %q", code, body)
+	}
+	if code, body := get(t, ts.URL+"/metrics.json"); code != 200 || !strings.Contains(body, "{}") {
+		t.Fatalf("nil-registry metrics.json: %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/events"); code != 404 {
+		t.Fatalf("nil-ring events: want 404")
+	}
+}
+
+func TestServerEventsDump(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		s.Ring.Emit(Event{Source: SrcSupervise, Name: "step", Step: i})
+	}
+	code, body := get(t, ts.URL+"/events?follow=0&replay=3")
+	if code != 200 {
+		t.Fatalf("events dump: %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), body)
+	}
+	if !strings.Contains(lines[0], `"step":2`) || !strings.Contains(lines[2], `"step":4`) {
+		t.Fatalf("wrong tail: %q", body)
+	}
+	if code, _ := get(t, ts.URL+"/events?replay=bogus"); code != 400 {
+		t.Fatal("bad replay should 400")
+	}
+	if code, _ := get(t, ts.URL+"/events?replay=-1"); code != 400 {
+		t.Fatal("negative replay should 400")
+	}
+}
+
+func TestServerEventsFollow(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Ring.Emit(Event{Source: SrcSupervise, Name: "step", Step: 0})
+
+	resp, err := http.Get(ts.URL + "/events?replay=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"step":0`) {
+		t.Fatalf("replay line = %q", sc.Text())
+	}
+	s.Ring.Emit(Event{Source: SrcSupervise, Name: "step", Step: 1})
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"step":1`) {
+		t.Fatalf("live line = %q", sc.Text())
+	}
+	// Closing the ring ends the stream server-side.
+	s.Ring.Close()
+	deadline := time.After(5 * time.Second)
+	done := make(chan bool, 1)
+	go func() { done <- sc.Scan() }()
+	select {
+	case more := <-done:
+		if more {
+			t.Fatalf("unexpected line after ring close: %q", sc.Text())
+		}
+	case <-deadline:
+		t.Fatal("stream did not end after ring close")
+	}
+}
+
+func TestServerEventsSlowReader(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/events?replay=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Never read the body; flood far past the subscription buffer (256)
+	// plus any HTTP buffering. Emit must never block.
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for i := 0; i < 5000; i++ {
+			s.Ring.Emit(Event{Source: SrcSupervise, Name: "step", Step: i})
+		}
+	}()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Emit blocked on a slow /events reader")
+	}
+	if s.Ring.Total() != 5000 {
+		t.Fatalf("total = %d", s.Ring.Total())
+	}
+	// The stalled subscriber must have lost events rather than stalling us.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Ring.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no drops recorded for a stalled subscriber")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := NewServer(NewRegistry(), NewRingSink(8))
+	if s.Addr() != "" {
+		t.Fatal("addr before Start")
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != addr {
+		t.Fatalf("Addr() = %q, Start returned %q", s.Addr(), addr)
+	}
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != 200 {
+		t.Fatal("healthz over real listener")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+	var unstarted Server
+	if err := unstarted.Close(); err != nil {
+		t.Fatal("Close without Start should be nil")
+	}
+}

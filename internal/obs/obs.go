@@ -177,6 +177,8 @@ func (s *textSink) Close() error {
 }
 
 // MemorySink collects events in memory, for tests and report assembly.
+// Like every Sink it is safe for concurrent Emit: sweep workers and the
+// supervisor emit from their own goroutines.
 type MemorySink struct {
 	mu     sync.Mutex
 	events []Event

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Profiling label keys. With labeling enabled (PhaseTimer.EnablePprofLabels,
+// switched on by the -listen flag), CPU profiles pulled from the telemetry
+// server's /debug/pprof/profile endpoint attribute samples to the mapping
+// phase that was running (lama_phase: prune, build-shape, sweep, place,
+// bind, ...) and to the placement policy executing (lama_policy), so a
+// profile answers "where does placement time go" without guessing from
+// function names.
+const (
+	// PprofLabelPhase labels samples with the innermost open phase span.
+	PprofLabelPhase = "lama_phase"
+	// PprofLabelPolicy labels samples with the executing placement policy
+	// (applied by place.Run around every policy execution).
+	PprofLabelPolicy = "lama_policy"
+)
+
+// unlabeled is the context goroutine labels are reset to when the
+// innermost labeled region ends. Labels are deliberately flat rather than
+// nested: reading the current goroutine label set is not possible, so a
+// span's end restores the unlabeled state, not the enclosing span's label.
+// Attribution-wise this is the right trade — samples land on the innermost
+// active phase, and the instants between phases are negligible.
+var unlabeled = context.Background()
+
+// setGoroutineLabel points the calling goroutine's pprof label set at
+// {key: value} and returns the restorer. Costs one context allocation;
+// callers gate on the labeling switch so disabled runs pay nothing.
+func setGoroutineLabel(key, value string) func() {
+	pprof.SetGoroutineLabels(pprof.WithLabels(unlabeled, pprof.Labels(key, value)))
+	return clearGoroutineLabels
+}
+
+func clearGoroutineLabels() { pprof.SetGoroutineLabels(unlabeled) }
+
+// WithPprofLabel runs f with the calling goroutine's pprof labels set to
+// {key: value}, restoring the previous label set afterwards (pprof.Do
+// semantics, so unlike span labels this nests correctly around f).
+func WithPprofLabel(key, value string, f func()) {
+	pprof.Do(unlabeled, pprof.Labels(key, value), func(context.Context) { f() })
+}
+
+// PprofLabeled reports that phase/policy profiling labels are switched on
+// (false for a nil observer or timer). place.Run keys its policy-label
+// region off this so label setup costs nothing when profiling is off.
+func (o *Observer) PprofLabeled() bool {
+	return o != nil && o.Phases.PprofLabeled()
+}

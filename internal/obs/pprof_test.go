@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// goroutineLabels renders the current goroutine's pprof label set via the
+// debug=1 goroutine profile — the only way to observe labels from a test.
+func goroutineLabels(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestPhaseTimerPprofLabels(t *testing.T) {
+	pt := NewPhaseTimer()
+	if pt.PprofLabeled() {
+		t.Fatal("labels on by default")
+	}
+	end := pt.Start("sweep")
+	if got := goroutineLabels(t); strings.Contains(got, "lama_phase") {
+		t.Fatal("span labeled with labeling disabled")
+	}
+	end()
+
+	pt.EnablePprofLabels()
+	if !pt.PprofLabeled() {
+		t.Fatal("PprofLabeled false after enable")
+	}
+	end = pt.Start("sweep")
+	if got := goroutineLabels(t); !strings.Contains(got, `"lama_phase":"sweep"`) {
+		t.Fatalf("lama_phase label missing:\n%s", got)
+	}
+	end()
+	if got := goroutineLabels(t); strings.Contains(got, "lama_phase") {
+		t.Fatalf("label not cleared after span end:\n%s", got)
+	}
+
+	var nilPT *PhaseTimer
+	if nilPT.PprofLabeled() {
+		t.Fatal("nil timer labeled")
+	}
+}
+
+func TestWithPprofLabel(t *testing.T) {
+	ran := false
+	WithPprofLabel(PprofLabelPolicy, "lama", func() {
+		ran = true
+		if got := goroutineLabels(t); !strings.Contains(got, `"lama_policy":"lama"`) {
+			t.Fatalf("lama_policy label missing:\n%s", got)
+		}
+	})
+	if !ran {
+		t.Fatal("f not called")
+	}
+	if got := goroutineLabels(t); strings.Contains(got, "lama_policy") {
+		t.Fatalf("label leaked:\n%s", got)
+	}
+	var nilObs *Observer
+	if nilObs.PprofLabeled() {
+		t.Fatal("nil observer labeled")
+	}
+}

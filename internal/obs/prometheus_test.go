@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte —
+// ordering, the +Inf bucket rendering, and info-label escaping are all
+// format contracts a Prometheus scraper depends on.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lama_restarts_total").Add(3)
+	r.Gauge("lama_final_ranks").Set(64)
+	h := r.Histogram("lama_map_us", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(5000)
+	r.SetInfo("lama_build_info", map[string]string{
+		"goVersion":   "go1.22.0",
+		"gitRevision": "abc123",
+		"numCPU":      "8",
+	})
+	// Label values carrying every escapable character: backslash, double
+	// quote, and newline.
+	r.SetInfo("lama_escape_check", map[string]string{
+		"path":  `C:\lama`,
+		"quote": `say "hi"`,
+		"multi": "line1\nline2",
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE lama_restarts_total counter
+lama_restarts_total 3
+# TYPE lama_final_ranks gauge
+lama_final_ranks 64
+# TYPE lama_build_info gauge
+lama_build_info{gitRevision="abc123",goVersion="go1.22.0",numCPU="8"} 1
+# TYPE lama_escape_check gauge
+lama_escape_check{multi="line1\nline2",path="C:\\lama",quote="say \"hi\""} 1
+# TYPE lama_map_us histogram
+lama_map_us_bucket{le="100"} 1
+lama_map_us_bucket{le="1000"} 2
+lama_map_us_bucket{le="+Inf"} 3
+lama_map_us_sum 5200
+lama_map_us_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestSetInfoSemantics(t *testing.T) {
+	r := NewRegistry()
+	labels := map[string]string{"k": "v1"}
+	r.SetInfo("lama_build_info", labels)
+	labels["k"] = "mutated"                                    // caller's map must not alias
+	r.SetInfo("lama_build_info", map[string]string{"k": "v2"}) // first registration wins
+
+	snap := r.Snapshot()
+	if got := snap.Infos["lama_build_info"]["k"]; got != "v1" {
+		t.Fatalf("info label = %q, want v1", got)
+	}
+	snap.Infos["lama_build_info"]["k"] = "snapmut" // snapshot must not alias either
+	if got := r.Snapshot().Infos["lama_build_info"]["k"]; got != "v1" {
+		t.Fatalf("registry mutated through snapshot: %q", got)
+	}
+	var nilReg *Registry
+	nilReg.SetInfo("x", nil) // no-op, no panic
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	info := r.Snapshot().Infos["lama_build_info"]
+	if info == nil {
+		t.Fatal("lama_build_info not registered")
+	}
+	if !strings.HasPrefix(info["goVersion"], "go") {
+		t.Fatalf("goVersion = %q", info["goVersion"])
+	}
+	if info["numCPU"] == "" || info["numCPU"] == "0" {
+		t.Fatalf("numCPU = %q", info["numCPU"])
+	}
+	// gitRevision is legitimately empty in test binaries; only its
+	// presence as a key matters.
+	if _, ok := info["gitRevision"]; !ok {
+		t.Fatal("gitRevision label missing")
+	}
+	RegisterBuildInfo(nil) // nil registry is a no-op
+}

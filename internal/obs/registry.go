@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -21,6 +22,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	infos      map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -29,7 +31,29 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		infos:      map[string]map[string]string{},
 	}
+}
+
+// SetInfo records an info-style metric: a gauge with constant value 1
+// whose payload is its label set (the Prometheus convention for build
+// and identity metadata, e.g. lama_build_info). The first caller's
+// labels win; later calls with the same name are ignored so providers
+// can register unconditionally. A nil registry is a no-op.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.infos[name]; ok {
+		return
+	}
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	r.infos[name] = copied
 }
 
 // Counter is a monotonically increasing count.
@@ -203,6 +227,7 @@ type MetricsSnapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Snapshot freezes the registry (nil registry gives a nil snapshot).
@@ -239,6 +264,16 @@ func (r *Registry) Snapshot() *MetricsSnapshot {
 				hs.Buckets = append(hs.Buckets, BucketCount{UpperLe: le, Count: cum})
 			}
 			s.Histograms[name] = hs
+		}
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			copied := make(map[string]string, len(labels))
+			for k, v := range labels {
+				copied[k] = v
+			}
+			s.Infos[name] = copied
 		}
 	}
 	return s
@@ -278,8 +313,17 @@ func (b *BucketCount) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// escapeLabelValue applies the Prometheus text-format escapes for label
+// values: backslash, double quote, and line feed.
+func escapeLabelValue(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format, instruments sorted by name.
+// format, instruments sorted by name. Info metrics render as constant-1
+// gauges with their labels sorted by key.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -292,6 +336,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Infos) {
+		labels := s.Infos[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{", name, name); err != nil {
+			return err
+		}
+		for i, k := range sortedKeys(labels) {
+			sep := ","
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, `%s%s="%s"`, sep, k, escapeLabelValue(labels[k])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, "} 1\n"); err != nil {
 			return err
 		}
 	}

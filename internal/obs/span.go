@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,20 +18,41 @@ type SpanRecord struct {
 // sweep -> place -> bind) so a run's wall time can be attributed per
 // phase. It is safe for concurrent use: sweep workers time their phases
 // from pool goroutines.
+//
+// With EnablePprofLabels switched on (the -listen telemetry server does
+// this), each open span additionally sets the goroutine's lama_phase
+// pprof label, so CPU profiles pulled from /debug/pprof/profile
+// attribute samples per phase. Labels are flat: the innermost open span
+// wins, and its end restores the unlabeled state (see pprof.go).
 type PhaseTimer struct {
-	mu    sync.Mutex
-	epoch time.Time
-	spans []SpanRecord
+	mu          sync.Mutex
+	epoch       time.Time
+	spans       []SpanRecord
+	pprofLabels atomic.Bool
 }
 
 // NewPhaseTimer returns a timer whose epoch is now.
 func NewPhaseTimer() *PhaseTimer { return &PhaseTimer{epoch: time.Now()} }
 
+// EnablePprofLabels makes every span label its goroutine with lama_phase
+// for the span's duration. Switch it on before the timer is shared.
+func (t *PhaseTimer) EnablePprofLabels() { t.pprofLabels.Store(true) }
+
+// PprofLabeled reports whether spans set pprof labels (false for nil).
+func (t *PhaseTimer) PprofLabeled() bool { return t != nil && t.pprofLabels.Load() }
+
 // Start begins a span and returns its terminator; call it exactly once.
 func (t *PhaseTimer) Start(name string) func() {
+	var unlabel func()
+	if t.pprofLabels.Load() {
+		unlabel = setGoroutineLabel(PprofLabelPhase, name)
+	}
 	start := time.Now()
 	return func() {
 		end := time.Now()
+		if unlabel != nil {
+			unlabel()
+		}
 		t.mu.Lock()
 		t.spans = append(t.spans, SpanRecord{
 			Name:    name,

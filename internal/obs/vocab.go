@@ -11,7 +11,9 @@ import "sort"
 // call with an unregistered or non-constant (source, name) pair fails
 // `lamavet`, as does a table entry nothing emits. Grow the vocabulary by
 // adding a constant AND a table row — never by passing a fresh string
-// literal at an emission site.
+// literal at an emission site. The `lamatrace summary` CLI cross-checks
+// recorded traces against the same table dynamically, flagging any
+// (source, name) pair a trace carries that the vocabulary does not.
 
 // Event sources: the "src" key of every emitted event.
 const (

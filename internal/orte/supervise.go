@@ -67,6 +67,14 @@ type SuperviseConfig struct {
 	// selects the seed's routed-tree delay (1 + binomial rounds over the
 	// job's daemons).
 	DetectionWindow int
+	// StepDelay stretches each virtual step with a real wall-clock sleep
+	// (zero, the default, keeps runs as fast as possible). It exists for
+	// the live telemetry plane: lamasim -step-delay keeps a churn run
+	// alive long enough for -listen scrapers to watch /metrics and
+	// /events while it executes. The sleep happens after the step's
+	// events, so it never changes what a run computes — only how long it
+	// takes.
+	StepDelay time.Duration
 }
 
 // RecoveryEvent records one supervisor reaction to detected failures.
@@ -554,6 +562,11 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 				return nil, fmt.Errorf("orte: rank %d schedule failure", r)
 			}
 			p.History = append(p.History, pu)
+		}
+		// 5. Optional wall-clock stretch for live observation (see
+		// SuperviseConfig.StepDelay); purely temporal, never semantic.
+		if s.Config.StepDelay > 0 {
+			time.Sleep(s.Config.StepDelay)
 		}
 	}
 

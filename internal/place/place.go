@@ -166,21 +166,24 @@ func Place(name string, req *Request) (*core.Map, error) {
 // wrapped in a "place" phase span, a "map"/"done" (or "map"/"stall")
 // event, and the placement latency metrics — exactly the vocabulary
 // core.Mapper.Map emits — so rankfile and baseline runs are no longer
-// silently missing the mapping phase from traces and run reports.
+// silently missing the mapping phase from traces and run reports. With
+// profiling labels on (the -listen telemetry server enables them), every
+// policy execution — SelfObserving included — additionally runs under the
+// lama_policy pprof label, so CPU profiles attribute samples per strategy.
 func Run(p Policy, req *Request) (*core.Map, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	if _, self := p.(SelfObserving); self {
-		return p.Place(req)
-	}
 	o := req.Opts.Obs
+	if _, self := p.(SelfObserving); self {
+		return invoke(p, req, o)
+	}
 	var t0 time.Time
 	if o != nil {
 		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
 	endPlace := o.StartSpan(obs.SpanPlace)
-	m, err := p.Place(req)
+	m, err := invoke(p, req, o)
 	endPlace()
 	if o == nil {
 		return m, err
@@ -210,4 +213,17 @@ func Run(p Policy, req *Request) (*core.Map, error) {
 			obs.F("us", us))
 	}
 	return m, nil
+}
+
+// invoke runs the policy, under its lama_policy pprof label when profiling
+// labels are on; when they are off (every benchmark and allocation-pinned
+// path) it is a plain call with zero extra cost.
+func invoke(p Policy, req *Request, o *obs.Observer) (m *core.Map, err error) {
+	if !o.PprofLabeled() {
+		return p.Place(req)
+	}
+	obs.WithPprofLabel(obs.PprofLabelPolicy, p.Name(), func() {
+		m, err = p.Place(req)
+	})
+	return m, err
 }

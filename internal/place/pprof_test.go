@@ -1,0 +1,64 @@
+package place_test
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"lama/internal/core"
+	"lama/internal/obs"
+	"lama/internal/place"
+)
+
+// labelSpy is a policy whose Place records the goroutine's pprof label set
+// (via the debug=1 goroutine profile, the only way to read labels back).
+type labelSpy struct {
+	labels string
+	err    error
+}
+
+func (s *labelSpy) Name() string { return "label-spy" }
+
+func (s *labelSpy) Place(req *place.Request) (*core.Map, error) {
+	var buf bytes.Buffer
+	s.err = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+	s.labels = buf.String()
+	return place.Place("by-slot", &place.Request{Cluster: req.Cluster, NP: req.NP})
+}
+
+// TestRunPolicyPprofLabel verifies place.Run executes policies under the
+// lama_policy profiling label exactly when the observer has labels on, so
+// CPU profiles from the -listen server attribute samples per strategy.
+func TestRunPolicyPprofLabel(t *testing.T) {
+	c := nehalemCluster(t, 2)
+	spy := &labelSpy{}
+
+	// Labels off (the default, and the state of every allocation-pinned
+	// benchmark): no label may be set.
+	if _, err := place.Run(spy, &place.Request{Cluster: c, NP: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if spy.err != nil {
+		t.Fatal(spy.err)
+	}
+	if strings.Contains(spy.labels, "lama_policy") {
+		t.Fatalf("policy labeled with labeling disabled:\n%s", spy.labels)
+	}
+
+	// Labels on (what -listen enables): the policy runs under its name.
+	pt := obs.NewPhaseTimer()
+	pt.EnablePprofLabels()
+	o := &obs.Observer{Phases: pt}
+	if _, err := place.Run(spy, &place.Request{
+		Cluster: c, NP: 4, Opts: core.Options{Obs: o},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if spy.err != nil {
+		t.Fatal(spy.err)
+	}
+	if !strings.Contains(spy.labels, `"lama_policy":"label-spy"`) {
+		t.Fatalf("lama_policy label missing:\n%s", spy.labels)
+	}
+}
