@@ -1,6 +1,7 @@
 package lama_test
 
 import (
+	"context"
 	"testing"
 
 	"lama"
@@ -185,7 +186,7 @@ func BenchmarkSweepLayouts120(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lama.SweepLayouts(c, layouts, 64, lama.Options{}, 0); err != nil {
+		if _, err := lama.SweepLayouts(context.Background(), c, layouts, 64, lama.Options{}, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

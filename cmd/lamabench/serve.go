@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lama/internal/cluster"
+	"lama/internal/engine"
+	"lama/internal/hw"
+	"lama/internal/metrics"
+	"lama/internal/obs"
+)
+
+// jsonServeRow is one closed-loop load phase against the in-process
+// placement engine (-serve): the lamad serving path measured without HTTP
+// in the way, so the numbers isolate engine admission, cache, and mapper
+// cost. Added to lamabench/v2 additively.
+type jsonServeRow struct {
+	// Mode is "cached" (repeated identical request, served from the
+	// placement LRU) or "cold" (cache bypassed, every request runs the
+	// full mapper).
+	Mode    string `json:"mode"`
+	Nodes   int    `json:"nodes"`
+	NP      int    `json:"np"`
+	Clients int    `json:"clients"`
+	// Requests is the completed request count; RequestsPerSec the
+	// closed-loop throughput; PlacementsPerSec the rank placements
+	// delivered per second (Requests * NP / wall), comparable to the
+	// experiment rows' placementsPerSec.
+	Requests         int     `json:"requests"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	RequestsPerSec   float64 `json:"requestsPerSec"`
+	PlacementsPerSec float64 `json:"placementsPerSec"`
+	// Client-side request latency quantiles in microseconds.
+	P50Us float64 `json:"p50Us"`
+	P90Us float64 `json:"p90Us"`
+	P99Us float64 `json:"p99Us"`
+	// Engine counter deltas over the phase.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	Shed        int64 `json:"shed"`
+}
+
+// serveBench runs the closed-loop serving benchmark: a cold phase (cache
+// bypassed) then a cached phase (one identical request repeated), each
+// with `clients` concurrent closed-loop callers against one in-process
+// engine sized like lamad would be.
+func serveBench(nodes, np, coldReqs, cachedReqs, clients int, o *obs.Observer) ([]jsonServeRow, []jsonExperiment, *metrics.Table, error) {
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+	sp, ok := hw.Preset("nehalem-ep")
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("nehalem-ep preset missing")
+	}
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Config{
+		Workers:    clients,
+		QueueDepth: 2 * clients, // closed loop: clients never outrun the queue
+		Obs:        &obs.Observer{Metrics: reg},
+	})
+	if err := eng.Register("bench", &engine.Snapshot{
+		Clu: cluster.SnapshotOf(cluster.Homogeneous(nodes, sp)),
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	var rows []jsonServeRow
+	var exps []jsonExperiment
+	t := metrics.NewTable(
+		fmt.Sprintf("serve closed-loop (%d nodes x %d ranks, %d clients)", nodes, np, clients),
+		"mode", "requests", "req/s", "placements/s", "p50 (us)", "p99 (us)")
+	for _, phase := range []struct {
+		mode    string
+		reqs    int
+		noCache bool
+	}{
+		{"cold", coldReqs, true},
+		{"cached", cachedReqs, false},
+	} {
+		row, err := servePhase(eng, reg, phase.mode, nodes, np, phase.reqs, clients, phase.noCache)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows = append(rows, row)
+		exps = append(exps, jsonExperiment{
+			ID:               "SERVE-" + phase.mode,
+			Exhibit:          fmt.Sprintf("engine closed-loop, %s path (%dx%d)", phase.mode, nodes, np),
+			WallSeconds:      row.WallSeconds,
+			Placements:       int64(row.Requests) * int64(np),
+			PlacementsPerSec: row.PlacementsPerSec,
+		})
+		t.AddRow(row.Mode, metrics.I(row.Requests),
+			metrics.F(row.RequestsPerSec, 0), metrics.F(row.PlacementsPerSec, 0),
+			metrics.F(row.P50Us, 1), metrics.F(row.P99Us, 1))
+	}
+	_ = o // the engine carries its own registry; CLI observability attaches via -metrics-out phases elsewhere
+	return rows, exps, t, nil
+}
+
+// servePhase drives one closed-loop phase to completion and snapshots the
+// engine counter deltas around it.
+func servePhase(eng *engine.Engine, reg *obs.Registry, mode string, nodes, np, requests, clients int, noCache bool) (jsonServeRow, error) {
+	// Warm the cached path so the measured phase never pays the one
+	// cache-fill mapping.
+	if !noCache {
+		if _, err := eng.Place(context.Background(), &engine.Request{Cluster: "bench", NP: np}); err != nil {
+			return jsonServeRow{}, err
+		}
+	}
+	hits0 := reg.Counter("lama_engine_cache_hits_total").Value()
+	miss0 := reg.Counter("lama_engine_cache_misses_total").Value()
+	shed0 := reg.Counter("lama_engine_shed_total").Value()
+
+	var issued atomic.Int64
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for cID := 0; cID < clients; cID++ {
+		wg.Add(1)
+		go func(cID int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for int(issued.Add(1)) <= requests {
+				req := &engine.Request{Cluster: "bench", NP: np, NoCache: noCache}
+				t0 := time.Now()
+				if _, err := eng.Place(ctx, req); err != nil {
+					errs[cID] = err
+					return
+				}
+				latencies[cID] = append(latencies[cID],
+					float64(time.Since(t0))/float64(time.Microsecond))
+			}
+		}(cID)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return jsonServeRow{}, fmt.Errorf("serve %s phase: %v", mode, err)
+		}
+	}
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	row := jsonServeRow{
+		Mode: mode, Nodes: nodes, NP: np, Clients: clients,
+		Requests:    len(all),
+		WallSeconds: wall,
+		P50Us:       quantile(all, 0.50),
+		P90Us:       quantile(all, 0.90),
+		P99Us:       quantile(all, 0.99),
+		CacheHits:   reg.Counter("lama_engine_cache_hits_total").Value() - hits0,
+		CacheMisses: reg.Counter("lama_engine_cache_misses_total").Value() - miss0,
+		Shed:        reg.Counter("lama_engine_shed_total").Value() - shed0,
+	}
+	if wall > 0 {
+		row.RequestsPerSec = float64(row.Requests) / wall
+		row.PlacementsPerSec = float64(row.Requests) * float64(np) / wall
+	}
+	return row, nil
+}
+
+// quantile reads the q-quantile from an ascending-sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lama/internal/engine"
+)
+
+func testServer(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng, handler, err := buildDaemon("smoke=4xnehalem-ep", "", engine.Config{
+		Workers: 4, QueueDepth: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestLamadSmoke is the CI smoke scenario: 100 concurrent placements
+// against the daemon's HTTP surface, cache hit counters verified through
+// /metrics.json, then a failure event that swaps the snapshot and forces
+// the next placement cold on the new epoch.
+func TestLamadSmoke(t *testing.T) {
+	_, ts := testServer(t)
+	placeURL := ts.URL + "/v1/place"
+	req := map[string]any{"cluster": "smoke", "np": 32, "layout": "csbnh"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, placeURL, req)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var out struct {
+				Epoch      uint64 `json:"epoch"`
+				NP         int    `json:"np"`
+				Placements []struct {
+					Rank int   `json:"rank"`
+					Node int   `json:"node"`
+					PUs  []int `json:"pus"`
+				} `json:"placements"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out.NP != 32 || len(out.Placements) != 32 || out.Epoch != 1 {
+				errs <- fmt.Errorf("bad response: np=%d placements=%d epoch=%d",
+					out.NP, len(out.Placements), out.Epoch)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	hits, misses := cacheCounters(t, ts)
+	if hits+misses != 100 {
+		t.Fatalf("hits+misses = %d+%d, want 100", hits, misses)
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits across 100 identical requests")
+	}
+
+	// Cluster listing reflects the registered snapshot.
+	resp, err := http.Get(ts.URL + "/v1/clusters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Name  string `json:"name"`
+		Epoch uint64 `json:"epoch"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rows) != 1 || rows[0].Name != "smoke" || rows[0].Epoch != 1 || rows[0].Nodes != 4 {
+		t.Fatalf("clusters = %+v", rows)
+	}
+
+	// A failure event mints epoch 2 and purges the cached placement.
+	resp, body := postJSON(t, ts.URL+"/v1/clusters/smoke/events",
+		map[string]any{"type": "fail-node", "node": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("event status %d: %s", resp.StatusCode, body)
+	}
+	var ack struct {
+		Epoch  uint64 `json:"epoch"`
+		Purged int    `json:"purged"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch != 2 || ack.Purged != 1 {
+		t.Fatalf("event ack = %+v, want epoch 2, purged 1", ack)
+	}
+
+	resp, body = postJSON(t, placeURL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap place status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Epoch      uint64 `json:"epoch"`
+		Cached     bool   `json:"cached"`
+		Placements []struct {
+			Node int `json:"node"`
+		} `json:"placements"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != 2 || out.Cached {
+		t.Fatalf("post-swap place: epoch=%d cached=%v", out.Epoch, out.Cached)
+	}
+	for _, p := range out.Placements {
+		if p.Node == 1 {
+			t.Fatal("placed on failed node 1")
+		}
+	}
+}
+
+// cacheCounters scrapes /metrics.json the way the CI smoke job does.
+func cacheCounters(t *testing.T, ts *httptest.Server) (hits, misses int64) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap.Counters["lama_engine_cache_hits_total"], snap.Counters["lama_engine_cache_misses_total"]
+}
+
+func TestLamadErrorStatuses(t *testing.T) {
+	_, ts := testServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/place", map[string]any{"cluster": "nope", "np": 4})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cluster status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/place", map[string]any{"cluster": "smoke", "np": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("np=0 status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/place", map[string]any{"cluster": "smoke", "np": 4, "epoch": 9})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale epoch status = %d, want 409", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/clusters/smoke/events", map[string]any{"type": "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad event status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLamadBuildErrors(t *testing.T) {
+	for _, def := range []string{"noequals", "bad=3yfig2", "bad=0xfig2", ""} {
+		if _, _, err := buildDaemon(def, "", engine.Config{}); err == nil {
+			t.Errorf("buildDaemon(%q) accepted", def)
+		}
+	}
+	if _, _, err := buildDaemon("a=2xnehalem-ep", "no-such-net", engine.Config{}); err == nil {
+		t.Error("bad -net accepted")
+	}
+}
+
+func TestLamadVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "lamad go") {
+		t.Fatalf("version output = %q", buf.String())
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// httpServer binds eagerly (so -listen :0 can report its picked port
+// before serving) and runs until the listener fails or a shutdown signal
+// arrives.
+type httpServer struct {
+	addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+func newHTTPServer(addr string, h http.Handler) (*httpServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-listen %s: %v", addr, err)
+	}
+	return &httpServer{
+		addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: h},
+	}, nil
+}
+
+func (s *httpServer) serve() error {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	errc := make(chan error, 1)
+	go func() { errc <- s.srv.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-sigc:
+		return s.srv.Close()
+	}
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -66,8 +67,13 @@ func run(args []string, out io.Writer) error {
 	emitRankfile := fs.Bool("emit-rankfile", false, "emit the map as a Level 4 rankfile and exit")
 	trace := fs.Int("trace", 0, "print the first N mapping-iteration events (Levels 1-3)")
 	obsFlags := obs.RegisterFlags(fs)
+	version := obs.RegisterVersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(out, "lamamap")
+		return nil
 	}
 	if *listPolicies {
 		for _, name := range place.Names() {
@@ -126,7 +132,7 @@ func run(args []string, out io.Writer) error {
 	} else if *netRefine {
 		return fmt.Errorf("-net-refine requires -net")
 	}
-	res, err := mpirun.Execute(req, c)
+	res, err := mpirun.Execute(context.Background(), req, c)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -91,7 +92,7 @@ func runChurn(out io.Writer, sp hw.Spec, obsFlags *obs.CLIFlags, o *obs.Observer
 		})
 	}
 	pl := &place.Pipeline{Policy: pol, Stages: stages}
-	m, err := pl.Run(&place.Request{
+	m, err := pl.Run(context.Background(), &place.Request{
 		Cluster: granted, NP: cfg.np, Layout: layout, Seed: cfg.seed,
 		Opts: core.Options{Obs: o},
 	})

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -93,8 +94,13 @@ func run(args []string, out io.Writer) error {
 	critical := fs.Int("critical", 0, "number of leading ranks to spread across failure domains (-churn)")
 	validate := fs.String("validate", "", "validate observability outputs instead of running: comma-separated paths (.jsonl = event trace, otherwise runreport JSON)")
 	obsFlags := obs.RegisterFlags(fs)
+	version := obs.RegisterVersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(out, "lamasim")
+		return nil
 	}
 	if *validate != "" {
 		return runValidate(out, *validate)
@@ -304,7 +310,7 @@ type strategy struct {
 
 // policyGen resolves one registry policy lazily.
 func policyGen(name string, req *place.Request) func() (*core.Map, error) {
-	return func() (*core.Map, error) { return place.Place(name, req) }
+	return func() (*core.Map, error) { return place.Place(context.Background(), name, req) }
 }
 
 // policyStrategies builds the comparison set from -policy: a comma list of
@@ -328,7 +334,7 @@ func policyStrategies(list string, c *cluster.Cluster, np int, tm *commpat.Matri
 			TorusDims: [3]int{d.X, d.Y, d.Z},
 		}
 		if name == "rankfile" {
-			base, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+			base, err := place.Place(context.Background(), "by-slot", &place.Request{Cluster: c, NP: np})
 			if err != nil {
 				return nil, err
 			}

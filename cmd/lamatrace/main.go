@@ -60,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	case "help", "-h", "-help", "--help":
 		fmt.Fprintln(out, usage)
 		return nil
+	case "version", "-version", "--version":
+		obs.PrintVersion(out, "lamatrace")
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q\n%s", args[0], usage)
 	}

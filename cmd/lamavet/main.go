@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"lama/internal/analysis"
+	"lama/internal/obs"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		switch arg {
 		case "-V=full", "-V":
 			fmt.Printf("lamavet version %s\n", analysis.Version)
+			return
+		case "-version", "--version":
+			obs.PrintVersion(os.Stdout, "lamavet")
 			return
 		case "-flags":
 			// No tool-specific analyzer flags; the go command wants the

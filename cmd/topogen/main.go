@@ -44,8 +44,13 @@ func run(args []string, out io.Writer) error {
 	asTree := fs.Bool("tree", false, "render the first node's topology as an ASCII tree")
 	presets := fs.Bool("presets", false, "list available presets and exit")
 	obsFlags := obs.RegisterFlags(fs)
+	version := obs.RegisterVersionFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		obs.PrintVersion(out, "topogen")
+		return nil
 	}
 	o, closeObs, err := obsFlags.Observer(os.Stderr)
 	if err != nil {

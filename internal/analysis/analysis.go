@@ -46,7 +46,7 @@ import (
 // Version identifies the analyzer suite; it is recorded by lamabench's
 // lint provenance field and printed by `lamavet -V=full`. Bump it when an
 // analyzer's findings change.
-const Version = "lamavet/1"
+const Version = "lamavet/2"
 
 // Analyzer is one named static check.
 type Analyzer struct {
@@ -103,7 +103,7 @@ func (d Diagnostic) String() string {
 // Instances carry per-run state (obsvocab accumulates the emission set),
 // so drivers must not share a suite between runs.
 func Suite() []*Analyzer {
-	return []*Analyzer{MapIter(), NoDeterm(), ObsVocab(), HotPath()}
+	return []*Analyzer{MapIter(), NoDeterm(), ObsVocab(), HotPath(), CtxFirst()}
 }
 
 // RunPackages loads the packages matching patterns (resolved relative to
@@ -167,6 +167,7 @@ var DeterministicPkgNames = map[string]bool{
 	"faultaware": true,
 	"netorder":   true,
 	"commpat":    true,
+	"engine":     true,
 }
 
 // deterministic reports whether the pass's package is part of the

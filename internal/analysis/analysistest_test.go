@@ -21,7 +21,7 @@ import (
 func fixtureLoader(t *testing.T) *Loader {
 	t.Helper()
 	l := NewLoader(filepath.Join("..", ".."))
-	if err := l.Gather("lama/internal/obs", "fmt", "sort", "time", "math/rand", "os", "errors"); err != nil {
+	if err := l.Gather("lama/internal/obs", "fmt", "sort", "time", "math/rand", "os", "errors", "context"); err != nil {
 		t.Fatalf("gather export data: %v", err)
 	}
 	return l
@@ -119,6 +119,7 @@ func TestFixtures(t *testing.T) {
 		{"nodeterm", NoDeterm()},
 		{"obsvocab", ObsVocab()},
 		{"hotpath", HotPath()},
+		{"ctxfirst", CtxFirst()},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -160,7 +161,7 @@ func TestObsVocabDeadEntries(t *testing.T) {
 	}
 	has := func(src, name string) bool {
 		for msg := range reported {
-			if regexp.MustCompile(regexp.QuoteMeta("("+src+", "+name+")")).MatchString(msg) {
+			if regexp.MustCompile(regexp.QuoteMeta("(" + src + ", " + name + ")")).MatchString(msg) {
 				return true
 			}
 		}

@@ -1,0 +1,51 @@
+// Package ctxfirst is the ctxfirst fixture: context parameters in
+// compliant first position and flagged later positions, across function
+// declarations, methods, literals, and interface definitions.
+package ctxfirst
+
+import "context"
+
+// first is the convention: context leads.
+func first(ctx context.Context, np int) error {
+	return ctx.Err()
+}
+
+// buried hides the context mid-signature.
+func buried(np int, ctx context.Context) error { // want `buried: context.Context is parameter 2, not first`
+	return ctx.Err()
+}
+
+// trailing hides it at the end of a wide signature.
+func trailing(a, b int, c string, ctx context.Context) error { // want `trailing: context.Context is parameter 4, not first`
+	_ = a + b
+	_ = c
+	return ctx.Err()
+}
+
+// noCtx has no context at all; nothing to check.
+func noCtx(a, b int) int {
+	return a + b
+}
+
+type runner struct{}
+
+// method receivers do not count as a parameter position.
+func (runner) run(ctx context.Context, steps int) error {
+	return ctx.Err()
+}
+
+// methodBuried is flagged like any declaration.
+func (runner) methodBuried(steps int, ctx context.Context) error { // want `methodBuried: context.Context is parameter 2, not first`
+	return ctx.Err()
+}
+
+// literals observe the same convention.
+var ok = func(ctx context.Context, n int) error { return ctx.Err() }
+
+var bad = func(n int, ctx context.Context) error { return ctx.Err() } // want `function literal: context.Context is parameter 2, not first`
+
+// stage is an interface whose methods are checked too.
+type stage interface {
+	Apply(ctx context.Context, n int) error
+	Refine(n int, ctx context.Context) error // want `Refine: context.Context is parameter 2, not first`
+}

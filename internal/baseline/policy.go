@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"lama/internal/core"
 	"lama/internal/place"
 )
@@ -13,7 +15,9 @@ type policy struct {
 
 func (p policy) Name() string { return p.name }
 
-func (p policy) Place(req *place.Request) (*core.Map, error) { return p.run(req) }
+// Place runs the adapted baseline. The baselines are single-pass and
+// fast; the context is accepted for interface uniformity only.
+func (p policy) Place(_ context.Context, req *place.Request) (*core.Map, error) { return p.run(req) }
 
 // The baselines register under the paper's §II vocabulary. Request fields
 // consumed: "pack"/"scatter" read PackLevel (zero = machine level),

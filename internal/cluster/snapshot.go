@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"lama/internal/hw"
+)
+
+// Snapshot is a deep-frozen, availability-stamped view of a cluster: the
+// node set, every node's topology (with its current availability), and the
+// attached fault model, captured atomically. A snapshot is immutable by
+// contract — nothing may call mutating methods on its Cluster, its
+// topologies, or its fault model. Mutation events (node failure, partial PU
+// failure, grow, realloc adoption) instead derive a NEW snapshot via
+// copy-on-write: only the touched node's topology (and the fault model,
+// which is small) are cloned; every untouched *Node — and therefore its
+// *hw.Topology pointer — is shared with the parent snapshot.
+//
+// Pointer sharing is the point. The mapping engine's view cache
+// (internal/core/dense.go) is keyed by topology identity, so a mapper that
+// is handed a sibling snapshot re-resolves only the touched node's view and
+// reuses every other node's cached view as-is, instead of rebuilding the
+// whole maximal tree because a generation counter ticked. The shared
+// pruned shape (keyed by ShapeSig, which availability mutations never
+// change) is reused even for the touched node.
+//
+// Each derived snapshot carries an epoch, one greater than its parent's.
+// Epochs order the snapshots of one logical cluster and key placement
+// caches and pooled mapper state (internal/engine); a request carrying a
+// stale epoch is detectably out of date.
+type Snapshot struct {
+	epoch    uint64
+	c        *Cluster
+	nodeSigs []string
+	sig      string
+}
+
+// SnapshotOf atomically captures a live cluster into an immutable snapshot
+// at epoch 1. The cluster is deep-copied, so the caller is free to keep
+// mutating its copy; subsequent derived snapshots are copy-on-write and do
+// not pay the deep copy again.
+func SnapshotOf(c *Cluster) *Snapshot {
+	s := &Snapshot{epoch: 1, c: c.Clone()}
+	s.nodeSigs = make([]string, len(s.c.Nodes))
+	for i, n := range s.c.Nodes {
+		s.nodeSigs[i] = nodeSig(n)
+	}
+	s.sig = combineSigs(s.nodeSigs)
+	return s
+}
+
+// Epoch returns the snapshot's epoch (1 for a fresh capture, parent+1 for
+// every derived snapshot).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Cluster returns the frozen cluster. Callers must treat it as read-only;
+// mapping over it is fine (mapping never mutates a cluster), mutating it
+// corrupts every snapshot sharing its nodes.
+func (s *Snapshot) Cluster() *Cluster { return s.c }
+
+// NumNodes returns the node count.
+func (s *Snapshot) NumNodes() int { return len(s.c.Nodes) }
+
+// Sig returns a digest over every node's structural shape, availability
+// set, and slot configuration. Two snapshots with equal Sig are
+// placement-equivalent: any (layout, np, policy) request maps identically
+// on both. Placement caches key on it.
+func (s *Snapshot) Sig() string { return s.sig }
+
+// derive copies the snapshot's bookkeeping for a COW mutation: a fresh
+// Nodes slice (sharing every *Node pointer), a fresh nodeSigs slice, and a
+// cloned fault model (it is mutable history, and small). The caller then
+// replaces only the touched entries.
+func (s *Snapshot) derive() *Snapshot {
+	child := &Snapshot{
+		epoch: s.epoch + 1,
+		c: &Cluster{
+			Nodes:  append([]*Node(nil), s.c.Nodes...),
+			Faults: s.c.Faults.Clone(),
+		},
+		nodeSigs: append([]string(nil), s.nodeSigs...),
+	}
+	return child
+}
+
+// FailNode derives a snapshot in which node i is fully failed. Only node
+// i's topology is cloned; healthy nodes — including ShapeSig twins of the
+// failed node — keep their exact *hw.Topology pointers, so their cached
+// pruned views stay live. The second result is false when i is out of
+// range (the receiver is returned unchanged).
+func (s *Snapshot) FailNode(i int) (*Snapshot, bool) {
+	n := s.c.Node(i)
+	if n == nil {
+		return s, false
+	}
+	child := s.derive()
+	nn := &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots}
+	nn.Topo.SetAvailable(hw.LevelMachine, 0, false)
+	child.c.Nodes[i] = nn
+	child.c.Faults.RecordFailure(i)
+	child.nodeSigs[i] = nodeSig(nn)
+	child.sig = combineSigs(child.nodeSigs)
+	return child, true
+}
+
+// FailPUs derives a snapshot in which the given PU OS indices of node i
+// are off-lined (a partial failure such as a dead core). The second result
+// is the number of PUs that changed from usable to failed; when zero the
+// receiver is returned unchanged and no new epoch is minted.
+func (s *Snapshot) FailPUs(i int, pus *hw.CPUSet) (*Snapshot, int) {
+	n := s.c.Node(i)
+	if n == nil {
+		return s, 0
+	}
+	nn := &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots}
+	changed := nn.Topo.Offline(pus)
+	if changed == 0 {
+		return s, 0
+	}
+	child := s.derive()
+	child.c.Nodes[i] = nn
+	child.nodeSigs[i] = nodeSig(nn)
+	child.sig = combineSigs(child.nodeSigs)
+	return child, changed
+}
+
+// AppendNode derives a snapshot grown by one node (a realloc grant or an
+// elastic grow). The node is deep-copied on the way in so the caller's
+// copy stays independent.
+func (s *Snapshot) AppendNode(n *Node) *Snapshot {
+	child := s.derive()
+	nn := &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots}
+	child.c.Nodes = append(child.c.Nodes, nn)
+	child.nodeSigs = append(child.nodeSigs, nodeSig(nn))
+	child.sig = combineSigs(child.nodeSigs)
+	return child
+}
+
+// ReplaceNode derives a snapshot in which node i is substituted by a deep
+// copy of n (realloc adoption: a spare takes over a failed node's logical
+// slot). Returns the receiver unchanged when i is out of range.
+func (s *Snapshot) ReplaceNode(i int, n *Node) (*Snapshot, bool) {
+	if s.c.Node(i) == nil {
+		return s, false
+	}
+	child := s.derive()
+	nn := &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots}
+	child.c.Nodes[i] = nn
+	child.nodeSigs[i] = nodeSig(nn)
+	child.sig = combineSigs(child.nodeSigs)
+	return child, true
+}
+
+// nodeSig stamps one node: structural shape, the exact usable PU set
+// (ancestor availability included), and the slot policy. Everything a
+// mapping run can observe about the node is covered.
+func nodeSig(n *Node) string {
+	var sb strings.Builder
+	sb.WriteString(n.Topo.ShapeSig())
+	sb.WriteByte('|')
+	for _, pu := range n.Topo.Root.UsablePUs() {
+		fmt.Fprintf(&sb, "%x,", pu.OS)
+	}
+	fmt.Fprintf(&sb, "|%d|%d", n.Slots, n.MaxSlots)
+	return sb.String()
+}
+
+// combineSigs digests the per-node signatures (order-sensitive: node order
+// is the logical node numbering) into a short stable key.
+func combineSigs(sigs []string) string {
+	h := sha256.New()
+	for _, s := range sigs {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:12])
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"testing"
+
+	"lama/internal/hw"
+)
+
+func TestSnapshotCaptureIsDeep(t *testing.T) {
+	c := Homogeneous(3, specNehalem(t))
+	c.AttachFaultModel(2, 2, 42)
+	s := SnapshotOf(c)
+	if s.Epoch() != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", s.Epoch())
+	}
+	// Mutating the live cluster must not leak into the snapshot.
+	c.FailNode(0)
+	if s.Cluster().NodeFailed(0) {
+		t.Fatal("snapshot saw a post-capture mutation")
+	}
+	if s.Cluster().Faults == nil || s.Cluster().Faults.Failures(0) != 0 {
+		t.Fatal("snapshot fault model saw a post-capture failure")
+	}
+}
+
+func TestSnapshotFailNodeCOW(t *testing.T) {
+	c := Homogeneous(4, specNehalem(t))
+	c.AttachFaultModel(2, 2, 42)
+	s1 := SnapshotOf(c)
+	s2, ok := s1.FailNode(1)
+	if !ok {
+		t.Fatal("FailNode(1) should succeed")
+	}
+	if s2.Epoch() != 2 {
+		t.Fatalf("derived epoch = %d, want 2", s2.Epoch())
+	}
+	// Parent is untouched.
+	if s1.Cluster().NodeFailed(1) || s1.Cluster().UsableNodes() != 4 {
+		t.Fatal("parent snapshot mutated by FailNode")
+	}
+	if s1.Cluster().Faults.Failures(1) != 0 {
+		t.Fatal("parent fault model mutated by FailNode")
+	}
+	// Child sees the failure, including in its fault history.
+	if !s2.Cluster().NodeFailed(1) || s2.Cluster().UsableNodes() != 3 {
+		t.Fatal("child snapshot missing the failure")
+	}
+	if s2.Cluster().Faults.Failures(1) != 1 {
+		t.Fatal("child fault model missing the failure")
+	}
+	// Copy-on-write: untouched nodes share pointers, the failed one split.
+	for i := 0; i < 4; i++ {
+		same := s1.Cluster().Node(i) == s2.Cluster().Node(i)
+		sameTopo := s1.Cluster().Node(i).Topo == s2.Cluster().Node(i).Topo
+		if i == 1 && (same || sameTopo) {
+			t.Fatal("failed node must be cloned, not shared")
+		}
+		if i != 1 && (!same || !sameTopo) {
+			t.Fatalf("healthy node %d must share its pointer with the parent", i)
+		}
+	}
+	// Signatures: healthy twins keep their per-node sig; the cluster sig
+	// and the failed node's sig change.
+	if s1.Sig() == s2.Sig() {
+		t.Fatal("Sig must change across a failure")
+	}
+	if s1.nodeSigs[0] != s2.nodeSigs[0] || s1.nodeSigs[1] == s2.nodeSigs[1] {
+		t.Fatal("per-node sigs: twins stable, failed node split")
+	}
+	// Out of range: receiver returned unchanged.
+	if s3, ok := s2.FailNode(99); ok || s3 != s2 {
+		t.Fatal("out-of-range FailNode must return the receiver")
+	}
+}
+
+func TestSnapshotFailPUs(t *testing.T) {
+	s1 := SnapshotOf(Homogeneous(2, specNehalem(t)))
+	before := s1.Cluster().Node(0).Topo.NumUsablePUs()
+	s2, n := s1.FailPUs(0, hw.NewCPUSet(0, 1, 2))
+	if n != 3 {
+		t.Fatalf("FailPUs = %d, want 3", n)
+	}
+	if s1.Cluster().Node(0).Topo.NumUsablePUs() != before {
+		t.Fatal("parent mutated")
+	}
+	if got := s2.Cluster().Node(0).Topo.NumUsablePUs(); got != before-3 {
+		t.Fatalf("child usable = %d, want %d", got, before-3)
+	}
+	if s1.Cluster().Node(1) != s2.Cluster().Node(1) {
+		t.Fatal("untouched node must be shared")
+	}
+	// No-op offline (already dead PUs): no new epoch.
+	s3, n := s2.FailPUs(0, hw.NewCPUSet(0, 1))
+	if n != 0 || s3 != s2 {
+		t.Fatal("no-op FailPUs must return the receiver")
+	}
+}
+
+func TestSnapshotAppendAndReplace(t *testing.T) {
+	sp := specNehalem(t)
+	s1 := SnapshotOf(Homogeneous(2, sp))
+	spare := &Node{Name: "spare0", Topo: hw.New(sp)}
+
+	s2 := s1.AppendNode(spare)
+	if s2.NumNodes() != 3 || s1.NumNodes() != 2 {
+		t.Fatalf("grow: child %d nodes, parent %d", s2.NumNodes(), s1.NumNodes())
+	}
+	if s2.Cluster().Node(2).Topo == spare.Topo {
+		t.Fatal("appended node must be deep-copied")
+	}
+	if s2.Epoch() != 2 || s2.Sig() == s1.Sig() {
+		t.Fatal("grow must mint a new epoch and sig")
+	}
+
+	s3, ok := s2.ReplaceNode(0, &Node{Name: "adopted", Topo: hw.New(sp)})
+	if !ok || s3.Cluster().Node(0).Name != "adopted" {
+		t.Fatal("ReplaceNode failed")
+	}
+	if s2.Cluster().Node(0).Name != "node0" {
+		t.Fatal("parent mutated by ReplaceNode")
+	}
+	if _, ok := s3.ReplaceNode(17, spare); ok {
+		t.Fatal("out-of-range ReplaceNode must fail")
+	}
+}
+
+func TestSnapshotSigTracksAvailabilityNotNames(t *testing.T) {
+	sp := specNehalem(t)
+	a := SnapshotOf(Homogeneous(2, sp))
+	b := SnapshotOf(Homogeneous(2, sp))
+	if a.Sig() != b.Sig() {
+		t.Fatal("identical clusters must share a sig")
+	}
+	bFailed, _ := b.FailNode(0)
+	if a.Sig() == bFailed.Sig() {
+		t.Fatal("availability change must change the sig")
+	}
+	// Slots are placement-relevant and must be stamped.
+	c := Homogeneous(2, sp)
+	c.Nodes[0].Slots = 4
+	if SnapshotOf(c).Sig() == a.Sig() {
+		t.Fatal("slot policy must change the sig")
+	}
+}

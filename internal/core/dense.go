@@ -247,7 +247,8 @@ type denseTree struct {
 	widths      []int
 	leafBase    []int32
 	totalLeaves int
-	gens        []uint64 // per node: topology generation the view captured
+	gens        []uint64       // per node: topology generation the view captured
+	topos       []*hw.Topology // per node: topology identity the view was built from
 }
 
 // newDenseTree assembles the maximal tree for a cluster's per-node
@@ -261,11 +262,13 @@ func newDenseTree(c *cluster.Cluster, levels []hw.Level) *denseTree {
 		widths:   make([]int, len(levels)),
 		leafBase: make([]int32, n),
 		gens:     make([]uint64, n),
+		topos:    make([]*hw.Topology, n),
 	}
 	for i, node := range c.Nodes {
 		v := viewFor(node.Topo, levels, sig)
 		dt.views[i] = v
 		dt.gens[i] = v.gen
+		dt.topos[i] = node.Topo
 		dt.leafBase[i] = int32(dt.totalLeaves)
 		dt.totalLeaves += v.shape.numLeaves
 		for d, w := range v.shape.widths {
@@ -277,15 +280,19 @@ func newDenseTree(c *cluster.Cluster, levels []hw.Level) *denseTree {
 	return dt
 }
 
-// freshFor reports whether every view still matches its topology's current
-// generation, i.e. no availability or structural mutation happened on the
-// cluster since the tree was built.
+// freshFor reports whether every view still matches its topology — same
+// topology identity AND same generation — i.e. no availability or
+// structural mutation happened on the cluster since the tree was built.
+// The identity check matters under copy-on-write snapshots: a mapper
+// re-pointed at a sibling snapshot sees a cloned topology for the touched
+// node whose generation can coincide with the cached one (Clone resets the
+// counter), and generations alone would silently reuse the stale view.
 func (dt *denseTree) freshFor(c *cluster.Cluster) bool {
 	if len(dt.views) != c.NumNodes() {
 		return false
 	}
 	for i, node := range c.Nodes {
-		if node.Topo.Generation() != dt.gens[i] {
+		if node.Topo != dt.topos[i] || node.Topo.Generation() != dt.gens[i] {
 			return false
 		}
 	}

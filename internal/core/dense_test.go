@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -211,7 +212,7 @@ func TestSweepLayoutsMatchesSerial(t *testing.T) {
 		layouts[i] = MustParseLayout(s)
 	}
 	for _, workers := range []int{1, 3, 0} {
-		maps, err := SweepLayouts(c, layouts, 48, Options{}, workers)
+		maps, err := SweepLayouts(context.Background(), c, layouts, 48, Options{}, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -243,12 +244,12 @@ func TestSweepLayoutsError(t *testing.T) {
 	}
 	c := cluster.Homogeneous(2, sp)
 	layouts := []Layout{MustParseLayout("scbnh"), MustParseLayout("scbh")}
-	if _, err := SweepLayouts(c, layouts, 8, Options{}, 2); err == nil {
+	if _, err := SweepLayouts(context.Background(), c, layouts, 8, Options{}, 2); err == nil {
 		t.Fatal("node-less layout accepted")
 	}
 	// An unmappable rank count fails with the mapper's error.
 	big := c.TotalUsablePUs() + 1
-	if _, err := SweepLayouts(c, []Layout{MustParseLayout("scbnh")}, big, Options{}, 2); !errors.Is(err, ErrOversubscribe) {
+	if _, err := SweepLayouts(context.Background(), c, []Layout{MustParseLayout("scbnh")}, big, Options{}, 2); !errors.Is(err, ErrOversubscribe) {
 		t.Fatalf("err = %v, want ErrOversubscribe", err)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -40,6 +42,12 @@ type ExpandReport struct {
 // (FailNode) since the original mapping; both are picked up through the
 // availability mechanism exactly as in RemapSurvivors.
 func ExpandMap(c *cluster.Cluster, layout Layout, opts Options, old *Map, add int) (*Map, *ExpandReport, error) {
+	return ExpandMapContext(context.Background(), c, layout, opts, old, add)
+}
+
+// ExpandMapContext is ExpandMap with cooperative cancellation (checked at
+// the incremental run's sweep boundaries, like Mapper.MapContext).
+func ExpandMapContext(ctx context.Context, c *cluster.Cluster, layout Layout, opts Options, old *Map, add int) (*Map, *ExpandReport, error) {
 	if c == nil || c.NumNodes() == 0 {
 		return nil, nil, fmt.Errorf("core: empty cluster")
 	}
@@ -76,7 +84,7 @@ func ExpandMap(c *cluster.Cluster, layout Layout, opts Options, old *Map, add in
 	if err != nil {
 		return nil, nil, err
 	}
-	sub, err := mapper.Map(add)
+	sub, err := mapper.MapContext(ctx, add)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: incremental grow of %d ranks failed: %w", add, err)
 	}
@@ -166,4 +174,40 @@ func ShrinkMap(c *cluster.Cluster, old *Map, remove []int) (*Map, *ShrinkReport,
 	}
 	report.LocalityAfter = NeighborLocality(c, out)
 	return out, report, nil
+}
+
+// ErrStaleSnapshot reports that a grow (or any snapshot-keyed operation)
+// raced a snapshot swap: the epoch the caller planned against is no longer
+// the cluster's current epoch, so resources the plan assumed free may have
+// been reassigned. Callers should re-fetch the current snapshot and retry.
+var ErrStaleSnapshot = errors.New("core: cluster snapshot is stale")
+
+// ExpandMapSnapshot grows a job against an immutable cluster snapshot with
+// stale-snapshot detection: current() must report the cluster's live epoch
+// (e.g. the engine's published snapshot epoch). The epoch is verified
+// before mapping starts AND after it completes — a swap that lands
+// mid-grow (a failure event, a realloc) invalidates the grow, which then
+// returns ErrStaleSnapshot instead of silently handing out placements
+// computed from freed or reassigned PUs.
+func ExpandMapSnapshot(ctx context.Context, snap *cluster.Snapshot, current func() uint64,
+	layout Layout, opts Options, old *Map, add int) (*Map, *ExpandReport, error) {
+	if snap == nil {
+		return nil, nil, fmt.Errorf("core: nil snapshot")
+	}
+	if current == nil {
+		return nil, nil, fmt.Errorf("core: nil epoch source")
+	}
+	if got := current(); got != snap.Epoch() {
+		return nil, nil, fmt.Errorf("%w: planned against epoch %d, cluster is at %d",
+			ErrStaleSnapshot, snap.Epoch(), got)
+	}
+	out, rep, err := ExpandMapContext(ctx, snap.Cluster(), layout, opts, old, add)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := current(); got != snap.Epoch() {
+		return nil, nil, fmt.Errorf("%w: epoch advanced %d -> %d mid-grow",
+			ErrStaleSnapshot, snap.Epoch(), got)
+	}
+	return out, rep, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,9 +23,13 @@ import (
 // Collecting every map costs memory proportional to len(layouts)*np; for
 // very large sweeps (e.g. all 9! full layouts) use SweepEach and reduce on
 // the fly.
-func SweepLayouts(c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int) ([]*Map, error) {
+//
+// The context cancels the sweep at per-layout boundaries: in-flight Map
+// calls finish their current sweep, queued layouts are skipped, and the
+// cancellation error is returned.
+func SweepLayouts(ctx context.Context, c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int) ([]*Map, error) {
 	out := make([]*Map, len(layouts))
-	err := SweepEach(c, layouts, np, opts, workers, func(i int, m *Map) error {
+	err := SweepEach(ctx, c, layouts, np, opts, workers, func(i int, m *Map) error {
 		out[i] = m
 		return nil
 	})
@@ -48,7 +53,7 @@ func SweepLayouts(c *cluster.Cluster, layouts []Layout, np int, opts Options, wo
 // are suppressed inside the sweep (only the "sweep"/"layout" progress
 // events and the aggregate metrics are kept) so a 362,880-layout sweep
 // does not drown the trace in per-map completions.
-func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int,
+func SweepEach(ctx context.Context, c *cluster.Cluster, layouts []Layout, np int, opts Options, workers int,
 	visit func(i int, m *Map) error) error {
 	if c == nil || c.NumNodes() == 0 {
 		return fmt.Errorf("core: empty cluster")
@@ -74,6 +79,9 @@ func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, worke
 	}
 	mappers := make([]*Mapper, workers)
 	err := parallel.ForEachWorker(len(layouts), workers, func(w, i int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: sweep canceled before layout %d: %w", i, err)
+		}
 		layout := layouts[i]
 		if !layout.Contains(hw.LevelMachine) {
 			return fmt.Errorf("core: layout %q must include the node level 'n'", layout)
@@ -88,7 +96,7 @@ func SweepEach(c *cluster.Cluster, layouts []Layout, np int, opts Options, worke
 		if o.Enabled() {
 			mapStart = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
-		m, err := mp.Map(np)
+		m, err := mp.MapContext(ctx, np)
 		if err != nil {
 			if o.Enabled() {
 				o.Emit(obs.SrcSweep, obs.EvLayoutFailed, obs.NoStep,

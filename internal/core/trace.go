@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -84,6 +85,12 @@ func (e TraceEvent) String() string {
 // "map"/"visit" event — the sink is NOT bounded by maxEvents, which only
 // caps the returned slice.
 func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
+	return m.MapTracedContext(context.Background(), np, maxEvents)
+}
+
+// MapTracedContext is MapTraced with cooperative cancellation, checked at
+// sweep boundaries exactly like Mapper.MapContext.
+func (m *Mapper) MapTracedContext(ctx context.Context, np, maxEvents int) (*Map, []TraceEvent, error) {
 	o := m.Opts.Obs
 	var t0 time.Time
 	if o != nil {
@@ -118,6 +125,10 @@ func (m *Mapper) MapTraced(np, maxEvents int) (*Map, []TraceEvent, error) {
 	}
 	defer func() { r.trace = nil }()
 	for len(r.placements) < np {
+		if ctx.Err() != nil {
+			endPlace()
+			return nil, events, mapCanceled(ctx, np, len(r.placements))
+		}
 		before := len(r.placements)
 		endSweep := o.StartSpan(obs.SpanSweep)
 		r.inner(m, len(r.iterLevels)-1)

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"lama/internal/core"
+)
+
+// cacheKey identifies one placement result. The snapshot signature (not
+// just the epoch) is the load-bearing field: two snapshots that are
+// placement-equivalent — same shapes, same availability — share a Sig, so
+// an epoch bump that happens to restore a prior availability state can
+// still hit. The epoch rides along only for observability and staleness
+// purging.
+type cacheKey string
+
+// keyOf derives the cache key for a request against a snapshot.
+func keyOf(req *Request, sig string, epoch uint64) cacheKey {
+	return cacheKey(fmt.Sprintf("%s|%s|%d|%s|%s|%s|%g|%d|%t",
+		req.Cluster, sig, epoch, req.Policy, req.Layout,
+		req.Pattern, req.Bytes, req.PEsPerProc, req.Oversubscribe) +
+		fmt.Sprintf("|%d", req.NP))
+}
+
+// cacheEntry is one LRU slot. cluster+epoch let purgeOlder find stale
+// entries by walking the list, without ranging over the index map.
+type cacheEntry struct {
+	key     cacheKey
+	cluster string
+	epoch   uint64
+	m       *core.Map
+}
+
+// lruCache is a mutex-guarded LRU of placement results. Capacity 0
+// disables it (get always misses, put drops).
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	index map[cacheKey]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		index: map[cacheKey]*list.Element{},
+	}
+}
+
+// get returns the cached map and promotes the entry.
+func (c *lruCache) get(key cacheKey) (*core.Map, bool) {
+	if c.cap == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).m, true
+}
+
+// put inserts (or refreshes) an entry, evicting from the back past
+// capacity.
+func (c *lruCache) put(key cacheKey, clusterName string, epoch uint64, m *core.Map) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry).m = m
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, cluster: clusterName, epoch: epoch, m: m})
+	c.index[key] = el
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(*cacheEntry).key)
+	}
+}
+
+// purgeOlder evicts every entry for the named cluster below the given
+// epoch and reports how many it removed. It walks the LRU list (ordered,
+// deterministic) rather than ranging over the index map.
+func (c *lruCache) purgeOlder(clusterName string, epoch uint64) int {
+	if c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	purged := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ce := el.Value.(*cacheEntry)
+		if ce.cluster == clusterName && ce.epoch < epoch {
+			c.order.Remove(el)
+			delete(c.index, ce.key)
+			purged++
+		}
+		el = next
+	}
+	return purged
+}
+
+// len reports the live entry count (for tests and metrics).
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,392 @@
+// Package engine is the request-scoped placement engine behind the lamad
+// daemon: a registry of named clusters published as immutable
+// cluster.Snapshot values (swapped atomically on failure/grow events), a
+// bounded pool of workers that reuse Mapper state across requests, an LRU
+// placement cache keyed by the snapshot signature, and admission control
+// with deadline-aware shedding.
+//
+// The engine is what turns the library's "one mutable Cluster + one
+// caller" model into "immutable snapshots + many concurrent callers":
+// requests never observe a half-applied mutation (they hold a snapshot
+// pointer for their whole run), and mutation events mint a new snapshot
+// via copy-on-write, so the dense-tree view caches in internal/core are
+// reused for every untouched node.
+//
+// Determinism contract: given the same snapshot epoch and the same
+// request, the engine returns the same placement — it is in lamavet's
+// deterministic package set. Nothing in this package reads a clock or
+// random source; latency accounting lives in the callers (place.Run
+// metrics, the lamad HTTP layer, lamabench -serve).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lama/internal/cluster"
+	"lama/internal/commpat"
+	"lama/internal/core"
+	"lama/internal/netsim"
+	"lama/internal/obs"
+	"lama/internal/place"
+)
+
+// Snapshot binds a cluster snapshot to its optional inter-node network
+// distances. Distances are availability-independent, so swaps triggered
+// by failure events carry them forward unchanged.
+type Snapshot struct {
+	Clu *cluster.Snapshot
+	Net *netsim.Distances
+}
+
+// ErrOverloaded is returned when admission control refuses a request: the
+// bounded queue is full, or the request's context expired while queued.
+var ErrOverloaded = errors.New("engine: overloaded, request shed")
+
+// ErrUnknownCluster is returned for requests naming an unregistered
+// cluster.
+var ErrUnknownCluster = errors.New("engine: unknown cluster")
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers bounds concurrent placements; <= 0 means 4.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; once the queue is
+	// full further requests are shed immediately. <= 0 means 4*Workers.
+	QueueDepth int
+	// CacheSize bounds the placement LRU (entries); <= 0 means 1024, < 0
+	// is treated as 0 (cache disabled is expressed by CacheSize == -1).
+	CacheSize int
+	// Obs receives engine events (register, swap, shed) and the cache and
+	// admission counters. Nil disables instrumentation.
+	Obs *obs.Observer
+}
+
+// Request is one placement query.
+type Request struct {
+	// Cluster names the registered cluster (required).
+	Cluster string `json:"cluster"`
+	// NP is the number of processes to place (required).
+	NP int `json:"np"`
+	// Policy is the registry policy; empty means "lama".
+	Policy string `json:"policy,omitempty"`
+	// Layout is the LAMA layout string; empty means "csbnh".
+	Layout string `json:"layout,omitempty"`
+	// Epoch, when non-zero, requires the cluster to still be at that
+	// snapshot epoch; a mismatch fails with core.ErrStaleSnapshot. Zero
+	// accepts whatever epoch is current.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Pattern names a commpat traffic pattern for traffic-aware policies
+	// (e.g. "ring", "gtc"); Bytes is the per-exchange volume (0 = 1 MiB).
+	Pattern string  `json:"pattern,omitempty"`
+	Bytes   float64 `json:"bytes,omitempty"`
+	// Oversubscribe permits placing more claims than PUs.
+	Oversubscribe bool `json:"oversubscribe,omitempty"`
+	// PEsPerProc claims several PUs per rank (0 = 1).
+	PEsPerProc int `json:"pes_per_proc,omitempty"`
+	// NoCache bypasses the placement cache (both lookup and fill).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Response is a served placement. Map is shared with the cache — callers
+// must treat it as read-only.
+type Response struct {
+	Map    *core.Map
+	Epoch  uint64
+	Cached bool
+}
+
+// clusterEntry is one registered cluster: the currently published
+// snapshot, swapped atomically under mu.
+type clusterEntry struct {
+	mu   sync.RWMutex
+	snap *Snapshot
+}
+
+func (ce *clusterEntry) current() *Snapshot {
+	ce.mu.RLock()
+	defer ce.mu.RUnlock()
+	return ce.snap
+}
+
+// worker is one pool slot: reusable Mapper state keyed by (cluster,
+// layout). A mapper is re-pointed at each request's snapshot cluster;
+// core's dense-tree freshness check (topology identity + generation)
+// revalidates it, rebuilding only the views a copy-on-write swap touched.
+type worker struct {
+	mappers map[string]*core.Mapper
+}
+
+// Engine serves placement requests against registered cluster snapshots.
+type Engine struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	clusters map[string]*clusterEntry
+
+	workers chan *worker
+	queue   chan struct{}
+
+	cache *lruCache
+
+	hits, misses, stale, shed *obs.Counter
+	queueDepth                *obs.Gauge
+}
+
+// New builds an engine from a config.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 1024
+	}
+	if size < 0 {
+		size = 0
+	}
+	e := &Engine{
+		cfg:      cfg,
+		clusters: map[string]*clusterEntry{},
+		workers:  make(chan *worker, cfg.Workers),
+		queue:    make(chan struct{}, cfg.QueueDepth),
+		cache:    newLRU(size),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.workers <- &worker{mappers: map[string]*core.Mapper{}}
+	}
+	reg := cfg.Obs.Reg()
+	e.hits = reg.Counter("lama_engine_cache_hits_total")
+	e.misses = reg.Counter("lama_engine_cache_misses_total")
+	e.stale = reg.Counter("lama_engine_cache_stale_total")
+	e.shed = reg.Counter("lama_engine_shed_total")
+	e.queueDepth = reg.Gauge("lama_engine_queue_depth")
+	return e
+}
+
+// Register publishes a cluster under a name at snapshot epoch 1 (or
+// replaces its snapshot wholesale). The snapshot must not be mutated by
+// the caller afterwards.
+func (e *Engine) Register(name string, snap *Snapshot) error {
+	if name == "" || snap == nil || snap.Clu == nil {
+		return fmt.Errorf("engine: Register needs a name and a snapshot")
+	}
+	e.mu.Lock()
+	ce, ok := e.clusters[name]
+	if !ok {
+		ce = &clusterEntry{}
+		e.clusters[name] = ce
+	}
+	e.mu.Unlock()
+	ce.mu.Lock()
+	ce.snap = snap
+	ce.mu.Unlock()
+	if o := e.cfg.Obs; o.Enabled() {
+		o.Emit(obs.SrcEngine, obs.EvRegister, obs.NoStep,
+			obs.F("cluster", name),
+			obs.F("nodes", snap.Clu.NumNodes()),
+			obs.F("epoch", snap.Clu.Epoch()))
+	}
+	return nil
+}
+
+// Clusters lists the registered cluster names, sorted.
+func (e *Engine) Clusters() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.clusters))
+	for name := range e.clusters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the cluster's current published snapshot, or nil.
+func (e *Engine) Snapshot(name string) *Snapshot {
+	e.mu.RLock()
+	ce := e.clusters[name]
+	e.mu.RUnlock()
+	if ce == nil {
+		return nil
+	}
+	return ce.current()
+}
+
+// Epoch returns the cluster's current snapshot epoch (0 if unknown). It
+// is the epoch source a grow passes to core.ExpandMapSnapshot.
+func (e *Engine) Epoch(name string) uint64 {
+	if s := e.Snapshot(name); s != nil {
+		return s.Clu.Epoch()
+	}
+	return 0
+}
+
+// Swap atomically publishes next as the cluster's snapshot and purges the
+// cache entries keyed to older epochs of this cluster, counting them as
+// stale. Returns the count of purged entries.
+func (e *Engine) Swap(name string, next *Snapshot) (int, error) {
+	if next == nil || next.Clu == nil {
+		return 0, fmt.Errorf("engine: Swap with nil snapshot")
+	}
+	e.mu.RLock()
+	ce := e.clusters[name]
+	e.mu.RUnlock()
+	if ce == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownCluster, name)
+	}
+	ce.mu.Lock()
+	prev := ce.snap
+	ce.snap = next
+	ce.mu.Unlock()
+	purged := e.cache.purgeOlder(name, next.Clu.Epoch())
+	e.stale.Add(int64(purged))
+	if o := e.cfg.Obs; o.Enabled() {
+		var from uint64
+		if prev != nil {
+			from = prev.Clu.Epoch()
+		}
+		o.Emit(obs.SrcEngine, obs.EvSwap, obs.NoStep,
+			obs.F("cluster", name),
+			obs.F("from_epoch", from),
+			obs.F("to_epoch", next.Clu.Epoch()),
+			obs.F("stale_purged", purged))
+	}
+	return purged, nil
+}
+
+// Place serves one placement request. The context gates both admission
+// (a request whose context expires while queued is shed) and the mapping
+// run itself (cancellation at sweep boundaries).
+func (e *Engine) Place(ctx context.Context, req *Request) (*Response, error) {
+	if req == nil {
+		return nil, fmt.Errorf("engine: nil request")
+	}
+	e.mu.RLock()
+	ce := e.clusters[req.Cluster]
+	e.mu.RUnlock()
+	if ce == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCluster, req.Cluster)
+	}
+	snap := ce.current()
+	epoch := snap.Clu.Epoch()
+	if req.Epoch != 0 && req.Epoch != epoch {
+		return nil, fmt.Errorf("%w: request pinned epoch %d, cluster %q is at %d",
+			core.ErrStaleSnapshot, req.Epoch, req.Cluster, epoch)
+	}
+	key := keyOf(req, snap.Clu.Sig(), epoch)
+	if !req.NoCache {
+		if m, ok := e.cache.get(key); ok {
+			e.hits.Inc()
+			return &Response{Map: m, Epoch: epoch, Cached: true}, nil
+		}
+	}
+
+	// Admission: a bounded number of requests may wait for a worker; the
+	// rest are shed immediately. Queued requests are shed the moment
+	// their deadline expires rather than holding the slot.
+	select {
+	case e.queue <- struct{}{}:
+	default:
+		return nil, e.shedReq(req, "queue-full")
+	}
+	e.queueDepth.Set(float64(len(e.queue)))
+	var w *worker
+	select {
+	case w = <-e.workers:
+	case <-ctx.Done():
+		<-e.queue
+		e.queueDepth.Set(float64(len(e.queue)))
+		return nil, e.shedReq(req, "deadline")
+	}
+	<-e.queue
+	e.queueDepth.Set(float64(len(e.queue)))
+
+	m, err := e.place(ctx, w, snap, req)
+	e.workers <- w
+	if err != nil {
+		return nil, err
+	}
+	e.misses.Inc()
+	if !req.NoCache {
+		e.cache.put(key, req.Cluster, epoch, m)
+	}
+	return &Response{Map: m, Epoch: epoch}, nil
+}
+
+// shedReq counts and reports one shed request.
+func (e *Engine) shedReq(req *Request, why string) error {
+	e.shed.Inc()
+	if o := e.cfg.Obs; o.Enabled() {
+		o.Emit(obs.SrcEngine, obs.EvShed, obs.NoStep,
+			obs.F("cluster", req.Cluster),
+			obs.F("np", req.NP),
+			obs.F("reason", why))
+	}
+	return fmt.Errorf("%w (%s)", ErrOverloaded, why)
+}
+
+// place runs the actual mapping on a pool worker.
+func (e *Engine) place(ctx context.Context, w *worker, snap *Snapshot, req *Request) (*core.Map, error) {
+	opts := core.Options{
+		Oversubscribe: req.Oversubscribe,
+		PEsPerProc:    req.PEsPerProc,
+	}
+	policy := req.Policy
+	if policy == "" {
+		policy = "lama"
+	}
+	layoutText := req.Layout
+	if layoutText == "" {
+		layoutText = "csbnh"
+	}
+	if policy == "lama" {
+		// The fast path: per-worker Mapper reuse. The request's snapshot
+		// may differ from the one the cached mapper last saw; the dense
+		// tree's identity+generation freshness check rebuilds exactly the
+		// views the copy-on-write swap touched.
+		layout, err := core.ParseLayout(layoutText)
+		if err != nil {
+			return nil, err
+		}
+		mk := req.Cluster + "\x00" + layoutText
+		mp := w.mappers[mk]
+		if mp == nil {
+			mp = &core.Mapper{Layout: layout}
+			w.mappers[mk] = mp
+		}
+		mp.Cluster = snap.Clu.Cluster()
+		mp.Opts = opts
+		return mp.MapContext(ctx, req.NP)
+	}
+	preq := &place.Request{
+		Cluster: snap.Clu.Cluster(),
+		NP:      req.NP,
+		Opts:    opts,
+	}
+	if req.Layout != "" {
+		layout, err := core.ParseLayout(req.Layout)
+		if err != nil {
+			return nil, err
+		}
+		preq.Layout = layout
+	}
+	if req.Pattern != "" {
+		gen, ok := commpat.ByName(req.Pattern)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown traffic pattern %q", req.Pattern)
+		}
+		bytes := req.Bytes
+		if bytes <= 0 {
+			bytes = 1 << 20
+		}
+		preq.Traffic = gen(req.NP, bytes)
+	}
+	return place.Place(ctx, policy, preq)
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lama/internal/core"
+)
+
+// The lamad wire API. Every payload is JSON; errors come back as
+// {"error": "..."} with a meaningful status: 400 for malformed requests,
+// 404 for unknown clusters, 409 for stale epoch pins, 503 when admission
+// control sheds the request.
+//
+//	POST /v1/place                     place a job (body: Request)
+//	GET  /v1/clusters                  list clusters with epochs
+//	POST /v1/clusters/{id}/events      apply a mutation (body: Event)
+
+// PlacementJSON is one rank assignment on the wire.
+type PlacementJSON struct {
+	Rank     int    `json:"rank"`
+	Node     int    `json:"node"`
+	NodeName string `json:"node_name"`
+	PUs      []int  `json:"pus"`
+}
+
+// PlaceResponseJSON is the wire form of a served placement.
+type PlaceResponseJSON struct {
+	Cluster    string          `json:"cluster"`
+	Epoch      uint64          `json:"epoch"`
+	Cached     bool            `json:"cached"`
+	NP         int             `json:"np"`
+	Sweeps     int             `json:"sweeps"`
+	Placements []PlacementJSON `json:"placements"`
+}
+
+// ClusterJSON is one row of the cluster listing.
+type ClusterJSON struct {
+	Name      string `json:"name"`
+	Epoch     uint64 `json:"epoch"`
+	Sig       string `json:"sig"`
+	Nodes     int    `json:"nodes"`
+	UsablePUs int    `json:"usable_pus"`
+}
+
+// EventResponseJSON acknowledges an applied event.
+type EventResponseJSON struct {
+	Cluster string `json:"cluster"`
+	Epoch   uint64 `json:"epoch"`
+	Purged  int    `json:"purged"`
+}
+
+// Mount installs the /v1 placement API on a mux (Go 1.22 method+wildcard
+// patterns). The engine shares the mux with the obs telemetry surface in
+// lamad, so one port serves placements, metrics, events, and profiles.
+func (e *Engine) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/place", e.handlePlace)
+	mux.HandleFunc("GET /v1/clusters", e.handleClusters)
+	mux.HandleFunc("POST /v1/clusters/{id}/events", e.handleEvent)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) // best effort: client may be gone
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) // best effort: client may be gone
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownCluster):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrStaleSnapshot):
+		return http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (e *Engine) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad request body: %v", err))
+		return
+	}
+	if req.NP <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: np must be positive"))
+		return
+	}
+	resp, err := e.Place(r.Context(), &req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	out := PlaceResponseJSON{
+		Cluster:    req.Cluster,
+		Epoch:      resp.Epoch,
+		Cached:     resp.Cached,
+		NP:         resp.Map.NumRanks(),
+		Sweeps:     resp.Map.Sweeps,
+		Placements: make([]PlacementJSON, 0, resp.Map.NumRanks()),
+	}
+	for i := range resp.Map.Placements {
+		p := &resp.Map.Placements[i]
+		out.Placements = append(out.Placements, PlacementJSON{
+			Rank: p.Rank, Node: p.Node, NodeName: p.NodeName, PUs: p.PUs,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (e *Engine) handleClusters(w http.ResponseWriter, _ *http.Request) {
+	rows := make([]ClusterJSON, 0, 4)
+	for _, name := range e.Clusters() {
+		s := e.Snapshot(name)
+		if s == nil {
+			continue
+		}
+		rows = append(rows, ClusterJSON{
+			Name:      name,
+			Epoch:     s.Clu.Epoch(),
+			Sig:       s.Clu.Sig(),
+			Nodes:     s.Clu.NumNodes(),
+			UsablePUs: s.Clu.Cluster().TotalUsablePUs(),
+		})
+	}
+	writeJSON(w, rows)
+}
+
+func (e *Engine) handleEvent(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	var ev Event
+	if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("engine: bad event body: %v", err))
+		return
+	}
+	epoch, purged, err := e.ApplyEvent(name, &ev)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, EventResponseJSON{Cluster: name, Epoch: epoch, Purged: purged})
+}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"time"
 
 	"lama/internal/appsim"
@@ -144,7 +145,7 @@ func runE19(o Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tmm, err := place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
+		tmm, err := place.Place(context.Background(), "treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +199,7 @@ func runE20(o Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		tmMs, err := bestOf3(func() error {
-			_, err := place.Place("treematch", &place.Request{Cluster: c, NP: sz.np, Traffic: tm})
+			_, err := place.Place(context.Background(), "treematch", &place.Request{Cluster: c, NP: sz.np, Traffic: tm})
 			return err
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -151,7 +152,7 @@ func runE11(Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := mpirun.Execute(req, c)
+		res, err := mpirun.Execute(context.Background(), req, c)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +165,7 @@ func runE11(Options) ([]*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res3, err := mpirun.Execute(req3, c)
+			res3, err := mpirun.Execute(context.Background(), req3, c)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"lama/internal/cluster"
 	"lama/internal/commpat"
 	"lama/internal/core"
@@ -53,21 +54,21 @@ func runE9(Options) ([]*metrics.Table, error) {
 	// Every comparator resolves through the policy registry, the same path
 	// the CLIs use.
 	tdims := [3]int{dims.X, dims.Y, dims.Z}
-	bySlot, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+	bySlot, err := place.Place(context.Background(), "by-slot", &place.Request{Cluster: c, NP: np})
 	if err != nil {
 		return nil, err
 	}
 	if err := check("by-slot", "csbnh", bySlot); err != nil {
 		return nil, err
 	}
-	byNode, err := place.Place("by-node", &place.Request{Cluster: c, NP: np})
+	byNode, err := place.Place(context.Background(), "by-node", &place.Request{Cluster: c, NP: np})
 	if err != nil {
 		return nil, err
 	}
 	if err := check("by-node", "ncsbh", byNode); err != nil {
 		return nil, err
 	}
-	txyz, err := place.Place("torus", &place.Request{
+	txyz, err := place.Place(context.Background(), "torus", &place.Request{
 		Cluster: c, NP: np, TorusDims: tdims, TorusOrder: "txyz",
 	})
 	if err != nil {
@@ -103,7 +104,7 @@ func runE9(Options) ([]*metrics.Table, error) {
 	for _, p := range patterns {
 		t2 := metrics.NewTable("E9b / strategy cost on "+p.name+" (3-D torus network)",
 			"strategy", "total time (ms)", "hop-bytes (MB-hops)", "max link load (MB)", "vs random")
-		rnd, err := place.Place("random", &place.Request{Cluster: c, NP: np, Seed: 1})
+		rnd, err := place.Place(context.Background(), "random", &place.Request{Cluster: c, NP: np, Seed: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +115,7 @@ func runE9(Options) ([]*metrics.Table, error) {
 		for _, s := range strategies {
 			req := s.req
 			req.Cluster, req.NP = c, np
-			m, err := place.Place(s.policy, &req)
+			m, err := place.Place(context.Background(), s.policy, &req)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -164,7 +165,7 @@ func runE4(o Options) ([]*metrics.Table, error) {
 	checked := len(layouts)
 	var mu sync.Mutex
 	distinct := map[string]bool{}
-	err := core.SweepEach(c, layouts, np, core.Options{Obs: o.Obs}, 0, func(i int, m *core.Map) error {
+	err := core.SweepEach(context.Background(), c, layouts, np, core.Options{Obs: o.Obs}, 0, func(i int, m *core.Map) error {
 		if m.NumRanks() != np {
 			return fmt.Errorf("exper: layout %q placed %d of %d ranks", layouts[i], m.NumRanks(), np)
 		}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"lama/internal/appsim"
@@ -52,7 +53,7 @@ func runE12(o Options) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		bestLayout, bestTime := bestOfSweep(layouts, reports)
-		tmMap, err := place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
+		tmMap, err := place.Place(context.Background(), "treematch", &place.Request{Cluster: c, NP: np, Traffic: p.tm})
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +61,7 @@ func runE12(o Options) ([]*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rnd, err := place.Place("random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 14})
+		rnd, err := place.Place(context.Background(), "random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 14})
 		if err != nil {
 			return nil, err
 		}
@@ -140,13 +141,13 @@ func runE13(o Options) ([]*metrics.Table, error) {
 			return mp.Map(np)
 		}},
 		{"treematch", func() (*core.Map, error) {
-			return place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
+			return place.Place(context.Background(), "treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
 		}},
 		{"slurm plane(8)", func() (*core.Map, error) {
-			return place.Place("plane", &place.Request{Cluster: c, NP: np, BlockSize: 8})
+			return place.Place(context.Background(), "plane", &place.Request{Cluster: c, NP: np, BlockSize: 8})
 		}},
 		{"random", func() (*core.Map, error) {
-			return place.Place("random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 15})
+			return place.Place(context.Background(), "random", &place.Request{Cluster: c, NP: np, Seed: o.Seed + 15})
 		}},
 	}
 

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"sort"
 
 	"lama/internal/cluster"
@@ -47,7 +48,7 @@ func sweepLayouts(c *cluster.Cluster, mo *netsim.Model, layouts []string, np int
 			return nil, err
 		}
 	}
-	maps, err := core.SweepLayouts(c, parsed, np, core.Options{Obs: ob}, 0)
+	maps, err := core.SweepLayouts(context.Background(), c, parsed, np, core.Options{Obs: ob}, 0)
 	if err != nil {
 		return nil, err
 	}

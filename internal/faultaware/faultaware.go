@@ -11,6 +11,7 @@
 package faultaware
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,7 +74,7 @@ func (s *Stage) StageName() string { return obs.SpanFaultAware }
 // loss past the budget, in which case the rank stays put (bounded loss
 // beats full diversity). The result is emitted as a "faultaware"/"spread"
 // event carrying the locality J-delta.
-func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+func (s *Stage) Apply(_ context.Context, req *place.Request, m *core.Map) (*core.Map, error) {
 	if req == nil || req.Cluster == nil {
 		return nil, fmt.Errorf("faultaware: nil request or cluster")
 	}

@@ -1,6 +1,7 @@
 package faultaware
 
 import (
+	"context"
 	"reflect"
 	"sort"
 	"testing"
@@ -63,7 +64,7 @@ func TestStageComposesWithPolicies(t *testing.T) {
 			// 80 ranks over 8×12 PUs: every chassis hosts ranks, so full
 			// critical spread is reachable by swapping.
 			req := request(c, 80)
-			base, err := place.Run(pol, req)
+			base, err := place.Run(context.Background(), pol, req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -73,7 +74,7 @@ func TestStageComposesWithPolicies(t *testing.T) {
 				&Stage{Critical: crit, MaxLocalityLoss: 1, // diversity first
 					OnResult: func(r *Result) { res = r }},
 			}}
-			m, err := pl.Run(req)
+			m, err := pl.Run(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +135,7 @@ func TestStageBoundedLocalityLoss(t *testing.T) {
 			&Stage{Critical: []int{0, 1, 2, 3}, MaxLocalityLoss: budget,
 				OnResult: func(r *Result) { res = r }},
 		}}
-		if _, err := pl.Run(req); err != nil {
+		if _, err := pl.Run(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 		return res
@@ -161,12 +162,12 @@ func TestStageNoOpWithoutConflicts(t *testing.T) {
 	c := testCluster(t, 8)
 	req := request(c, 8)
 	pol, _ := place.Lookup("by-node") // one rank per node round-robin
-	base, err := place.Run(pol, req)
+	base, err := place.Run(context.Background(), pol, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st := &Stage{Critical: []int{0, 2}} // nodes 0 and 2: different chassis
-	m, err := st.Apply(req, base)
+	m, err := st.Apply(context.Background(), req, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestStageNoOpWithoutConflicts(t *testing.T) {
 	}
 	// Empty critical set: also a no-op.
 	st = &Stage{}
-	if m, err = st.Apply(req, base); err != nil || m != base {
+	if m, err = st.Apply(context.Background(), req, base); err != nil || m != base {
 		t.Fatalf("empty critical set: %v", err)
 	}
 }
@@ -184,18 +185,18 @@ func TestStageRejectsBadCritical(t *testing.T) {
 	c := testCluster(t, 4)
 	req := request(c, 8)
 	pol, _ := place.Lookup("lama")
-	base, err := place.Run(pol, req)
+	base, err := place.Run(context.Background(), pol, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range [][]int{{-1}, {8}, {0, 99}} {
-		if _, err := (&Stage{Critical: bad}).Apply(req, base); err == nil {
+		if _, err := (&Stage{Critical: bad}).Apply(context.Background(), req, base); err == nil {
 			t.Fatalf("critical %v accepted", bad)
 		}
 	}
 	// Duplicates are fine and deduped.
 	var res *Result
-	if _, err := (&Stage{Critical: []int{1, 1, 0}, OnResult: func(r *Result) { res = r }}).Apply(req, base); err != nil {
+	if _, err := (&Stage{Critical: []int{1, 1, 0}, OnResult: func(r *Result) { res = r }}).Apply(context.Background(), req, base); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(res.Critical, []int{0, 1}) {
@@ -211,12 +212,12 @@ func TestStageNilFaultModel(t *testing.T) {
 	c := cluster.Homogeneous(4, sp) // no AttachFaultModel
 	req := request(c, 8)
 	pol, _ := place.Lookup("lama")
-	base, err := place.Run(pol, req)
+	base, err := place.Run(context.Background(), pol, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var res *Result
-	m, err := (&Stage{Critical: []int{0, 1, 2}, OnResult: func(r *Result) { res = r }}).Apply(req, base)
+	m, err := (&Stage{Critical: []int{0, 1, 2}, OnResult: func(r *Result) { res = r }}).Apply(context.Background(), req, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestSpareTargetsOrdering(t *testing.T) {
 	pol, _ := place.Lookup("lama")
 	// Job occupies nodes 0..3 (chassis 0-1, rack 0).
 	req := request(c, 48)
-	m, err := place.Run(pol, req)
+	m, err := place.Run(context.Background(), pol, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestIncrementalLocalityMatchesFull(t *testing.T) {
 	c := testCluster(t, 8)
 	pol, _ := place.Lookup("lama")
 	req := request(c, 80)
-	base, err := place.Run(pol, req)
+	base, err := place.Run(context.Background(), pol, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestIncrementalLocalityMatchesFull(t *testing.T) {
 		&Stage{Critical: []int{0, 1, 2, 3, 4, 5}, MaxLocalityLoss: 1,
 			OnResult: func(r *Result) { res = r }},
 	}}
-	m, err := pl.Run(req)
+	m, err := pl.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

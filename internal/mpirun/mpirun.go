@@ -11,6 +11,7 @@
 package mpirun
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -411,14 +412,14 @@ func placeRequest(req *Request, c *cluster.Cluster) *place.Request {
 // resolve the policy, place, run the post-pass stages, bind — so every
 // abstraction level (including the Level-4 rankfile path) flows through
 // the same instrumented stages.
-func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
+func Execute(ctx context.Context, req *Request, c *cluster.Cluster) (*Result, error) {
 	name := req.PolicyName()
 	pol, ok := place.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("mpirun: unknown placement policy %q", name)
 	}
 	pipe := place.Pipeline{Policy: pol, Stages: req.Stages}
-	m, err := pipe.Run(placeRequest(req, c))
+	m, err := pipe.Run(ctx, placeRequest(req, c))
 	if err != nil {
 		return nil, err
 	}
@@ -442,8 +443,8 @@ func Execute(req *Request, c *cluster.Cluster) (*Result, error) {
 // Launch completes the pipeline: Execute (place → stages → bind), then
 // start the job on the ORTE runtime under a "launch" span and simulate it
 // for the given number of steps.
-func Launch(req *Request, c *cluster.Cluster, steps int) (*Result, error) {
-	res, err := Execute(req, c)
+func Launch(ctx context.Context, req *Request, c *cluster.Cluster, steps int) (*Result, error) {
+	res, err := Execute(ctx, req, c)
 	if err != nil {
 		return nil, err
 	}

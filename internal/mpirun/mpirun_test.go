@@ -1,6 +1,7 @@
 package mpirun
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestLevel4Rankfile(t *testing.T) {
 	if req.Level != 4 || req.Rankfile == nil {
 		t.Fatalf("req = %+v", req)
 	}
-	res, err := Execute(req, testCluster(t))
+	res, err := Execute(context.Background(), req, testCluster(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestLevel2EquivalentToLevel3(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m2, err := Execute(r2, c)
+		m2, err := Execute(context.Background(), r2, c)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		m3, err := Execute(r3, c)
+		m3, err := Execute(context.Background(), r3, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func TestExecuteMappingAndBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Execute(req, c)
+	res, err := Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,28 +190,28 @@ func TestExecuteErrors(t *testing.T) {
 	c := testCluster(t)
 	// Too many ranks without --oversubscribe.
 	req, _ := Parse([]string{"-np", "25", "--lama-map", "scbnh"})
-	if _, err := Execute(req, c); !errors.Is(err, core.ErrOversubscribe) {
+	if _, err := Execute(context.Background(), req, c); !errors.Is(err, core.ErrOversubscribe) {
 		t.Fatalf("want ErrOversubscribe, got %v", err)
 	}
 	// Rankfile rank count mismatch.
 	req2, _ := Parse([]string{"-np", "3", "--rankfile-text", "rank 0=node0 slot=0\nrank 1=node1 slot=0"})
-	if _, err := Execute(req2, c); err == nil {
+	if _, err := Execute(context.Background(), req2, c); err == nil {
 		t.Fatal("np mismatch should fail")
 	}
 	// Oversubscribing rankfile without --oversubscribe.
 	req3, _ := Parse([]string{"-np", "2", "--rankfile-text", "rank 0=node0 slot=0\nrank 1=node0 slot=0"})
-	if _, err := Execute(req3, c); !errors.Is(err, core.ErrOversubscribe) {
+	if _, err := Execute(context.Background(), req3, c); !errors.Is(err, core.ErrOversubscribe) {
 		t.Fatalf("want ErrOversubscribe, got %v", err)
 	}
 	// Same rankfile with --oversubscribe is accepted.
 	req4, _ := Parse([]string{"-np", "2", "--oversubscribe", "--rankfile-text",
 		"rank 0=node0 slot=0\nrank 1=node0 slot=0"})
-	if _, err := Execute(req4, c); err != nil {
+	if _, err := Execute(context.Background(), req4, c); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown rankfile host.
 	req5, _ := Parse([]string{"-np", "1", "--rankfile-text", "rank 0=ghost slot=0"})
-	if _, err := Execute(req5, c); err == nil {
+	if _, err := Execute(context.Background(), req5, c); err == nil {
 		t.Fatal("unknown host should fail")
 	}
 }
@@ -227,7 +228,7 @@ func TestRespectSlotsFlag(t *testing.T) {
 	if !req.Opts.RespectSlots {
 		t.Fatal("flag lost")
 	}
-	res, err := Execute(req, c)
+	res, err := Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestRespectSlotsFlag(t *testing.T) {
 		t.Fatalf("slots ignored: %v", per)
 	}
 	req3, _ := Parse([]string{"-np", "3", "--byslot", "--respect-slots"})
-	if _, err := Execute(req3, c); !errors.Is(err, core.ErrOversubscribe) {
+	if _, err := Execute(context.Background(), req3, c); !errors.Is(err, core.ErrOversubscribe) {
 		t.Fatalf("want ErrOversubscribe, got %v", err)
 	}
 }
@@ -294,7 +295,7 @@ func TestExecuteBindingFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Execute(req, c); err != nil {
+	if _, err := Execute(context.Background(), req, c); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -308,7 +309,7 @@ func TestLamaBindWidthSpec(t *testing.T) {
 	if req.BindPolicy != bind.Specific || req.BindLevel != hw.LevelCore || req.BindCount != 2 {
 		t.Fatalf("req = %+v", req)
 	}
-	res, err := Execute(req, c)
+	res, err := Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestLamaBindWidthSpec(t *testing.T) {
 	}
 	// "1s" behaves like --bind-to socket.
 	req2, _ := Parse([]string{"-np", "4", "--map-by", "socket", "--lama-bind", "1s"})
-	res2, err := Execute(req2, c)
+	res2, err := Execute(context.Background(), req2, c)
 	if err != nil {
 		t.Fatal(err)
 	}

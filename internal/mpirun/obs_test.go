@@ -1,6 +1,7 @@
 package mpirun
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestEventVocabularyUniformAcrossLevels(t *testing.T) {
 
 	// A Level-4 rankfile equivalent to the Level-1 default placement.
 	base := cluster.Homogeneous(2, sp)
-	m, err := Execute(&Request{NP: np, Level: 3, Layout: core.MustParseLayout("csbnh")}, base)
+	m, err := Execute(context.Background(), &Request{NP: np, Level: 3, Layout: core.MustParseLayout("csbnh")}, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestEventVocabularyUniformAcrossLevels(t *testing.T) {
 			t.Fatalf("%s: %v", lv.name, err)
 		}
 		req.Opts.Obs = o
-		if _, err := Execute(req, c); err != nil {
+		if _, err := Execute(context.Background(), req, c); err != nil {
 			t.Fatalf("%s: %v", lv.name, err)
 		}
 
@@ -128,7 +129,7 @@ func TestExecuteHonorsExplicitPolicy(t *testing.T) {
 	if req.PolicyName() != "by-node" {
 		t.Fatalf("PolicyName = %q, want by-node", req.PolicyName())
 	}
-	res, err := Execute(req, c)
+	res, err := Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestExecuteHonorsExplicitPolicy(t *testing.T) {
 	if res.Map.Placements[0].Node == res.Map.Placements[1].Node {
 		t.Error("by-node policy not applied: ranks 0 and 1 share a node")
 	}
-	if _, err := Execute(&Request{NP: 8, Policy: "nope"}, c); err == nil {
+	if _, err := Execute(context.Background(), &Request{NP: 8, Policy: "nope"}, c); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -151,7 +152,7 @@ func TestLaunchRunsFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	req.Opts.Obs = o
-	res, err := Launch(req, c, 10)
+	res, err := Launch(context.Background(), req, c, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package netorder
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -334,7 +335,6 @@ func nodeClassKey(nd *cluster.Node) string {
 	return sb.String()
 }
 
-
 // Stage is the node-ordering post-pass (place.Stage). It requires the
 // request's Traffic matrix and a network model: Model when set,
 // otherwise one is built from Net with default intra-node parameters.
@@ -353,7 +353,7 @@ func (s *Stage) StageName() string { return obs.SpanNetOrder }
 
 // Apply runs the ordering pass and emits a "netsim"/"order" event with
 // the J before/after.
-func (s *Stage) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+func (s *Stage) Apply(_ context.Context, req *place.Request, m *core.Map) (*core.Map, error) {
 	mo := s.Model
 	if mo == nil {
 		if s.Net == nil {

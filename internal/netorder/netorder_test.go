@@ -1,6 +1,7 @@
 package netorder
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -271,7 +272,7 @@ func TestStagesComposeWithPolicies(t *testing.T) {
 					&Stage{Net: net, OnResult: func(r *Result) { or = r }},
 					&Refine{Net: net, OnResult: func(r *RefineResult) { rr = r }},
 				}}
-				m, err := pl.Run(req)
+				m, err := pl.Run(context.Background(), req)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -294,16 +295,16 @@ func TestStageNeedsTraffic(t *testing.T) {
 	req := &place.Request{Cluster: c, NP: 4, Layout: core.MustParseLayout("csbnh")}
 	m := mapJob(t, c, 4)
 	st := &Stage{Net: netsim.NewFlat()}
-	if _, err := st.Apply(req, m); err == nil {
+	if _, err := st.Apply(context.Background(), req, m); err == nil {
 		t.Fatal("stage without traffic must error")
 	}
 	rf := &Refine{Net: netsim.NewFlat()}
-	if _, err := rf.Apply(req, m); err == nil {
+	if _, err := rf.Apply(context.Background(), req, m); err == nil {
 		t.Fatal("refine without traffic must error")
 	}
 	none := &Stage{}
 	req.Traffic = commpat.Ring(4, 1)
-	if _, err := none.Apply(req, m); err == nil {
+	if _, err := none.Apply(context.Background(), req, m); err == nil {
 		t.Fatal("stage without network must error")
 	}
 }

@@ -1,6 +1,7 @@
 package netorder
 
 import (
+	"context"
 	"fmt"
 
 	"lama/internal/cluster"
@@ -42,6 +43,14 @@ type RefineResult struct {
 // exchange complete processor claims — so no compatibility classes are
 // needed. The input map is returned unchanged when no swap helps.
 func RefineMap(c *cluster.Cluster, mo *netsim.Model, tm *commpat.CSR, m *core.Map, maxSweeps int) (*core.Map, *RefineResult, error) {
+	return RefineMapContext(context.Background(), c, mo, tm, m, maxSweeps)
+}
+
+// RefineMapContext is RefineMap with cooperative cancellation, checked
+// between refinement sweeps (never inside the per-rank delta loop, which
+// must stay allocation-free). A canceled refinement returns the best map
+// found so far together with the cancellation error.
+func RefineMapContext(ctx context.Context, c *cluster.Cluster, mo *netsim.Model, tm *commpat.CSR, m *core.Map, maxSweeps int) (*core.Map, *RefineResult, error) {
 	cost, err := netsim.NewCost(c, mo, tm, m)
 	if err != nil {
 		return nil, nil, err
@@ -70,6 +79,9 @@ func RefineMap(c *cluster.Cluster, mo *netsim.Model, tm *commpat.CSR, m *core.Ma
 		Placements: append([]core.Placement(nil), m.Placements...)}
 
 	for res.Sweeps < maxSweeps {
+		if err := ctx.Err(); err != nil {
+			break
+		}
 		res.Sweeps++
 		improved := false
 		for r := 0; r < np; r++ {
@@ -166,7 +178,7 @@ func (s *Refine) StageName() string { return obs.SpanNetRefine }
 
 // Apply runs the refinement and emits a "netsim"/"refine" event with the
 // J before/after.
-func (s *Refine) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+func (s *Refine) Apply(ctx context.Context, req *place.Request, m *core.Map) (*core.Map, error) {
 	mo := s.Model
 	if mo == nil {
 		if s.Net == nil {
@@ -177,7 +189,7 @@ func (s *Refine) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
 	if req.Traffic == nil {
 		return nil, fmt.Errorf("netorder: refine stage needs req.Traffic")
 	}
-	out, res, err := RefineMap(req.Cluster, mo, req.Traffic.Sparse(), m, s.MaxSweeps)
+	out, res, err := RefineMapContext(ctx, req.Cluster, mo, req.Traffic.Sparse(), m, s.MaxSweeps)
 	if err != nil {
 		return nil, err
 	}

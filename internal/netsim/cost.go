@@ -237,6 +237,7 @@ func (cs *Cost) buildAdjacency(tm *commpat.CSR, np int) {
 
 // edgeCost prices one directed exchange between two placements given as
 // (node, PU ordinal) pairs.
+//
 //lama:hotpath
 func (cs *Cost) edgeCost(ni, pi, nj, pj int32, bytes float64) float64 {
 	if ni == nj {
@@ -252,6 +253,7 @@ func (cs *Cost) edgeCost(ni, pi, nj, pj int32, bytes float64) float64 {
 func (cs *Cost) J() float64 { return cs.j }
 
 // NodeOf returns rank r's current node index.
+//
 //lama:hotpath
 func (cs *Cost) NodeOf(r int) int { return int(cs.node[r]) }
 
@@ -264,6 +266,7 @@ func (cs *Cost) Degree(r int) int { return int(cs.adjOff[r+1] - cs.adjOff[r]) }
 // Neighbors returns rank r's merged incident adjacency: peers ascending
 // with the outgoing and incoming volume per peer. The slices alias the
 // evaluator's state — read only.
+//
 //lama:hotpath
 func (cs *Cost) Neighbors(r int) (peers []int32, out, in []float64) {
 	lo, hi := cs.adjOff[r], cs.adjOff[r+1]
@@ -272,6 +275,7 @@ func (cs *Cost) Neighbors(r int) (peers []int32, out, in []float64) {
 
 // DeltaSwap returns the change in J if ranks a and b exchanged their
 // placements, without applying it, in O(degree(a)+degree(b)).
+//
 //lama:hotpath
 func (cs *Cost) DeltaSwap(a, b int) float64 {
 	if a == b {
@@ -324,6 +328,7 @@ func (cs *Cost) DeltaSwap(a, b int) float64 {
 // DeltaMove returns the change in J if rank r moved to the given PU (an
 // OS index) on the given node, and whether that PU exists there, in
 // O(degree(r)).
+//
 //lama:hotpath
 func (cs *Cost) DeltaMove(r, node, pu int) (float64, bool) {
 	if node < 0 || node >= len(cs.tabOf) {
@@ -353,6 +358,7 @@ func (cs *Cost) DeltaMove(r, node, pu int) (float64, bool) {
 }
 
 // ApplySwap commits the swap and returns its delta.
+//
 //lama:hotpath
 func (cs *Cost) ApplySwap(a, b int) float64 {
 	d := cs.DeltaSwap(a, b)
@@ -365,6 +371,7 @@ func (cs *Cost) ApplySwap(a, b int) float64 {
 
 // ApplyMove commits the move and returns its delta; a false second
 // return means the PU does not exist on the node and nothing changed.
+//
 //lama:hotpath
 func (cs *Cost) ApplyMove(r, node, pu int) (float64, bool) {
 	d, ok := cs.DeltaMove(r, node, pu)

@@ -195,6 +195,7 @@ func (d *Distances) torusMaxHop() int {
 
 // axisDist32 is torus.axisDist over int32: wrap-around distance along one
 // axis.
+//
 //lama:hotpath
 func axisDist32(a, b, size int32) int32 {
 	diff := a - b
@@ -215,6 +216,7 @@ func (d *Distances) NumClasses() int { return len(d.lat) }
 
 // Class returns the distance class of a node pair. Class 0 is the self
 // pair. Out-of-range nodes panic (hot path; validate at build time).
+//
 //lama:hotpath
 func (d *Distances) Class(a, b int) int32 {
 	if a == b {
@@ -238,22 +240,27 @@ func (d *Distances) Class(a, b int) int32 {
 }
 
 // Lat returns a class's one-way latency in µs.
+//
 //lama:hotpath
 func (d *Distances) Lat(class int32) float64 { return d.lat[class] }
 
 // InvBW returns a class's inverse bandwidth in µs per byte.
+//
 //lama:hotpath
 func (d *Distances) InvBW(class int32) float64 { return d.invBW[class] }
 
 // HopsOf returns a class's link count.
+//
 //lama:hotpath
 func (d *Distances) HopsOf(class int32) int32 { return d.hops[class] }
 
 // Hops returns the link count between two nodes.
+//
 //lama:hotpath
 func (d *Distances) Hops(a, b int) int32 { return d.hops[d.Class(a, b)] }
 
 // PairCost returns latency + bytes·invBW for one inter-node exchange.
+//
 //lama:hotpath
 func (d *Distances) PairCost(a, b int, bytes float64) float64 {
 	cl := d.Class(a, b)

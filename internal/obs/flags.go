@@ -25,6 +25,26 @@ type CLIFlags struct {
 	server *Server
 }
 
+// RegisterVersionFlag installs the shared -version flag on a FlagSet.
+// After parsing, a CLI checks the returned bool and calls PrintVersion —
+// every command reports its provenance identically instead of hand-rolling
+// its own printout.
+func RegisterVersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build provenance (Go version, git revision, CPUs) and exit")
+}
+
+// PrintVersion writes the running binary's build provenance — the same
+// BuildInfo the lamabench/v2 report header and the lama_build_info metric
+// carry — as one human-readable line.
+func PrintVersion(w io.Writer, tool string) {
+	b := CurrentBuildInfo()
+	rev := b.GitRevision
+	if rev == "" {
+		rev = "unknown"
+	}
+	fmt.Fprintf(w, "%s %s (rev %s, %d CPUs)\n", tool, b.GoVersion, rev, b.NumCPU)
+}
+
 // RegisterFlags installs the shared observability flags on a FlagSet.
 func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
 	f := &CLIFlags{}

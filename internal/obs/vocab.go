@@ -36,6 +36,9 @@ const (
 	// SrcNetSim is the network-aware placement machinery (the netorder
 	// node-ordering stage and its delta-J swap refinement).
 	SrcNetSim = "netsim"
+	// SrcEngine is the request-scoped placement engine (internal/engine:
+	// snapshot registry, worker pool, placement cache, admission control).
+	SrcEngine = "engine"
 )
 
 // Event names: the "event" key, scoped by source in the vocabulary table.
@@ -92,6 +95,15 @@ const (
 	// EvRefine reports one delta-J pairwise-swap refinement pass: swaps
 	// applied, sweeps run, and the J objective before/after.
 	EvRefine = "refine"
+	// EvRegister reports a cluster registered with the placement engine.
+	EvRegister = "register"
+	// EvSwap reports one atomic snapshot swap on the engine (a failure or
+	// grow event), with the epochs and the count of cache entries that
+	// went stale.
+	EvSwap = "swap"
+	// EvShed reports one placement request refused by admission control
+	// (queue full or deadline exceeded while queued).
+	EvShed = "shed"
 )
 
 // Phase span names (PhaseTimer labels). Pipeline stages span under their
@@ -168,6 +180,10 @@ var vocab = []VocabEntry{
 	{SrcNetSim, EvRefine},
 
 	{SrcTopogen, EvGenerate},
+
+	{SrcEngine, EvRegister},
+	{SrcEngine, EvSwap},
+	{SrcEngine, EvShed},
 }
 
 // spanNames is the registered phase-span label set.

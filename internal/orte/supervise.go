@@ -1,6 +1,7 @@
 package orte
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -189,6 +190,18 @@ type Supervisor struct {
 // or after `steps` are no-ops (the job has already completed); failures
 // for unknown ranks or nodes, or at negative steps, are errors.
 func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	return s.RunContext(context.Background(), np, steps, plan)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at simulation-step boundaries in the supervised loop (never inside a
+// step, so recovery for failures already detected at the current step
+// completes first). A canceled run returns the cancellation error; the
+// partially-built report is discarded.
+func (s *Supervisor) RunContext(ctx context.Context, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if steps <= 0 {
 		return nil, fmt.Errorf("orte: non-positive step count %d", steps)
 	}
@@ -203,7 +216,7 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 		if err != nil {
 			return nil, err
 		}
-		m, err = mapper.Map(np)
+		m, err = mapper.MapContext(ctx, np)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +266,7 @@ func (s *Supervisor) Run(np, steps int, plan InjectionPlan) (*SuperviseReport, e
 		}
 		return s.runAbort(m, bplan, np, steps, plan)
 	}
-	return s.runSupervised(m, bplan, np, steps, plan)
+	return s.runSupervised(ctx, m, bplan, np, steps, plan)
 }
 
 // runAbort reproduces the seed's kill-the-job behavior exactly by
@@ -324,7 +337,7 @@ func (s *Supervisor) runAbort(m *core.Map, bplan *bind.Plan, np, steps int, plan
 // FTRespawn: a deterministic virtual scheduler identical to Launch's,
 // interleaved with failure application, heartbeat detection, and
 // recovery.
-func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
+func (s *Supervisor) runSupervised(ctx context.Context, m *core.Map, bplan *bind.Plan, np, steps int, plan InjectionPlan) (*SuperviseReport, error) {
 	c := s.Runtime.Cluster
 	window := s.Config.DetectionWindow
 	if window <= 0 {
@@ -488,6 +501,9 @@ func (s *Supervisor) runSupervised(m *core.Map, bplan *bind.Plan, np, steps int,
 	aborted := false
 	abortStep := -1
 	for step := 0; step < steps && !aborted; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("orte: supervised run canceled at step %d: %w", step, err)
+		}
 		// 0. Elastic resizes scheduled for this step (before failures, so
 		// a node loss at the same step sees the post-resize world).
 		for ri < len(plan.Resizes) && plan.Resizes[ri].Step == step {

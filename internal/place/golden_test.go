@@ -1,6 +1,7 @@
 package place_test
 
 import (
+	"context"
 	"testing"
 
 	"lama/internal/baseline"
@@ -81,7 +82,7 @@ func TestGoldenEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		req := tc.req
 		req.Cluster, req.NP = c, np
-		got, err := place.Place(tc.policy, &req)
+		got, err := place.Place(context.Background(), tc.policy, &req)
 		if err != nil {
 			t.Errorf("%s: registry: %v", tc.policy, err)
 			continue

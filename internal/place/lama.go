@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+
 	"lama/internal/core"
 )
 
@@ -20,7 +22,7 @@ func (lamaPolicy) SelfObserving() {}
 
 // Place maps via the LAMA using req.Layout (default "csbnh", the Level-1
 // by-slot pattern) and the full option set.
-func (lamaPolicy) Place(req *Request) (*core.Map, error) {
+func (lamaPolicy) Place(ctx context.Context, req *Request) (*core.Map, error) {
 	layout := req.Layout
 	if len(layout.Levels()) == 0 {
 		layout = core.MustParseLayout("csbnh")
@@ -29,7 +31,7 @@ func (lamaPolicy) Place(req *Request) (*core.Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mapper.Map(req.NP)
+	return mapper.MapContext(ctx, req.NP)
 }
 
 func init() { Register(lamaPolicy{}) }

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,8 +17,9 @@ type Stage interface {
 	// StageName labels the stage's phase span and events.
 	StageName() string
 	// Apply transforms the map. It must return a map with the same rank
-	// count; it may return its argument unchanged.
-	Apply(req *Request, m *core.Map) (*core.Map, error)
+	// count; it may return its argument unchanged. The context cancels
+	// long-running refinement at iteration boundaries.
+	Apply(ctx context.Context, req *Request, m *core.Map) (*core.Map, error)
 }
 
 // Pipeline is the uniform strategy execution path: resolve policy → place
@@ -34,22 +36,28 @@ type Pipeline struct {
 // Run places and then applies every stage, instrumenting each: the place
 // step follows Run's uniform contract, and every stage gets a phase span
 // named after it plus a "pipeline"/"stage" completion event.
-func (pl *Pipeline) Run(req *Request) (*core.Map, error) {
+func (pl *Pipeline) Run(ctx context.Context, req *Request) (*core.Map, error) {
 	if pl.Policy == nil {
 		return nil, fmt.Errorf("place: pipeline without a policy")
 	}
-	m, err := Run(pl.Policy, req)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m, err := Run(ctx, pl.Policy, req)
 	if err != nil {
 		return nil, err
 	}
 	o := req.Opts.Obs
 	for _, st := range pl.Stages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("place: pipeline canceled before stage %s: %w", st.StageName(), err)
+		}
 		var t0 time.Time
 		if o != nil {
 			t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
 		end := o.StartSpan(st.StageName())
-		next, err := st.Apply(req, m)
+		next, err := st.Apply(ctx, req, m)
 		end()
 		if err != nil {
 			return nil, fmt.Errorf("place: stage %s: %w", st.StageName(), err)

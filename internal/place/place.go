@@ -24,6 +24,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -93,8 +94,10 @@ func (r *Request) Validate() error {
 type Policy interface {
 	// Name returns the registry name (e.g. "lama", "by-slot", "treematch").
 	Name() string
-	// Place maps req.NP ranks onto req.Cluster.
-	Place(req *Request) (*core.Map, error)
+	// Place maps req.NP ranks onto req.Cluster. The context cancels the
+	// run at phase boundaries (policies must not check it inside their
+	// per-coordinate hot loops); ctx is always non-nil under Run.
+	Place(ctx context.Context, req *Request) (*core.Map, error)
 }
 
 // SelfObserving marks policies whose Place already records the mapping
@@ -153,12 +156,12 @@ func unknownPolicyError(name string) error {
 
 // Place resolves a policy by name and runs it with the uniform
 // instrumentation contract.
-func Place(name string, req *Request) (*core.Map, error) {
+func Place(ctx context.Context, name string, req *Request) (*core.Map, error) {
 	p, ok := Lookup(name)
 	if !ok {
 		return nil, unknownPolicyError(name)
 	}
-	return Run(p, req)
+	return Run(ctx, p, req)
 }
 
 // Run executes one policy under the uniform observation contract: the
@@ -170,20 +173,23 @@ func Place(name string, req *Request) (*core.Map, error) {
 // profiling labels on (the -listen telemetry server enables them), every
 // policy execution — SelfObserving included — additionally runs under the
 // lama_policy pprof label, so CPU profiles attribute samples per strategy.
-func Run(p Policy, req *Request) (*core.Map, error) {
+func Run(ctx context.Context, p Policy, req *Request) (*core.Map, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := req.Opts.Obs
 	if _, self := p.(SelfObserving); self {
-		return invoke(p, req, o)
+		return invoke(ctx, p, req, o)
 	}
 	var t0 time.Time
 	if o != nil {
 		t0 = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 	}
 	endPlace := o.StartSpan(obs.SpanPlace)
-	m, err := invoke(p, req, o)
+	m, err := invoke(ctx, p, req, o)
 	endPlace()
 	if o == nil {
 		return m, err
@@ -218,12 +224,12 @@ func Run(p Policy, req *Request) (*core.Map, error) {
 // invoke runs the policy, under its lama_policy pprof label when profiling
 // labels are on; when they are off (every benchmark and allocation-pinned
 // path) it is a plain call with zero extra cost.
-func invoke(p Policy, req *Request, o *obs.Observer) (m *core.Map, err error) {
+func invoke(ctx context.Context, p Policy, req *Request, o *obs.Observer) (m *core.Map, err error) {
 	if !o.PprofLabeled() {
-		return p.Place(req)
+		return p.Place(ctx, req)
 	}
 	obs.WithPprofLabel(obs.PprofLabelPolicy, p.Name(), func() {
-		m, err = p.Place(req)
+		m, err = p.Place(ctx, req)
 	})
 	return m, err
 }

@@ -1,6 +1,7 @@
 package place_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,7 +40,7 @@ func requestFor(t *testing.T, c *cluster.Cluster, np int) *place.Request {
 		Traffic: commpat.Ring(np, 1<<20),
 		Seed:    7,
 	}
-	base, err := place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+	base, err := place.Place(context.Background(), "by-slot", &place.Request{Cluster: c, NP: np})
 	if err != nil {
 		t.Fatalf("by-slot for rankfile synthesis: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestNamesListEveryBuiltin(t *testing.T) {
 }
 
 func TestLookupUnknownListsRegistered(t *testing.T) {
-	_, err := place.Place("no-such-policy", &place.Request{})
+	_, err := place.Place(context.Background(), "no-such-policy", &place.Request{})
 	if err == nil {
 		t.Fatal("expected error for unknown policy")
 	}
@@ -81,10 +82,10 @@ func TestLookupUnknownListsRegistered(t *testing.T) {
 
 func TestValidateRejectsBadRequests(t *testing.T) {
 	c := nehalemCluster(t, 2)
-	if _, err := place.Place("by-slot", &place.Request{Cluster: c}); err == nil {
+	if _, err := place.Place(context.Background(), "by-slot", &place.Request{Cluster: c}); err == nil {
 		t.Error("NP=0 accepted")
 	}
-	if _, err := place.Place("by-slot", &place.Request{NP: 4}); err == nil {
+	if _, err := place.Place(context.Background(), "by-slot", &place.Request{NP: 4}); err == nil {
 		t.Error("nil cluster accepted")
 	}
 }
@@ -100,7 +101,7 @@ func TestRunUniformObservation(t *testing.T) {
 		Sink: sink, Metrics: obs.NewRegistry(), Phases: obs.NewPhaseTimer(),
 		Clock: func() int64 { return 0 },
 	}
-	m, err := place.Place("by-slot", &place.Request{
+	m, err := place.Place(context.Background(), "by-slot", &place.Request{
 		Cluster: c, NP: 8, Opts: core.Options{Obs: o},
 	})
 	if err != nil {
@@ -130,7 +131,7 @@ func TestRunStallEmitsStallEvent(t *testing.T) {
 	sink := obs.NewMemorySink()
 	o := &obs.Observer{Sink: sink, Metrics: obs.NewRegistry(), Clock: func() int64 { return 0 }}
 	// treematch without a traffic matrix is a policy-level failure.
-	_, err := place.Place("treematch", &place.Request{
+	_, err := place.Place(context.Background(), "treematch", &place.Request{
 		Cluster: c, NP: 4, Opts: core.Options{Obs: o},
 	})
 	if err == nil {
@@ -173,7 +174,7 @@ func TestCrossPolicyProperties(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			req := requestFor(t, tc.c, np)
 			for _, name := range place.Names() {
-				m, err := place.Place(name, req)
+				m, err := place.Place(context.Background(), name, req)
 				if err != nil {
 					t.Errorf("%s: %v", name, err)
 					continue
@@ -214,7 +215,7 @@ func TestPolicyAvoidsFailedNode(t *testing.T) {
 	}
 	req := requestFor(t, c, 12)
 	for _, name := range place.Names() {
-		m, err := place.Place(name, req)
+		m, err := place.Place(context.Background(), name, req)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
 			continue
@@ -239,7 +240,7 @@ func TestPipelineRunsStagesInOrder(t *testing.T) {
 	pol, _ := place.Lookup("by-slot")
 	o := &obs.Observer{Phases: obs.NewPhaseTimer()}
 	pipe := place.Pipeline{Policy: pol, Stages: []place.Stage{mk("first"), mk("second")}}
-	if _, err := pipe.Run(&place.Request{Cluster: c, NP: 4, Opts: core.Options{Obs: o}}); err != nil {
+	if _, err := pipe.Run(context.Background(), &place.Request{Cluster: c, NP: 4, Opts: core.Options{Obs: o}}); err != nil {
 		t.Fatal(err)
 	}
 	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
@@ -267,7 +268,7 @@ func TestPipelineRejectsRankCountChange(t *testing.T) {
 		return &core.Map{Placements: m.Placements[:m.NumRanks()-1]}, nil
 	}}
 	pipe := place.Pipeline{Policy: pol, Stages: []place.Stage{drop}}
-	if _, err := pipe.Run(&place.Request{Cluster: c, NP: 4}); err == nil {
+	if _, err := pipe.Run(context.Background(), &place.Request{Cluster: c, NP: 4}); err == nil {
 		t.Fatal("rank-count-changing stage accepted")
 	}
 }
@@ -278,7 +279,7 @@ type stageFunc struct {
 }
 
 func (s stageFunc) StageName() string { return s.name }
-func (s stageFunc) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+func (s stageFunc) Apply(_ context.Context, req *place.Request, m *core.Map) (*core.Map, error) {
 	return s.fn(req, m)
 }
 
@@ -295,7 +296,7 @@ func TestSweepAllPolicies(t *testing.T) {
 		}
 		jobs = append(jobs, place.Job{Policy: p, Req: req})
 	}
-	maps, err := place.Sweep(jobs, 3)
+	maps, err := place.Sweep(context.Background(), jobs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestSweepObservation(t *testing.T) {
 	bySlot, _ := place.Lookup("by-slot")
 	byNode, _ := place.Lookup("by-node")
 	jobs := []place.Job{{Policy: bySlot, Req: req}, {Policy: byNode, Req: req}}
-	if _, err := place.Sweep(jobs, 2); err != nil {
+	if _, err := place.Sweep(context.Background(), jobs, 2); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
@@ -345,7 +346,7 @@ func TestSweepFirstErrorWins(t *testing.T) {
 		{Policy: bySlot, Req: &place.Request{Cluster: c, NP: 4}},
 		{Policy: tmatch, Req: &place.Request{Cluster: c, NP: 4}}, // no traffic: fails
 	}
-	if _, err := place.Sweep(jobs, 2); err == nil {
+	if _, err := place.Sweep(context.Background(), jobs, 2); err == nil {
 		t.Fatal("expected sweep to surface the failing job's error")
 	}
 }

@@ -2,6 +2,7 @@ package place_test
 
 import (
 	"bytes"
+	"context"
 	"runtime/pprof"
 	"strings"
 	"testing"
@@ -20,11 +21,11 @@ type labelSpy struct {
 
 func (s *labelSpy) Name() string { return "label-spy" }
 
-func (s *labelSpy) Place(req *place.Request) (*core.Map, error) {
+func (s *labelSpy) Place(_ context.Context, req *place.Request) (*core.Map, error) {
 	var buf bytes.Buffer
 	s.err = pprof.Lookup("goroutine").WriteTo(&buf, 1)
 	s.labels = buf.String()
-	return place.Place("by-slot", &place.Request{Cluster: req.Cluster, NP: req.NP})
+	return place.Place(context.Background(), "by-slot", &place.Request{Cluster: req.Cluster, NP: req.NP})
 }
 
 // TestRunPolicyPprofLabel verifies place.Run executes policies under the
@@ -36,7 +37,7 @@ func TestRunPolicyPprofLabel(t *testing.T) {
 
 	// Labels off (the default, and the state of every allocation-pinned
 	// benchmark): no label may be set.
-	if _, err := place.Run(spy, &place.Request{Cluster: c, NP: 4}); err != nil {
+	if _, err := place.Run(context.Background(), spy, &place.Request{Cluster: c, NP: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if spy.err != nil {
@@ -50,7 +51,7 @@ func TestRunPolicyPprofLabel(t *testing.T) {
 	pt := obs.NewPhaseTimer()
 	pt.EnablePprofLabels()
 	o := &obs.Observer{Phases: pt}
-	if _, err := place.Run(spy, &place.Request{
+	if _, err := place.Run(context.Background(), spy, &place.Request{
 		Cluster: c, NP: 4, Opts: core.Options{Obs: o},
 	}); err != nil {
 		t.Fatal(err)

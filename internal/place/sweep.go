@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"time"
 
 	"lama/internal/core"
@@ -24,9 +25,9 @@ type Job struct {
 // core.SweepEach, the per-job requests run with their event sink stripped
 // (metrics and spans still flow) so per-map "map/done" events give way to
 // the sweep's own "sweep"/"job" progress events.
-func Sweep(jobs []Job, workers int) ([]*core.Map, error) {
+func Sweep(ctx context.Context, jobs []Job, workers int) ([]*core.Map, error) {
 	out := make([]*core.Map, len(jobs))
-	err := SweepEach(jobs, workers, func(i int, m *core.Map) error {
+	err := SweepEach(ctx, jobs, workers, func(i int, m *core.Map) error {
 		out[i] = m
 		return nil
 	})
@@ -40,7 +41,10 @@ func Sweep(jobs []Job, workers int) ([]*core.Map, error) {
 // once per successfully placed job, from the pool's worker goroutines, so
 // visit MUST be safe for concurrent use. A visit error counts as that
 // job's failure; the first error (by lowest job index) aborts the sweep.
-func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) error {
+func SweepEach(ctx context.Context, jobs []Job, workers int, visit func(i int, m *core.Map) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var o *obs.Observer
 	for _, j := range jobs {
 		if j.Req != nil && j.Req.Opts.Obs != nil {
@@ -58,6 +62,9 @@ func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) er
 			obs.F("jobs", len(jobs)), obs.F("workers", workers))
 	}
 	err := parallel.ForEachWorker(len(jobs), workers, func(_, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		job := jobs[i]
 		req := job.Req
 		if jo := req.Opts.Obs; jo.Enabled() {
@@ -73,7 +80,7 @@ func SweepEach(jobs []Job, workers int, visit func(i int, m *core.Map) error) er
 		if o.Enabled() {
 			jobStart = time.Now() //lama:nondet-ok latency observability only, never reaches mapping output
 		}
-		m, err := Run(job.Policy, req)
+		m, err := Run(ctx, job.Policy, req)
 		if err != nil {
 			if o.Enabled() {
 				o.Emit(obs.SrcSweep, obs.EvJobFailed, obs.NoStep,

@@ -1,6 +1,7 @@
 package rankfile
 
 import (
+	"context"
 	"fmt"
 
 	"lama/internal/core"
@@ -15,7 +16,7 @@ type policy struct{}
 
 func (policy) Name() string { return "rankfile" }
 
-func (policy) Place(req *place.Request) (*core.Map, error) {
+func (policy) Place(_ context.Context, req *place.Request) (*core.Map, error) {
 	if req.RankfileText == "" {
 		return nil, fmt.Errorf("rankfile: policy requires rankfile text")
 	}

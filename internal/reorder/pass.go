@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 
 	"lama/internal/core"
@@ -30,7 +31,7 @@ func (p *Pass) StageName() string { return obs.SpanReorder }
 // Apply runs the optimizer using the request's traffic matrix. A request
 // without one is an error: composing a reorder stage is an explicit ask
 // for traffic-aware optimization.
-func (p *Pass) Apply(req *place.Request, m *core.Map) (*core.Map, error) {
+func (p *Pass) Apply(_ context.Context, req *place.Request, m *core.Map) (*core.Map, error) {
 	if req.Traffic == nil {
 		return nil, fmt.Errorf("reorder: stage requires a traffic matrix")
 	}

@@ -14,6 +14,7 @@
 package rm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -136,6 +137,16 @@ func (m *Manager) FailPoolNode(name string) error {
 // the pool is momentarily exhausted. The replacement view is appended to
 // a.Granted.Nodes and also returned.
 func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*ReallocResult, error) {
+	return m.ReallocContext(context.Background(), a, failedName, rc)
+}
+
+// ReallocContext is Realloc with cooperative cancellation: the context is
+// checked before every backoff sleep, so a canceled caller stops waiting
+// for pool capacity immediately instead of riding out the remaining
+// retries. The pool-side failure bookkeeping (marking the node failed,
+// dropping dead spares) has already happened by the first check — only
+// the replacement wait is abandoned.
+func (m *Manager) ReallocContext(ctx context.Context, a *Allocation, failedName string, rc RetryConfig) (*ReallocResult, error) {
 	if a == nil {
 		return nil, errors.New("rm: nil allocation")
 	}
@@ -190,6 +201,10 @@ func (m *Manager) Realloc(a *Allocation, failedName string, rc RetryConfig) (*Re
 				rc.Obs.Emit(obs.SrcRM, obs.EvReallocRetry, obs.NoStep,
 					obs.F("node", failedName), obs.F("attempt", attempt),
 					obs.F("backoff_us", float64(backoff)/float64(time.Microsecond)))
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("rm: realloc of %q canceled after %d attempts: %w",
+					failedName, attempt, err)
 			}
 			rc.Sleep(backoff)
 			res.Backoff += backoff

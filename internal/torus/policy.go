@@ -1,6 +1,7 @@
 package torus
 
 import (
+	"context"
 	"lama/internal/core"
 	"lama/internal/place"
 )
@@ -12,7 +13,7 @@ type policy struct{}
 
 func (policy) Name() string { return "torus" }
 
-func (policy) Place(req *place.Request) (*core.Map, error) {
+func (policy) Place(_ context.Context, req *place.Request) (*core.Map, error) {
 	d := Dims{X: req.TorusDims[0], Y: req.TorusDims[1], Z: req.TorusDims[2]}
 	if d == (Dims{}) {
 		d = FitDims(req.Cluster.NumNodes())

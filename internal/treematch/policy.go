@@ -1,6 +1,7 @@
 package treematch
 
 import (
+	"context"
 	"fmt"
 
 	"lama/internal/core"
@@ -13,7 +14,7 @@ type policy struct{}
 
 func (policy) Name() string { return "treematch" }
 
-func (policy) Place(req *place.Request) (*core.Map, error) {
+func (policy) Place(_ context.Context, req *place.Request) (*core.Map, error) {
 	if req.Traffic == nil {
 		return nil, fmt.Errorf("treematch: policy requires a traffic matrix")
 	}

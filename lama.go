@@ -25,6 +25,7 @@
 package lama
 
 import (
+	"context"
 	"lama/internal/appsim"
 	"lama/internal/bind"
 	"lama/internal/cluster"
@@ -163,8 +164,8 @@ func NewMapper(c *Cluster, l Layout, o Options) (*Mapper, error) {
 
 // SweepLayouts maps np ranks with every layout concurrently (bounded
 // worker pool, per-worker mapper reuse); results are in layout order.
-func SweepLayouts(c *Cluster, layouts []Layout, np int, o Options, workers int) ([]*Map, error) {
-	return core.SweepLayouts(c, layouts, np, o, workers)
+func SweepLayouts(ctx context.Context, c *Cluster, layouts []Layout, np int, o Options, workers int) ([]*Map, error) {
+	return core.SweepLayouts(ctx, c, layouts, np, o, workers)
 }
 
 // PlacedRanks returns the process-wide count of rank placements planned so
@@ -221,9 +222,10 @@ type (
 // levels of §V).
 func ParseArgs(args []string) (*LaunchRequest, error) { return mpirun.Parse(args) }
 
-// Execute plans a request against a cluster.
-func Execute(req *LaunchRequest, c *Cluster) (*LaunchResult, error) {
-	return mpirun.Execute(req, c)
+// Execute plans a request against a cluster. The context cancels the
+// place/stage phases at their boundaries.
+func Execute(ctx context.Context, req *LaunchRequest, c *Cluster) (*LaunchResult, error) {
+	return mpirun.Execute(ctx, req, c)
 }
 
 // ShortcutLayout returns the Level 3 layout a Level 2 shortcut lowers to.
@@ -281,12 +283,14 @@ func PolicyNames() []string { return place.Names() }
 
 // Place resolves a policy by name and runs it under the uniform
 // instrumentation contract (see place.Run).
-func Place(name string, req *PlaceRequest) (*Map, error) { return place.Place(name, req) }
+func Place(ctx context.Context, name string, req *PlaceRequest) (*Map, error) {
+	return place.Place(ctx, name, req)
+}
 
 // PlaceSweep runs every job across a bounded worker pool; results are in
 // job order (the policy-generic form of SweepLayouts).
-func PlaceSweep(jobs []PlaceJob, workers int) ([]*Map, error) {
-	return place.Sweep(jobs, workers)
+func PlaceSweep(ctx context.Context, jobs []PlaceJob, workers int) ([]*Map, error) {
+	return place.Sweep(ctx, jobs, workers)
 }
 
 // ReorderPass is the rank-reordering post-pass stage for PlacePipeline /
@@ -299,40 +303,40 @@ type ReorderPass = reorder.Pass
 // mapping strategies of the paper's related work. Each is a thin shim over
 // the corresponding registry policy.
 func BySlot(c *Cluster, np int) (*Map, error) {
-	return place.Place("by-slot", &place.Request{Cluster: c, NP: np})
+	return place.Place(context.Background(), "by-slot", &place.Request{Cluster: c, NP: np})
 }
 
 // ByNode deals ranks round-robin across nodes.
 func ByNode(c *Cluster, np int) (*Map, error) {
-	return place.Place("by-node", &place.Request{Cluster: c, NP: np})
+	return place.Place(context.Background(), "by-node", &place.Request{Cluster: c, NP: np})
 }
 
 // PackAt fills each object of a level before the next (MPICH2-style).
 func PackAt(c *Cluster, l Level, np int) (*Map, error) {
-	return place.Place("pack", &place.Request{Cluster: c, NP: np, PackLevel: l})
+	return place.Place(context.Background(), "pack", &place.Request{Cluster: c, NP: np, PackLevel: l})
 }
 
 // ScatterAt deals ranks round-robin across the objects of a level.
 func ScatterAt(c *Cluster, l Level, np int) (*Map, error) {
-	return place.Place("scatter", &place.Request{Cluster: c, NP: np, PackLevel: l})
+	return place.Place(context.Background(), "scatter", &place.Request{Cluster: c, NP: np, PackLevel: l})
 }
 
 // RandomMap places ranks on a seeded random PU permutation.
 func RandomMap(c *Cluster, seed int64, np int) (*Map, error) {
-	return place.Place("random", &place.Request{Cluster: c, NP: np, Seed: seed})
+	return place.Place(context.Background(), "random", &place.Request{Cluster: c, NP: np, Seed: seed})
 }
 
 // PlaneMap implements SLURM's plane distribution: blocks of blockSize
 // consecutive ranks dealt round-robin across nodes.
 func PlaneMap(c *Cluster, blockSize, np int) (*Map, error) {
-	return place.Place("plane", &place.Request{Cluster: c, NP: np, BlockSize: blockSize})
+	return place.Place(context.Background(), "plane", &place.Request{Cluster: c, NP: np, BlockSize: blockSize})
 }
 
 // TreeMatchMap places ranks traffic-aware, recursively partitioning the
 // communication matrix down the hardware tree (the related-work
 // comparator of the paper's reference [3]).
 func TreeMatchMap(c *Cluster, tm *TrafficMatrix, np int) (*Map, error) {
-	return place.Place("treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
+	return place.Place(context.Background(), "treematch", &place.Request{Cluster: c, NP: np, Traffic: tm})
 }
 
 // TorusDims is a 3-D torus shape; MapTorus performs BlueGene-style XYZT
@@ -341,7 +345,7 @@ type TorusDims = torus.Dims
 
 // MapTorus maps ranks by an xyzt-permutation over a torus-shaped cluster.
 func MapTorus(c *Cluster, d TorusDims, order string, np int) (*Map, error) {
-	return place.Place("torus", &place.Request{
+	return place.Place(context.Background(), "torus", &place.Request{
 		Cluster: c, NP: np, TorusDims: [3]int{d.X, d.Y, d.Z}, TorusOrder: order,
 	})
 }

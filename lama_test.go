@@ -1,6 +1,7 @@
 package lama_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -90,7 +91,7 @@ func TestMpirunFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := lama.Execute(req, c)
+	res, err := lama.Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMpirunFacade(t *testing.T) {
 		t.Fatalf("shortcut = %q", layout)
 	}
 	req2, _ := lama.ParseArgs([]string{"-np", "25", "--map-by", "socket"})
-	if _, err := lama.Execute(req2, c); !errors.Is(err, lama.ErrOversubscribe) {
+	if _, err := lama.Execute(context.Background(), req2, c); !errors.Is(err, lama.ErrOversubscribe) {
 		t.Fatalf("want ErrOversubscribe, got %v", err)
 	}
 }
@@ -246,7 +247,7 @@ func TestBindingReportFacade(t *testing.T) {
 	if !req.ReportBindings {
 		t.Fatal("flag lost")
 	}
-	res, err := lama.Execute(req, c)
+	res, err := lama.Execute(context.Background(), req, c)
 	if err != nil {
 		t.Fatal(err)
 	}
