@@ -106,7 +106,7 @@ func lintProvenance(mode string) (*jsonLint, error) {
 				dir = filepath.Dir(p)
 			}
 		}
-		diags, err := analysis.RunPackages(dir, []string{"./..."}, analysis.Suite(), true)
+		diags, _, err := analysis.RunPackages(dir, []string{"./..."}, analysis.Suite(), true)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %v", err)
 		}

@@ -1,5 +1,7 @@
 // Command lamavet runs the repository's static-analysis suite (see
-// internal/analysis): mapiter, nodeterm, obsvocab, and hotpath.
+// internal/analysis): mapiter, nodeterm, obsvocab, hotpath, ctxfirst,
+// and the lamavet/3 concurrency set — snapfrozen, lockcheck,
+// golifecycle, atomicmix.
 //
 // Standalone, the usual way:
 //
@@ -10,6 +12,16 @@
 // Whole-module checks (obsvocab's dead-vocabulary-entry detection) run
 // only when the ./... pattern is among the arguments, since they are
 // meaningless on a slice of the module.
+//
+// With -json, the report is a machine-readable object:
+//
+//	{"version": "lamavet/3",
+//	 "findings":     [{"analyzer", "file", "line", "col", "message"}, ...],
+//	 "suppressions": [{"analyzer", "file", "line", "col", "kind", "reason"}, ...]}
+//
+// so CI can surface findings as annotations and audit the accepted
+// //lama:*-ok exemption set without grepping the tree. The exit code is
+// the same as in plain mode.
 //
 // The binary also speaks the go vet -vettool protocol:
 //
@@ -72,7 +84,7 @@ func standalone() int {
 			whole = true
 		}
 	}
-	diags, err := analysis.RunPackages("", patterns, analysis.Suite(), whole)
+	diags, sups, err := analysis.RunPackages("", patterns, analysis.Suite(), whole)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lamavet: %v\n", err)
 		return 2
@@ -80,10 +92,7 @@ func standalone() int {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(jsonReport(diags, sups)); err != nil {
 			fmt.Fprintf(os.Stderr, "lamavet: %v\n", err)
 			return 2
 		}
@@ -99,6 +108,56 @@ func standalone() int {
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// jsonSuppression is one honored //lama:*-ok exemption in -json output.
+type jsonSuppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Kind     string `json:"kind"`
+	Reason   string `json:"reason"`
+}
+
+// jsonReport shapes the -json document. Slices are always present (never
+// null) so consumers can index without nil checks.
+func jsonReport(diags []analysis.Diagnostic, sups []analysis.Suppression) map[string]any {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	suppressions := make([]jsonSuppression, 0, len(sups))
+	for _, s := range sups {
+		suppressions = append(suppressions, jsonSuppression{
+			Analyzer: s.Analyzer,
+			File:     s.Pos.Filename,
+			Line:     s.Pos.Line,
+			Col:      s.Pos.Column,
+			Kind:     s.Kind,
+			Reason:   s.Reason,
+		})
+	}
+	return map[string]any{
+		"version":      analysis.Version,
+		"findings":     findings,
+		"suppressions": suppressions,
+	}
 }
 
 // vetConfig is the subset of the go command's vet config lamavet reads.

@@ -22,15 +22,50 @@
 //     sources (fmt formatting, map/slice composite literals, un-hinted
 //     append growth, capturing closures, implicit interface boxing) —
 //     the static form of TestMapAllocationsSteadyState's 3-allocs/op pin.
+//   - ctxfirst: context.Context parameters must come first (lamavet/2).
+//
+// The lamavet/3 analyzers turn the concurrent placement service's
+// shared-state discipline into compile-time checks:
+//
+//   - snapfrozen: published-immutability for cluster.Snapshot, hw.Topology
+//     views, and the dense pruned shapes — writes to frozen-type fields
+//     are legal only inside the //lama:mutator constructor/derivation
+//     whitelist of the defining package, mutations reached through a
+//     Snapshot (s.Cluster().Nodes[i] = ..., snapshot-held topology
+//     mutator calls) are findings anywhere, and //lama:cow functions must
+//     reference every field of their subject struct so a new field cannot
+//     silently escape a copy or the placement-equivalence fingerprint.
+//   - lockcheck: mutex discipline for engine/obs/rm/orte — fields
+//     annotated //lama:guards <mu> must be accessed with the mutex held
+//     (writes need the exclusive lock), locks must not be held across
+//     blocking operations (channel send/receive outside select-default,
+//     Observer.Emit, HTTP response writes), re-locking a held mutex and
+//     copying a mutex-bearing struct by value are reported.
+//   - golifecycle: every `go` statement in engine/obs/orte/parallel needs
+//     a provable join path — WaitGroup Add/Done pairing, termination by
+//     ranging over a closable channel, or a ctx.Done() cancellation
+//     select; fire-and-forget goroutines are findings.
+//   - atomicmix: a field accessed through sync/atomic somewhere must be
+//     accessed that way everywhere — mixed atomic and plain loads/stores
+//     on one field are reported at the plain sites.
 //
 // Annotation syntax (line comments, attached to the annotated line or the
-// line directly above; //lama:hotpath and //lama:coldpath also attach to
-// a function's doc comment):
+// line directly above; function-level kinds also attach to the doc
+// comment, type-level kinds to the type declaration's doc comment):
 //
 //	//lama:hotpath                 marks a hot-path root for `hotpath`
 //	//lama:coldpath <reason>       stops the hot-path walk at a callee
+//	//lama:frozen                  marks a struct type published-immutable
+//	//lama:mutator                 admits a function to its package's frozen-type write whitelist
+//	//lama:cow <Type>              requires the function to reference every field of Type
+//	//lama:guards <mutex>          names the sibling mutex guarding a struct field
+//	//lama:locked <reason>         documents a function called with the lock already held
 //	//lama:alloc-ok <reason>       accepts one allocation site on the hot path
 //	//lama:nondet-ok <reason>      accepts one mapiter/nodeterm finding
+//	//lama:mutation-ok <reason>    accepts one snapfrozen finding
+//	//lama:lock-ok <reason>        accepts one lockcheck finding
+//	//lama:join-ok <reason>        accepts one golifecycle finding
+//	//lama:atomic-ok <reason>      accepts one atomicmix finding
 //
 // Suppressions require a reason; a bare annotation is itself reported.
 package analysis
@@ -46,7 +81,7 @@ import (
 // Version identifies the analyzer suite; it is recorded by lamabench's
 // lint provenance field and printed by `lamavet -V=full`. Bump it when an
 // analyzer's findings change.
-const Version = "lamavet/2"
+const Version = "lamavet/3"
 
 // Analyzer is one named static check.
 type Analyzer struct {
@@ -73,6 +108,10 @@ type Pass struct {
 	Annot     *Annotations
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+	// ReportSuppression, if non-nil, records every reasoned suppression an
+	// analyzer honored, so drivers can surface accepted exemptions (the
+	// lamavet -json "suppressions" array) without re-scanning the tree.
+	ReportSuppression func(Suppression)
 }
 
 // Reportf reports a diagnostic at pos.
@@ -99,31 +138,48 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Suppression is one reasoned //lama:*-ok annotation an analyzer honored:
+// a finding that exists in the tree but is accepted, with its recorded
+// justification. lamavet -json reports these so CI can audit the exemption
+// set without grepping for annotations.
+type Suppression struct {
+	Analyzer string
+	Kind     string
+	Reason   string
+	Pos      token.Position
+}
+
 // Suite returns a fresh instance of every analyzer, in reporting order.
 // Instances carry per-run state (obsvocab accumulates the emission set),
 // so drivers must not share a suite between runs.
 func Suite() []*Analyzer {
-	return []*Analyzer{MapIter(), NoDeterm(), ObsVocab(), HotPath(), CtxFirst()}
+	return []*Analyzer{
+		MapIter(), NoDeterm(), ObsVocab(), HotPath(), CtxFirst(),
+		SnapFrozen(), LockCheck(), GoLifecycle(), AtomicMix(),
+	}
 }
 
 // RunPackages loads the packages matching patterns (resolved relative to
 // dir, "" meaning the current directory) and applies every analyzer of the
-// suite to each, returning all diagnostics sorted by position. Finish
-// hooks run when finish is true — pass true only when the patterns cover
-// the whole module, since whole-program checks are meaningless on a
-// slice of it.
-func RunPackages(dir string, patterns []string, suite []*Analyzer, finish bool) ([]Diagnostic, error) {
+// suite to each, returning all diagnostics sorted by position together
+// with every reasoned suppression the analyzers honored. Finish hooks run
+// when finish is true — pass true only when the patterns cover the whole
+// module, since whole-program checks are meaningless on a slice of it.
+func RunPackages(dir string, patterns []string, suite []*Analyzer, finish bool) ([]Diagnostic, []Suppression, error) {
 	loader := NewLoader(dir)
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var diags []Diagnostic
+	var sups []Suppression
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	for _, pkg := range pkgs {
 		for _, a := range suite {
-			if err := a.Run(pkg.Pass(a, report)); err != nil {
-				return diags, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			pass := pkg.Pass(a, report)
+			pass.ReportSuppression = func(s Suppression) { sups = append(sups, s) }
+			if err := a.Run(pass); err != nil {
+				return diags, sups, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -147,7 +203,14 @@ func RunPackages(dir string, patterns []string, suite []*Analyzer, finish bool) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags, sups, nil
 }
 
 // DeterministicPkgNames are the package names whose outputs must be

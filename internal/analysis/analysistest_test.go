@@ -21,7 +21,9 @@ import (
 func fixtureLoader(t *testing.T) *Loader {
 	t.Helper()
 	l := NewLoader(filepath.Join("..", ".."))
-	if err := l.Gather("lama/internal/obs", "fmt", "sort", "time", "math/rand", "os", "errors", "context"); err != nil {
+	if err := l.Gather("lama/internal/obs", "lama/internal/cluster", "lama/internal/hw",
+		"fmt", "sort", "time", "math/rand", "os", "errors", "context",
+		"sync", "sync/atomic", "net/http"); err != nil {
 		t.Fatalf("gather export data: %v", err)
 	}
 	return l
@@ -120,6 +122,10 @@ func TestFixtures(t *testing.T) {
 		{"obsvocab", ObsVocab()},
 		{"hotpath", HotPath()},
 		{"ctxfirst", CtxFirst()},
+		{"snapfrozen", SnapFrozen()},
+		{"lockcheck", LockCheck()},
+		{"golifecycle", GoLifecycle()},
+		{"atomicmix", AtomicMix()},
 	}
 	for _, c := range cases {
 		t.Run(c.fixture, func(t *testing.T) {
@@ -193,11 +199,16 @@ func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module analysis in -short mode")
 	}
-	diags, err := RunPackages(filepath.Join("..", ".."), []string{"./..."}, Suite(), true)
+	diags, sups, err := RunPackages(filepath.Join("..", ".."), []string{"./..."}, Suite(), true)
 	if err != nil {
 		t.Fatalf("run suite: %v", err)
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+	for _, s := range sups {
+		if s.Reason == "" {
+			t.Errorf("%s: %s: reasonless //lama:%s suppression recorded", s.Pos, s.Analyzer, s.Kind)
+		}
 	}
 }

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the mixed-synchronization analyzer (module-wide).
+//
+// A field that is accessed through sync/atomic anywhere must be accessed
+// that way everywhere: one plain load racing an atomic store is undefined
+// under the Go memory model even when "it's only a counter". The analyzer
+// collects every field whose address is passed to a sync/atomic function
+// (&s.f in atomic.AddInt64(&s.f, 1)) and reports every other selector of
+// the same field — the plain sites, where the fix belongs.
+//
+// Fields of the typed atomic kinds (atomic.Bool, atomic.Int64, ...) are
+// immune by construction: their only access path is method calls, so they
+// never mix and never appear here — that is the service layer's preferred
+// shape (RingSub.dropped, PhaseTimer.pprofLabels) and the analyzer's
+// documented false-positive-free class. Deliberate plain access (a
+// single-writer init before the struct is published) carries
+// //lama:atomic-ok <reason>.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "reports fields accessed both through sync/atomic and with plain loads/stores",
+	}
+	a.Run = func(pass *Pass) error {
+		atomicFields := map[*types.Var]bool{}
+		atomicSites := map[*ast.SelectorExpr]bool{}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(pass.TypesInfo, call)
+				if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if field := selectedField(pass.TypesInfo, sel); field != nil {
+						atomicFields[field] = true
+						atomicSites[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				field := selectedField(pass.TypesInfo, sel)
+				if field == nil || !atomicFields[field] {
+					return true
+				}
+				if suppressed(pass, sel.Pos(), AnnotAtomicOK) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; this plain access can race",
+					field.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// selectedField returns the struct field a selector denotes, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, _ := selection.Obj().(*types.Var)
+	return field
+}

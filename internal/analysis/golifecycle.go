@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifecycle returns the goroutine-lifecycle analyzer for the packages
+// that spawn workers (engine, obs, orte, parallel — matched by package
+// name so fixtures can opt in).
+//
+// Every `go` statement must have a provable join path, because a
+// fire-and-forget goroutine in the placement service outlives the request
+// (or the test) that spawned it and turns shutdown into a race. Accepted
+// evidence, checked in the goroutine body:
+//
+//   - WaitGroup pairing: the body calls wg.Done() AND the enclosing
+//     function calls Add on the same WaitGroup expression;
+//   - channel-range termination: the body ranges over a channel, so
+//     closing the channel joins the goroutine;
+//   - context cancellation: the body receives from a context's Done()
+//     channel.
+//
+// `go f(...)` with a named same-package callee is checked against f's
+// declaration body with the same evidence (Add pairing is waived there:
+// the conventional split puts Add at the spawn site and Done in the
+// worker). Everything else — including goroutines joined through
+// handshakes the analyzer cannot see — is a finding; the documented
+// false-positive class carries //lama:join-ok <reason>.
+func GoLifecycle() *Analyzer {
+	a := &Analyzer{
+		Name: "golifecycle",
+		Doc:  "requires a provable join path for every go statement in the worker packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg == nil || !goLifecyclePkgNames[pass.Pkg.Name()] {
+			return nil
+		}
+		decls := packageFuncDecls(pass)
+		for _, file := range pass.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						checkGoStmt(pass, decl, g, decls)
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// goLifecyclePkgNames are the packages golifecycle analyzes.
+var goLifecyclePkgNames = map[string]bool{
+	"engine": true, "obs": true, "orte": true, "parallel": true,
+}
+
+// packageFuncDecls indexes the package's function declarations by their
+// types object, so `go f()` can be resolved to f's body.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if f, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+				decls[f] = decl
+			}
+		}
+	}
+	return decls
+}
+
+// joinEvidence is what a goroutine body proves about its own termination.
+type joinEvidence struct {
+	doneBases []string // WaitGroup expressions the body calls Done on
+	rangeChan bool     // body ranges over a channel
+	ctxDone   bool     // body receives from a context Done() channel
+}
+
+func (ev joinEvidence) terminates() bool {
+	return ev.rangeChan || ev.ctxDone
+}
+
+// checkGoStmt verifies one go statement's join path.
+func checkGoStmt(pass *Pass, enclosing *ast.FuncDecl, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	var body *ast.BlockStmt
+	requireAdd := false
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		requireAdd = true // Add and Done must pair up in this function
+	default:
+		if f := calleeFunc(pass.TypesInfo, g.Call); f != nil {
+			if decl, ok := decls[f]; ok && decl.Body != nil {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		reportNoJoin(pass, g)
+		return
+	}
+	ev := collectJoinEvidence(pass, body)
+	if ev.terminates() {
+		return
+	}
+	if len(ev.doneBases) == 0 {
+		reportNoJoin(pass, g)
+		return
+	}
+	if !requireAdd {
+		return // named worker: Done in the body is sufficient evidence
+	}
+	for _, base := range ev.doneBases {
+		if callsAddOn(pass, enclosing.Body, base) {
+			return
+		}
+	}
+	if suppressed(pass, g.Pos(), AnnotJoinOK) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine calls %s.Done() but the enclosing function never calls %s.Add",
+		ev.doneBases[0], ev.doneBases[0])
+}
+
+// reportNoJoin emits the generic no-join-path finding.
+func reportNoJoin(pass *Pass, g *ast.GoStmt) {
+	if suppressed(pass, g.Pos(), AnnotJoinOK) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no provable join path (WaitGroup Done, channel range, or ctx.Done select)")
+}
+
+// collectJoinEvidence scans a goroutine body for termination evidence.
+func collectJoinEvidence(pass *Pass, body *ast.BlockStmt) joinEvidence {
+	var ev joinEvidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ev.rangeChan = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDoneCall(pass.TypesInfo, n.X) {
+				ev.ctxDone = true
+			}
+		case *ast.CallExpr:
+			if base, ok := waitGroupCall(pass.TypesInfo, n, "Done"); ok {
+				ev.doneBases = append(ev.doneBases, base)
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// isCtxDoneCall reports whether e is a ctx.Done() call on a
+// context.Context.
+func isCtxDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "Done" && f.Pkg() != nil && f.Pkg().Path() == "context"
+}
+
+// waitGroupCall decodes wg.Done()/wg.Add(n) into the WaitGroup base
+// expression.
+func waitGroupCall(info *types.Info, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	named := namedOf(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "WaitGroup" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// callsAddOn reports whether the function body calls base.Add(...).
+func callsAddOn(pass *Pass, body *ast.BlockStmt, base string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if b, ok := waitGroupCall(pass.TypesInfo, call, "Add"); ok && b == base {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

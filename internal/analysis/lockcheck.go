@@ -1,0 +1,559 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck returns the mutex-discipline analyzer for the service-layer
+// packages (engine, obs, rm, orte — matched by package name so fixtures
+// can opt in).
+//
+// Guarded fields are declared, not inferred: a struct field annotated
+// `//lama:guards <mutex>` names the sibling sync.Mutex/RWMutex that
+// protects it. The analyzer then walks every function with a linear
+// lock-state simulation (branches fork the state, sequential statements
+// thread it) and reports:
+//
+//   - access to a guarded field while its mutex is provably not held in
+//     the enclosing function — functions whose name ends in "Locked", or
+//     annotated //lama:locked <reason>, are exempt (their contract is
+//     that the caller holds the lock);
+//   - writes to a guarded field under RLock — a read lock only licenses
+//     loads;
+//   - locking a mutex already held by this function (self-deadlock);
+//   - blocking operations while any lock is held: channel sends and
+//     receives outside a select with a default arm, select without
+//     default, Observer.Emit (fans out to sinks that may block),
+//     http.ResponseWriter writes, and time.Sleep;
+//   - passing or receiving a Mutex-bearing struct by value, which copies
+//     the lock (and its held state) out from under its other users.
+//
+// The simulation is intraprocedural; closures run with an empty lock set.
+// A closure that relies on its caller's lock is therefore the documented
+// false-positive class and carries //lama:lock-ok <reason>.
+func LockCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "enforces //lama:guards mutex discipline in the service-layer packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg == nil || !lockCheckPkgNames[pass.Pkg.Name()] {
+			return nil
+		}
+		v := &lockVisitor{pass: pass, guards: map[*types.Var]string{}}
+		for _, file := range pass.Files {
+			v.collectGuards(file)
+		}
+		for _, file := range pass.Files {
+			for _, d := range file.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				v.checkSignature(decl)
+				if decl.Body == nil {
+					continue
+				}
+				v.exempt = strings.HasSuffix(decl.Name.Name, "Locked") ||
+					lockedAnnotation(pass, decl)
+				v.walk(decl.Body.List, lockState{})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// lockCheckPkgNames are the packages lockcheck analyzes, by package name.
+var lockCheckPkgNames = map[string]bool{
+	"engine": true, "obs": true, "rm": true, "orte": true,
+}
+
+// lockedAnnotation reports whether the function carries a reasoned
+// //lama:locked annotation (callers hold the lock); a reasonless one is
+// itself a finding.
+func lockedAnnotation(pass *Pass, decl *ast.FuncDecl) bool {
+	ann := funcAnnotation(pass, decl, AnnotLocked)
+	if ann == nil {
+		return false
+	}
+	if ann.Reason == "" {
+		pass.Reportf(decl.Pos(),
+			"//lama:locked annotation requires a reason naming the lock the caller holds")
+		return false
+	}
+	if pass.ReportSuppression != nil {
+		pass.ReportSuppression(Suppression{
+			Analyzer: pass.Analyzer.Name,
+			Kind:     AnnotLocked,
+			Reason:   ann.Reason,
+			Pos:      pass.Fset.Position(decl.Pos()),
+		})
+	}
+	return true
+}
+
+// lockMode is how a mutex is held.
+type lockMode int
+
+const (
+	lockExcl lockMode = iota + 1 // Lock
+	lockRead                     // RLock
+)
+
+// lockState maps a canonical mutex expression ("s.mu") to how it is held
+// at the current program point.
+type lockState map[string]lockMode
+
+func (st lockState) clone() lockState {
+	c := make(lockState, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// anyHeld returns a held mutex name for blocking-operation diagnostics.
+func (st lockState) anyHeld() (string, bool) {
+	for k := range st {
+		return k, true
+	}
+	return "", false
+}
+
+type lockVisitor struct {
+	pass   *Pass
+	guards map[*types.Var]string // guarded field -> sibling mutex name
+	exempt bool                  // current function: *Locked / //lama:locked
+}
+
+// collectGuards records the file's //lama:guards field annotations and
+// validates that the named mutex is a sibling field.
+func (v *lockVisitor) collectGuards(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		stct, ok := n.(*ast.StructType)
+		if !ok || stct.Fields == nil {
+			return true
+		}
+		for _, field := range stct.Fields.List {
+			ann := v.pass.Annot.At(v.pass.Fset, field.Pos(), AnnotGuards)
+			if ann == nil {
+				continue
+			}
+			if ann.Reason == "" {
+				v.pass.Reportf(field.Pos(),
+					"//lama:guards annotation requires the guarding mutex name (\"//lama:guards <mutex>\")")
+				continue
+			}
+			if !structHasMutex(stct, ann.Reason, v.pass.TypesInfo) {
+				v.pass.Reportf(field.Pos(),
+					"//lama:guards %s: no sibling sync.Mutex or sync.RWMutex field named %s",
+					ann.Reason, ann.Reason)
+				continue
+			}
+			for _, name := range field.Names {
+				if obj, ok := v.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					v.guards[obj] = ann.Reason
+				}
+			}
+		}
+		return true
+	})
+}
+
+// structHasMutex reports whether the struct literally declares a
+// sync.Mutex or sync.RWMutex field with the given name.
+func structHasMutex(stct *ast.StructType, name string, info *types.Info) bool {
+	for _, field := range stct.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			return isMutexType(info.TypeOf(field.Type))
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// checkSignature reports parameters and receivers that copy a
+// mutex-bearing struct by value.
+func (v *lockVisitor) checkSignature(decl *ast.FuncDecl) {
+	check := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := v.pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name, ok := bearsMutex(t); ok {
+				if suppressed(v.pass, field.Pos(), AnnotLockOK) {
+					continue
+				}
+				v.pass.Reportf(field.Pos(),
+					"%s copies lock-bearing %s by value; pass a pointer", decl.Name.Name, name)
+			}
+		}
+	}
+	check(decl.Recv)
+	check(decl.Type.Params)
+}
+
+// bearsMutex reports whether t is a struct type that directly contains a
+// mutex (or is itself one).
+func bearsMutex(t types.Type) (string, bool) {
+	if isMutexType(t) {
+		return types.TypeString(t, nil), true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return types.TypeString(t, nil), true
+		}
+	}
+	return "", false
+}
+
+// mutexCall decodes m.Lock()/RLock()/Unlock()/RUnlock() into the canonical
+// mutex key and method name.
+func (v *lockVisitor) mutexCall(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexType(v.pass.TypesInfo.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// walk simulates the statements with the current lock state. st is
+// threaded through sequential statements; nested control flow forks a
+// clone so a lock taken in one branch does not leak into its sibling.
+func (v *lockVisitor) walk(stmts []ast.Stmt, st lockState) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if key, method, ok := v.mutexCall(call); ok {
+					v.applyMutexOp(call, key, method, st)
+					continue
+				}
+			}
+			v.checkExpr(s.X, st)
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held to function end, which
+			// the fall-through state already models; other deferred calls
+			// run with an unknown state, so only their argument
+			// expressions are checked.
+			if _, method, ok := v.mutexCall(s.Call); ok &&
+				(method == "Unlock" || method == "RUnlock") {
+				continue
+			}
+			for _, arg := range s.Call.Args {
+				v.checkExpr(arg, st)
+			}
+			v.checkExpr(s.Call.Fun, lockState{})
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				v.checkExpr(rhs, st)
+			}
+			for _, lhs := range s.Lhs {
+				v.checkWrite(lhs, st)
+			}
+		case *ast.IncDecStmt:
+			v.checkWrite(s.X, st)
+		case *ast.SendStmt:
+			if key, held := st.anyHeld(); held {
+				v.reportBlocking(s.Pos(), "channel send", key)
+			}
+			v.checkExpr(s.Chan, st)
+			v.checkExpr(s.Value, st)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				v.walk([]ast.Stmt{s.Init}, st)
+			}
+			v.checkExpr(s.Cond, st)
+			v.walk(s.Body.List, st.clone())
+			if s.Else != nil {
+				v.walk([]ast.Stmt{s.Else}, st.clone())
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				v.walk([]ast.Stmt{s.Init}, st)
+			}
+			if s.Cond != nil {
+				v.checkExpr(s.Cond, st)
+			}
+			body := st.clone()
+			v.walk(s.Body.List, body)
+			if s.Post != nil {
+				v.walk([]ast.Stmt{s.Post}, body)
+			}
+		case *ast.RangeStmt:
+			v.checkExpr(s.X, st)
+			v.walk(s.Body.List, st.clone())
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				v.walk([]ast.Stmt{s.Init}, st)
+			}
+			if s.Tag != nil {
+				v.checkExpr(s.Tag, st)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, e := range cc.List {
+						v.checkExpr(e, st)
+					}
+					v.walk(cc.Body, st.clone())
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				v.walk([]ast.Stmt{s.Init}, st)
+			}
+			v.walk([]ast.Stmt{s.Assign}, st)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					v.walk(cc.Body, st.clone())
+				}
+			}
+		case *ast.SelectStmt:
+			v.walkSelect(s, st)
+		case *ast.BlockStmt:
+			v.walk(s.List, st)
+		case *ast.GoStmt:
+			for _, arg := range s.Call.Args {
+				v.checkExpr(arg, st)
+			}
+			v.checkExpr(s.Call.Fun, lockState{})
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				v.checkExpr(r, st)
+			}
+		case *ast.LabeledStmt:
+			v.walk([]ast.Stmt{s.Stmt}, st)
+		default:
+			if stmt != nil {
+				ast.Inspect(stmt, func(n ast.Node) bool {
+					if e, ok := n.(ast.Expr); ok {
+						v.checkExpr(e, st)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// applyMutexOp updates the lock state for a Lock-family call.
+func (v *lockVisitor) applyMutexOp(call *ast.CallExpr, key, method string, st lockState) {
+	switch method {
+	case "Lock", "RLock":
+		if _, held := st[key]; held {
+			if !suppressed(v.pass, call.Pos(), AnnotLockOK) {
+				v.pass.Reportf(call.Pos(),
+					"%s locked again while already held in this function (self-deadlock)", key)
+			}
+		}
+		if method == "Lock" {
+			st[key] = lockExcl
+		} else {
+			st[key] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(st, key)
+	}
+}
+
+// walkSelect handles select statements: one with a default arm is
+// non-blocking; one without blocks and must not run under a lock.
+func (v *lockVisitor) walkSelect(s *ast.SelectStmt, st lockState) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		if key, held := st.anyHeld(); held {
+			v.reportBlocking(s.Pos(), "select without a default arm", key)
+		}
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil {
+			// The comm op itself is non-blocking by select semantics (with
+			// default) or already reported (without); check its operands
+			// for guarded-field access only.
+			ast.Inspect(cc.Comm, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					v.checkGuardedSel(sel, st, false)
+				}
+				return true
+			})
+		}
+		v.walk(cc.Body, st.clone())
+	}
+}
+
+// checkWrite checks an assignment target: the selector being assigned is
+// a write; everything below it is a read.
+func (v *lockVisitor) checkWrite(lhs ast.Expr, st lockState) {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			v.checkExpr(x.Index, st)
+			e = ast.Unparen(x.X)
+			continue
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+			continue
+		}
+		break
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		v.checkGuardedSel(sel, st, true)
+		v.checkExpr(sel.X, st)
+		return
+	}
+	v.checkExpr(e, st)
+}
+
+// checkExpr scans an expression for guarded-field reads and blocking
+// operations under a held lock. Closures run with an empty lock state —
+// the analyzer cannot see who calls them.
+func (v *lockVisitor) checkExpr(expr ast.Expr, st lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			v.walk(n.Body.List, lockState{})
+			return false
+		case *ast.SelectorExpr:
+			v.checkGuardedSel(n, st, false)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key, held := st.anyHeld(); held {
+					v.reportBlocking(n.Pos(), "channel receive", key)
+				}
+			}
+		case *ast.CallExpr:
+			v.checkBlockingCall(n, st)
+		}
+		return true
+	})
+}
+
+// checkGuardedSel reports access to a guarded field without its mutex.
+func (v *lockVisitor) checkGuardedSel(sel *ast.SelectorExpr, st lockState, write bool) {
+	selection, ok := v.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	guard, guarded := v.guards[field]
+	if !guarded || v.exempt {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + guard
+	mode, held := st[key]
+	if !held {
+		if suppressed(v.pass, sel.Pos(), AnnotLockOK) {
+			return
+		}
+		v.pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but accessed without holding it",
+			types.ExprString(sel.X), field.Name(), key)
+		return
+	}
+	if write && mode == lockRead {
+		if suppressed(v.pass, sel.Pos(), AnnotLockOK) {
+			return
+		}
+		v.pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but written under RLock; writes need the exclusive Lock",
+			types.ExprString(sel.X), field.Name(), key)
+	}
+}
+
+// checkBlockingCall reports calls that can block indefinitely while a
+// lock is held: Observer.Emit, http.ResponseWriter writes, time.Sleep.
+func (v *lockVisitor) checkBlockingCall(call *ast.CallExpr, st lockState) {
+	key, held := st.anyHeld()
+	if !held {
+		return
+	}
+	f := calleeFunc(v.pass.TypesInfo, call)
+	if f == nil {
+		return
+	}
+	switch {
+	case obsMethod(f, "Emit"):
+		v.reportBlocking(call.Pos(), "Observer.Emit", key)
+	case pkgFunc(f, "time", "Sleep"):
+		v.reportBlocking(call.Pos(), "time.Sleep", key)
+	case isResponseWriterMethod(v.pass.TypesInfo, call):
+		v.reportBlocking(call.Pos(), "http response write", key)
+	}
+}
+
+// isResponseWriterMethod reports whether the call's receiver is an
+// http.ResponseWriter.
+func isResponseWriterMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	named := namedOf(info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "ResponseWriter"
+}
+
+// reportBlocking reports one blocking-under-lock finding.
+func (v *lockVisitor) reportBlocking(pos token.Pos, op, key string) {
+	if suppressed(v.pass, pos, AnnotLockOK) {
+		return
+	}
+	v.pass.Reportf(pos, "%s while holding %s; release the lock first", op, key)
+}

@@ -1,0 +1,53 @@
+// Package atomicmix is the golden fixture for the atomicmix analyzer:
+// fields touched through sync/atomic must be touched that way everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+// counters mixes access styles on hits, keeps misses purely atomic, and
+// uses a typed atomic for flag — the immune-by-construction shape.
+type counters struct {
+	hits   int64
+	misses int64
+	flag   atomic.Bool
+	inited int64
+}
+
+// record is all-atomic: clean.
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+	atomic.AddInt64(&c.inited, 1)
+}
+
+// report mixes a plain load of hits with the atomic use above.
+func (c *counters) report() int64 {
+	return c.hits + atomic.LoadInt64(&c.misses) // want `field hits is accessed with sync/atomic elsewhere in this package; this plain access can race`
+}
+
+// reset mixes a plain store.
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere in this package; this plain access can race`
+}
+
+// enable and enabled use the typed atomic.Bool: its only access path is
+// method calls, so it can never mix — the analyzer's false-positive-free
+// class, and the preferred shape for new code.
+func (c *counters) enable()       { c.flag.Store(true) }
+func (c *counters) enabled() bool { return c.flag.Load() }
+
+// newCounters plain-writes inited before the struct is published — the
+// accepted single-writer exemption, with a reason.
+func newCounters() *counters {
+	c := &counters{}
+	//lama:atomic-ok constructor runs before the struct is shared; no concurrent reader exists yet
+	c.inited = 1
+	return c
+}
+
+// reinit does the same without a reason: the finding stands and the bare
+// annotation is reported.
+func (c *counters) reinit() {
+	//lama:atomic-ok
+	c.inited = 0 // want `field inited is accessed with sync/atomic elsewhere in this package; this plain access can race` `annotation requires a reason`
+}

@@ -1,0 +1,106 @@
+// Package parallel is the golden fixture for the golifecycle analyzer.
+// It is named after a worker package because golifecycle scopes itself by
+// package name.
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// fanout is the canonical joined shape: Add at the spawn site, Done in
+// the goroutine, Wait before returning.
+func fanout(n int, work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// drain is joined by channel close: the goroutine exits when ch closes.
+func drain(ch chan int, work func(int)) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// watch is joined by context cancellation.
+func watch(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// leak is fire-and-forget: nothing ever joins it.
+func leak(work func()) {
+	go func() { // want `goroutine has no provable join path`
+		work()
+	}()
+}
+
+// doneWithoutAdd pairs a Done with no Add: Wait returns immediately and
+// the goroutine races the caller's teardown.
+func doneWithoutAdd(work func()) {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine calls wg.Done\(\) but the enclosing function never calls wg.Add`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// spawnOpaque starts a function the analyzer cannot see into (no
+// same-package declaration body with join evidence).
+func spawnOpaque(work func()) {
+	go work() // want `goroutine has no provable join path`
+}
+
+// pool spawns a named same-package worker whose body proves termination
+// by ranging over the jobs channel: clean.
+func pool(jobs chan int) {
+	go consume(jobs)
+}
+
+// consume drains jobs until the channel closes.
+func consume(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// handshake is the documented false-positive class: the goroutine is
+// joined through a done-channel handshake the analyzer cannot prove, so
+// it carries a reasoned suppression.
+func handshake(work func()) chan struct{} {
+	done := make(chan struct{})
+	//lama:join-ok caller blocks on the done channel; the close below is the join
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// handshakeBare is the same shape without a reason: the finding stands
+// and the bare annotation is reported.
+func handshakeBare(work func()) chan struct{} {
+	done := make(chan struct{})
+	//lama:join-ok
+	go func() { // want `goroutine has no provable join path` `annotation requires a reason`
+		defer close(done)
+		work()
+	}()
+	return done
+}

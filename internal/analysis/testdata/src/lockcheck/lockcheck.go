@@ -1,0 +1,178 @@
+// Package engine is the golden fixture for the lockcheck analyzer. It is
+// named after a service-layer package because lockcheck, like mapiter's
+// deterministic gate, scopes itself by package name.
+package engine
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// store is the canonical guarded shape: fields annotated //lama:guards
+// name the sibling mutex that protects them.
+type store struct {
+	mu    sync.RWMutex
+	items map[string]int //lama:guards mu
+	hits  int            //lama:guards mu
+	name  string         // unguarded on purpose: set once before publication
+}
+
+// get holds the read lock over a read: clean.
+func (s *store) get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+// put holds the exclusive lock over writes: clean.
+func (s *store) put(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.hits++
+	s.mu.Unlock()
+}
+
+// raw reads a guarded field with no lock at all.
+func (s *store) raw(k string) int {
+	return s.items[k] // want `s.items is guarded by s.mu but accessed without holding it`
+}
+
+// countUnderRead writes under the read lock.
+func (s *store) countUnderRead() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits++ // want `s.hits is guarded by s.mu but written under RLock`
+}
+
+// branchy releases in one branch only; the sibling branch still holds.
+func (s *store) branchy(flush bool) int {
+	s.mu.Lock()
+	if flush {
+		s.mu.Unlock()
+		return s.items["x"] // want `s.items is guarded by s.mu but accessed without holding it`
+	}
+	n := s.items["x"]
+	s.mu.Unlock()
+	return n
+}
+
+// double self-deadlocks.
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s.mu locked again while already held in this function`
+	s.mu.Unlock()
+}
+
+// blockingSend sends on a channel while holding the lock.
+func (s *store) blockingSend(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.hits // want `channel send while holding s.mu`
+}
+
+// nonBlockingSend uses select-with-default under the lock: clean.
+func (s *store) nonBlockingSend(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- s.hits:
+	default:
+	}
+}
+
+// blockingReceive blocks on a receive while holding the lock.
+func (s *store) blockingReceive(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits = <-ch // want `channel receive while holding s.mu`
+}
+
+// blockingSelect has no default arm.
+func (s *store) blockingSelect(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without a default arm while holding s.mu`
+	case <-a:
+	case <-b:
+	}
+}
+
+// sleepy sleeps on the lock.
+func (s *store) sleepy() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+	s.mu.Unlock()
+}
+
+// serve writes an HTTP response while holding the lock — a slow client
+// would hold every other request hostage.
+func (s *store) serve(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Write([]byte(s.name)) // want `http response write while holding s.mu`
+}
+
+// sumLocked follows the *Locked naming convention: the caller holds s.mu,
+// so unguarded access here is clean.
+func (s *store) sumLocked() int {
+	return s.hits
+}
+
+// helper documents the same contract with an annotation.
+//
+//lama:locked every caller holds s.mu (see put)
+func (s *store) helper() int {
+	return s.hits
+}
+
+// helperBare claims the contract without saying which lock: reported.
+//
+//lama:locked
+func (s *store) helperBare() int { // want `//lama:locked annotation requires a reason`
+	return s.hits // want `s.hits is guarded by s.mu but accessed without holding it`
+}
+
+// byValue copies the mutex (and any held state) along with the struct.
+func byValue(s store) int { // want `byValue copies lock-bearing .*store by value`
+	return 0
+}
+
+// closureFP is the documented false-positive class: the analyzer gives
+// closures an empty lock set because it cannot see their call sites, so a
+// closure that runs synchronously under its caller's lock carries a
+// reasoned //lama:lock-ok.
+func (s *store) closureFP() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	func() {
+		//lama:lock-ok closure is invoked synchronously below, under closureFP's lock
+		s.hits++
+	}()
+}
+
+// closureLeak is the same shape without the suppression: reported.
+func (s *store) closureLeak() func() int {
+	return func() int {
+		return s.hits // want `s.hits is guarded by s.mu but accessed without holding it`
+	}
+}
+
+// badGuards exercises annotation validation: naming a non-mutex sibling,
+// and omitting the mutex name entirely.
+type badGuards struct {
+	mu sync.Mutex
+	//lama:guards lock
+	a int // want `//lama:guards lock: no sibling sync.Mutex or sync.RWMutex field named lock`
+	//lama:guards
+	b int // want `//lama:guards annotation requires the guarding mutex name`
+	// lock is an int, not a mutex.
+	lock int
+}
+
+// useBadGuards keeps the fixture vet-clean.
+func useBadGuards(g *badGuards) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.a + g.b + g.lock
+}

@@ -1,0 +1,115 @@
+// Package snapfrozen is the golden fixture for the snapfrozen analyzer:
+// frozen-type writes, mutator/cow whitelisting, snapshot-reached mutating
+// methods, the scratch-clone false-positive class, and suppression
+// hygiene.
+package snapfrozen
+
+import (
+	"lama/internal/cluster"
+	"lama/internal/hw"
+)
+
+// box is an in-package published-immutable type.
+//
+//lama:frozen
+type box struct {
+	vals []int
+	sum  int
+}
+
+// alias is annotated frozen but is not a struct — misuse is reported.
+//
+//lama:frozen
+type alias int // want `//lama:frozen on alias, which is not a struct type`
+
+// newBox is the whitelisted constructor; it may write box fields and must
+// reference every one of them.
+//
+//lama:mutator
+//lama:cow box
+func newBox(vals []int) *box {
+	b := &box{vals: vals}
+	for _, v := range vals {
+		b.sum += v
+	}
+	return b
+}
+
+// breakBox writes a frozen field outside the whitelist.
+func breakBox(b *box) {
+	b.sum = 0 // want `write into frozen type box outside a //lama:mutator function`
+}
+
+// growBox mutates a frozen type through an element write.
+func growBox(b *box, v int) {
+	b.vals[0] = v // want `write into frozen type box outside a //lama:mutator function`
+}
+
+// bumpBox mutates through an IncDec statement.
+func bumpBox(b *box) {
+	b.sum++ // want `write into frozen type box outside a //lama:mutator function`
+}
+
+// cloneBox is a copy-on-write clone that forgot the sum field — the
+// exhaustiveness check catches exactly this "added a field, forgot the
+// copy" hazard.
+//
+//lama:cow box
+func cloneBox(b *box) *box { // want `//lama:cow box: cloneBox does not reference field sum`
+	return &box{vals: append([]int(nil), b.vals...)}
+}
+
+// fullClone references every field and is clean.
+//
+//lama:mutator
+//lama:cow box
+func fullClone(b *box) *box {
+	return &box{vals: append([]int(nil), b.vals...), sum: b.sum}
+}
+
+// cowUnknown names a type the package does not declare.
+//
+//lama:cow missingType
+func cowUnknown() { // want `//lama:cow missingType: no struct type missingType in this package`
+}
+
+// cowBare is a //lama:cow without a subject type.
+//
+//lama:cow
+func cowBare() { // want `//lama:cow annotation requires a type name`
+}
+
+// corrupt mutates shared state reached through a cluster.Snapshot: the
+// direct write and the topology-mutator call are both findings, because
+// snapshots share node and topology pointers with their COW siblings.
+func corrupt(s *cluster.Snapshot, i int) {
+	s.Cluster().Nodes[i] = nil                                     // want `write into frozen type cluster.Snapshot outside a //lama:mutator function`
+	s.Cluster().Nodes[i].Topo.SetAvailable(hw.LevelCore, 0, false) // want `\(hw.Topology\).SetAvailable mutates shared state reached through frozen cluster.Snapshot`
+}
+
+// scratchMutation is the false-positive class the receiver-chain rule
+// exists for: mutating a scratch cluster or a private topology clone that
+// was never reached through a snapshot is ordinary, legal code and needs
+// no annotation.
+func scratchMutation(c *cluster.Cluster) *hw.CPUSet {
+	c.Nodes[0].Topo.SetAvailable(hw.LevelCore, 0, false)
+	scratch := c.Nodes[0].Topo.Clone()
+	scratch.Restrict(hw.NewCPUSet(0, 1))
+	return scratch.AllowedSet()
+}
+
+// fillCache is the accepted single-site exemption: a memoized fill with a
+// reasoned suppression.
+func fillCache(b *box) int {
+	if b.sum == 0 {
+		b.sum = b.vals[0] //lama:mutation-ok memoized fill: idempotent, single writer before publication
+	}
+	return b.sum
+}
+
+// badSuppress suppresses without a reason: the finding stands and the
+// bare annotation is itself reported.
+func badSuppress(b *box) {
+	//lama:mutation-ok
+	b.sum = 2 // want `write into frozen type box outside a //lama:mutator function` `annotation requires a reason`
+}

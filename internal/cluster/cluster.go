@@ -160,6 +160,9 @@ func (c *Cluster) Homogeneous() bool {
 }
 
 // Clone deep-copies the cluster, including any attached fault model.
+//
+//lama:cow Cluster
+//lama:cow Node
 func (c *Cluster) Clone() *Cluster {
 	out := &Cluster{Faults: c.Faults.Clone()}
 	for _, n := range c.Nodes {

@@ -203,6 +203,8 @@ func (m *FaultModel) Adopt(i int, src *FaultModel, srcIdx int) {
 }
 
 // Clone deep-copies the model.
+//
+//lama:cow FaultModel
 func (m *FaultModel) Clone() *FaultModel {
 	if m == nil {
 		return nil

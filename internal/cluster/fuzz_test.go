@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"testing"
+
+	"lama/internal/hw"
+)
+
+// FuzzParseHostfile drives the hostfile parser with arbitrary text and
+// checks the format/reparse round-trip on every accepted input: rendering
+// an accepted cluster with FormatHostfile and parsing it back must
+// reproduce the same node names, slot policy, and PU counts. Hostfiles
+// built from specs are regular, so the round-trip is exact for everything
+// this fuzzer can construct.
+func FuzzParseHostfile(f *testing.F) {
+	for _, s := range []string{
+		"node0 slots=8 spec=nehalem-ep\nnode1 slots=8 spec=nehalem-ep",
+		"old0 slots=2 spec=1:4:1 allowed=0-1",
+		"# comment\n\nn0 slots=1\nn1 slots=2 maxslots=2",
+		"a slots=1 spec=2:2:2:2:2:2:2:2",
+		"dup slots=1\ndup slots=1",
+		"bad slots=-1",
+		"bad spec=9999999:9999999:9999999",
+		"bad allowed=0-99999999999",
+		"x maxslots=1 slots=2",
+		"",
+	} {
+		f.Add(s)
+	}
+	def := hw.Spec{Boards: 1, Sockets: 1, NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: 2, PUs: 2}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := ParseHostfile(text, def)
+		if err != nil {
+			if c != nil {
+				t.Fatalf("ParseHostfile returned both a cluster and %v", err)
+			}
+			return
+		}
+		if c.NumNodes() == 0 {
+			t.Fatalf("accepted hostfile produced an empty cluster:\n%s", text)
+		}
+		out := FormatHostfile(c)
+		c2, err := ParseHostfile(out, def)
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\ninput:\n%s\nformatted:\n%s", err, text, out)
+		}
+		if c2.NumNodes() != c.NumNodes() {
+			t.Fatalf("round-trip node count %d != %d\nformatted:\n%s", c2.NumNodes(), c.NumNodes(), out)
+		}
+		for i, n := range c.Nodes {
+			m := c2.Nodes[i]
+			if m.Name != n.Name || m.Slots != n.Slots || m.MaxSlots != n.MaxSlots {
+				t.Fatalf("round-trip node %d: got %q slots=%d maxslots=%d, want %q slots=%d maxslots=%d",
+					i, m.Name, m.Slots, m.MaxSlots, n.Name, n.Slots, n.MaxSlots)
+			}
+			if m.Topo.NumPUs() != n.Topo.NumPUs() || m.Topo.NumUsablePUs() != n.Topo.NumUsablePUs() {
+				t.Fatalf("round-trip node %d: PUs %d/%d usable, want %d/%d",
+					i, m.Topo.NumUsablePUs(), m.Topo.NumPUs(),
+					n.Topo.NumUsablePUs(), n.Topo.NumPUs())
+			}
+		}
+	})
+}

@@ -31,6 +31,12 @@ import (
 // Epochs order the snapshots of one logical cluster and key placement
 // caches and pooled mapper state (internal/engine); a request carrying a
 // stale epoch is detectably out of date.
+//
+// lamavet's snapfrozen analyzer enforces the contract: writes into a
+// Snapshot are only legal in the //lama:mutator functions below, and
+// mutating a topology reached through a snapshot is a finding anywhere.
+//
+//lama:frozen
 type Snapshot struct {
 	epoch    uint64
 	c        *Cluster
@@ -42,6 +48,9 @@ type Snapshot struct {
 // at epoch 1. The cluster is deep-copied, so the caller is free to keep
 // mutating its copy; subsequent derived snapshots are copy-on-write and do
 // not pay the deep copy again.
+//
+//lama:mutator
+//lama:cow Snapshot
 func SnapshotOf(c *Cluster) *Snapshot {
 	s := &Snapshot{epoch: 1, c: c.Clone()}
 	s.nodeSigs = make([]string, len(s.c.Nodes))
@@ -73,7 +82,13 @@ func (s *Snapshot) Sig() string { return s.sig }
 // derive copies the snapshot's bookkeeping for a COW mutation: a fresh
 // Nodes slice (sharing every *Node pointer), a fresh nodeSigs slice, and a
 // cloned fault model (it is mutable history, and small). The caller then
-// replaces only the touched entries.
+// replaces only the touched entries — including sig, which starts empty
+// here precisely so a derivation that forgets to restamp it is visibly
+// broken rather than silently placement-equivalent to its parent.
+//
+//lama:mutator
+//lama:cow Snapshot
+//lama:cow Cluster
 func (s *Snapshot) derive() *Snapshot {
 	child := &Snapshot{
 		epoch: s.epoch + 1,
@@ -83,6 +98,7 @@ func (s *Snapshot) derive() *Snapshot {
 		},
 		nodeSigs: append([]string(nil), s.nodeSigs...),
 	}
+	child.sig = ""
 	return child
 }
 
@@ -91,6 +107,9 @@ func (s *Snapshot) derive() *Snapshot {
 // failed node — keep their exact *hw.Topology pointers, so their cached
 // pruned views stay live. The second result is false when i is out of
 // range (the receiver is returned unchanged).
+//
+//lama:mutator
+//lama:cow Node
 func (s *Snapshot) FailNode(i int) (*Snapshot, bool) {
 	n := s.c.Node(i)
 	if n == nil {
@@ -110,6 +129,9 @@ func (s *Snapshot) FailNode(i int) (*Snapshot, bool) {
 // are off-lined (a partial failure such as a dead core). The second result
 // is the number of PUs that changed from usable to failed; when zero the
 // receiver is returned unchanged and no new epoch is minted.
+//
+//lama:mutator
+//lama:cow Node
 func (s *Snapshot) FailPUs(i int, pus *hw.CPUSet) (*Snapshot, int) {
 	n := s.c.Node(i)
 	if n == nil {
@@ -130,6 +152,9 @@ func (s *Snapshot) FailPUs(i int, pus *hw.CPUSet) (*Snapshot, int) {
 // AppendNode derives a snapshot grown by one node (a realloc grant or an
 // elastic grow). The node is deep-copied on the way in so the caller's
 // copy stays independent.
+//
+//lama:mutator
+//lama:cow Node
 func (s *Snapshot) AppendNode(n *Node) *Snapshot {
 	child := s.derive()
 	nn := &Node{Name: n.Name, Topo: n.Topo.Clone(), Slots: n.Slots, MaxSlots: n.MaxSlots}
@@ -142,6 +167,9 @@ func (s *Snapshot) AppendNode(n *Node) *Snapshot {
 // ReplaceNode derives a snapshot in which node i is substituted by a deep
 // copy of n (realloc adoption: a spare takes over a failed node's logical
 // slot). Returns the receiver unchanged when i is out of range.
+//
+//lama:mutator
+//lama:cow Node
 func (s *Snapshot) ReplaceNode(i int, n *Node) (*Snapshot, bool) {
 	if s.c.Node(i) == nil {
 		return s, false
@@ -157,7 +185,10 @@ func (s *Snapshot) ReplaceNode(i int, n *Node) (*Snapshot, bool) {
 // nodeSig stamps one node: structural shape, the exact usable PU set
 // (ancestor availability included), and the slot policy. Everything a
 // mapping run can observe about the node is covered.
+//
+//lama:cow Node
 func nodeSig(n *Node) string {
+	_ = n.Name // excluded: renaming a node does not change how it maps
 	var sb strings.Builder
 	sb.WriteString(n.Topo.ShapeSig())
 	sb.WriteByte('|')

@@ -31,7 +31,11 @@ import (
 // prunedShape is the flattened structure of a pruned tree: node i's
 // children occupy indices firstKid[i] .. firstKid[i]+kidCount[i]-1, the
 // root is node 0, and nodes at the deepest pruned level carry a dense leaf
-// ID in leafID (-1 elsewhere). Shapes are immutable once built.
+// ID in leafID (-1 elsewhere). Shapes are immutable once built — they are
+// shared across every topology with the same ShapeSig, so lamavet's
+// snapfrozen analyzer holds writes to the buildShape whitelist.
+//
+//lama:frozen
 type prunedShape struct {
 	levels    []hw.Level
 	firstKid  []int32
@@ -62,6 +66,7 @@ func (ps *prunedShape) lookup(coords []int) int32 {
 // buildView uses to enumerate the corresponding objects.
 //
 //lama:coldpath one-off shape construction per (topology, layout)
+//lama:mutator
 func buildShape(t *hw.Topology, levels []hw.Level) *prunedShape {
 	ps := &prunedShape{
 		levels: levels,
@@ -101,7 +106,11 @@ func buildShape(t *hw.Topology, levels []hw.Level) *prunedShape {
 
 // nodeView is one topology's pruned view: the shared shape plus the
 // per-leaf object and usable-PU caches. A view is a snapshot of the
-// topology at generation gen; it is immutable once built.
+// topology at generation gen; it is immutable once built — views are
+// cached by (topology, generation) and shared across mappers, so writes
+// are held to the buildView whitelist.
+//
+//lama:frozen
 type nodeView struct {
 	shape   *prunedShape
 	gen     uint64
@@ -124,6 +133,7 @@ func (v *nodeView) usable(leaf int32) []int32 {
 // Object.UsablePUs).
 //
 //lama:coldpath one-off per-node view construction
+//lama:mutator
 func buildView(t *hw.Topology, shape *prunedShape) *nodeView {
 	v := &nodeView{
 		shape:   shape,

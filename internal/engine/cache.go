@@ -36,10 +36,11 @@ type cacheEntry struct {
 // lruCache is a mutex-guarded LRU of placement results. Capacity 0
 // disables it (get always misses, put drops).
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recent; values are *cacheEntry
-	index map[cacheKey]*list.Element
+	mu  sync.Mutex
+	cap int
+	//lama:guards mu
+	order *list.List                 // front = most recent; values are *cacheEntry
+	index map[cacheKey]*list.Element //lama:guards mu
 }
 
 func newLRU(capacity int) *lruCache {

@@ -46,6 +46,12 @@ type Snapshot struct {
 // bounded queue is full, or the request's context expired while queued.
 var ErrOverloaded = errors.New("engine: overloaded, request shed")
 
+// MaxNP bounds the process count a single request may ask for. It keeps a
+// hostile or corrupted request from driving the mapper into allocating a
+// rank table far beyond anything the cluster could place (2^20 ranks is
+// already an order of magnitude past the largest MPI jobs in production).
+const MaxNP = 1 << 20
+
 // ErrUnknownCluster is returned for requests naming an unregistered
 // cluster.
 var ErrUnknownCluster = errors.New("engine: unknown cluster")
@@ -103,7 +109,7 @@ type Response struct {
 // snapshot, swapped atomically under mu.
 type clusterEntry struct {
 	mu   sync.RWMutex
-	snap *Snapshot
+	snap *Snapshot //lama:guards mu
 }
 
 func (ce *clusterEntry) current() *Snapshot {
@@ -125,7 +131,7 @@ type Engine struct {
 	cfg Config
 
 	mu       sync.RWMutex
-	clusters map[string]*clusterEntry
+	clusters map[string]*clusterEntry //lama:guards mu
 
 	workers chan *worker
 	queue   chan struct{}
@@ -267,6 +273,9 @@ func (e *Engine) Swap(name string, next *Snapshot) (int, error) {
 func (e *Engine) Place(ctx context.Context, req *Request) (*Response, error) {
 	if req == nil {
 		return nil, fmt.Errorf("engine: nil request")
+	}
+	if req.NP < 0 || req.NP > MaxNP {
+		return nil, fmt.Errorf("engine: np %d out of range [0, %d]", req.NP, MaxNP)
 	}
 	e.mu.RLock()
 	ce := e.clusters[req.Cluster]

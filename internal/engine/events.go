@@ -51,6 +51,14 @@ func (e *Engine) ApplyEvent(name string, ev *Event) (uint64, int, error) {
 		if ev.Node < 0 || ev.Node >= cur.Clu.NumNodes() {
 			return 0, 0, fmt.Errorf("engine: fail-pus: no node %d in %q", ev.Node, name)
 		}
+		// Validate PU indices before building the bitmap: a negative index
+		// panics in CPUSet.Set and a huge one allocates its bit's worth of
+		// backing array.
+		for _, pu := range ev.PUs {
+			if pu < 0 || pu >= hw.MaxSpecPUs {
+				return 0, 0, fmt.Errorf("engine: fail-pus: PU index %d out of range [0, %d)", pu, hw.MaxSpecPUs)
+			}
+		}
 		s, changed := cur.Clu.FailPUs(ev.Node, hw.NewCPUSet(ev.PUs...))
 		if changed == 0 {
 			return cur.Clu.Epoch(), 0, nil

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+
+	_ "lama/internal/place/all"
+)
+
+// fuzzMux builds a small two-node engine and mounts the /v1 wire API on a
+// fresh mux. The base snapshot is returned so event fuzzing can re-publish
+// it between iterations: every mutation derives a copy-on-write child, so
+// the base itself is never written to and is safe to re-Register forever.
+func fuzzMux(f *testing.F) (*Engine, *http.ServeMux, *Snapshot) {
+	f.Helper()
+	sp, ok := hw.Preset("nehalem-ep")
+	if !ok {
+		f.Fatal("nehalem-ep preset missing")
+	}
+	base := &Snapshot{Clu: cluster.SnapshotOf(cluster.Homogeneous(2, sp))}
+	e := New(Config{Workers: 2, QueueDepth: 64})
+	if err := e.Register("fuzz", base); err != nil {
+		f.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	e.Mount(mux)
+	return e, mux, base
+}
+
+// FuzzPlaceHTTP throws arbitrary bodies at POST /v1/place. Whatever the
+// payload, the handler must answer with one of the documented statuses —
+// never panic, never 500.
+func FuzzPlaceHTTP(f *testing.F) {
+	_, mux, _ := fuzzMux(f)
+	for _, s := range []string{
+		`{"cluster":"fuzz","np":4}`,
+		`{"cluster":"fuzz","np":4,"policy":"lama","layout":"csbnh"}`,
+		`{"cluster":"fuzz","np":8,"pattern":"ring","pes_per_proc":2}`,
+		`{"cluster":"nope","np":1}`,
+		`{"cluster":"fuzz","np":-1}`,
+		`{"cluster":"fuzz","np":1048577}`,
+		`{"cluster":"fuzz","np":4,"epoch":9}`,
+		`{"cluster":"fuzz","np":999,"oversubscribe":false}`,
+		`{"np":4}`,
+		`nonsense`,
+		`{}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/place", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound,
+			http.StatusConflict, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("unexpected status %d for body %q: %s", w.Code, body, w.Body.Bytes())
+		}
+	})
+}
+
+// FuzzEventHTTP throws arbitrary bodies at the event ingestion endpoint.
+// The cluster is re-published from the pristine base before every
+// iteration so accepted events cannot compound into unbounded epochs or
+// node counts across the run.
+func FuzzEventHTTP(f *testing.F) {
+	e, mux, base := fuzzMux(f)
+	for _, s := range []string{
+		`{"type":"fail-node","node":0}`,
+		`{"type":"fail-pus","node":1,"pus":[0,1]}`,
+		`{"type":"fail-pus","node":0,"pus":[-1]}`,
+		`{"type":"fail-pus","node":0,"pus":[99999999999]}`,
+		`{"type":"add-node","preset":"nehalem-ep","slots":4,"name":"spare"}`,
+		`{"type":"add-node","preset":"bogus"}`,
+		`{"type":"bogus"}`,
+		`{"type":"fail-node","node":99}`,
+		`nonsense`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if err := e.Register("fuzz", base); err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/clusters/fuzz/events", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound:
+		default:
+			t.Fatalf("unexpected status %d for body %q: %s", w.Code, body, w.Body.Bytes())
+		}
+	})
+}

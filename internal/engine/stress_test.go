@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lama/internal/cluster"
+	"lama/internal/hw"
+
+	_ "lama/internal/place/all"
+)
+
+// TestSwapUnderLoad hammers Place from several readers while a writer
+// continuously fails and replaces nodes through Swap, and checks the
+// engine's staleness contract: once Swap has returned for epoch E, no
+// later Place may serve a placement (cached or fresh) from an epoch
+// before E. The writer stores a lower bound AFTER each Swap returns;
+// readers load the bound BEFORE calling Place, so any response below the
+// bound is a genuine stale leak (a cache entry that survived the purge or
+// a snapshot read racing the publish). Run with -race this also shakes
+// the clusterEntry and LRU locking.
+func TestSwapUnderLoad(t *testing.T) {
+	const (
+		nodes   = 4
+		swaps   = 150
+		readers = 4
+	)
+	sp, ok := hw.Preset("nehalem-ep")
+	if !ok {
+		t.Fatal("nehalem-ep preset missing")
+	}
+	e := New(Config{Workers: 4, QueueDepth: 256})
+	if err := e.Register("stress", &Snapshot{Clu: cluster.SnapshotOf(cluster.Homogeneous(nodes, sp))}); err != nil {
+		t.Fatal(err)
+	}
+
+	var bound atomic.Uint64 // epoch lower bound, stored only after Swap returns
+	bound.Store(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: alternately fail a node and replace it with a healthy one,
+	// so at most one node is down at any time and every epoch is
+	// placeable. Each derivation chains off the published snapshot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < swaps; i++ {
+			cur := e.Snapshot("stress")
+			target := i % nodes
+			var next *cluster.Snapshot
+			if i%2 == 0 {
+				s, ok := cur.Clu.FailNode(target)
+				if !ok {
+					t.Errorf("swap %d: FailNode(%d) refused", i, target)
+					return
+				}
+				next = s
+			} else {
+				s, ok := cur.Clu.ReplaceNode(target, &cluster.Node{Name: "spare", Topo: hw.New(sp)})
+				if !ok {
+					t.Errorf("swap %d: ReplaceNode(%d) refused", i, target)
+					return
+				}
+				next = s
+			}
+			if _, err := e.Swap("stress", &Snapshot{Clu: next}); err != nil {
+				t.Errorf("swap %d: %v", i, err)
+				return
+			}
+			bound.Store(next.Epoch())
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for np := 1; ; np = np%8 + 1 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := bound.Load()
+				resp, err := e.Place(ctx, &Request{Cluster: "stress", NP: np})
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						continue // shed under load is the documented behavior
+					}
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if resp.Epoch < floor {
+					t.Errorf("reader %d: stale placement: epoch %d below published bound %d (cached=%v)",
+						r, resp.Epoch, floor, resp.Cached)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

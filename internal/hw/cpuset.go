@@ -297,7 +297,9 @@ func ParseCPUSet(text string) (*CPUSet, error) {
 		if lo, hi, ok := strings.Cut(part, "-"); ok {
 			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
 			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
-			if err1 != nil || err2 != nil || a < 0 || a > b {
+			// The MaxSpecPUs ceiling keeps a hostile range ("0-9999999999")
+			// from expanding into a gigabyte-sized bitmap.
+			if err1 != nil || err2 != nil || a < 0 || a > b || b >= MaxSpecPUs {
 				return nil, fmt.Errorf("hw: bad cpuset range %q", part)
 			}
 			for i := a; i <= b; i++ {
@@ -305,7 +307,7 @@ func ParseCPUSet(text string) (*CPUSet, error) {
 			}
 		} else {
 			v, err := strconv.Atoi(part)
-			if err != nil || v < 0 {
+			if err != nil || v < 0 || v >= MaxSpecPUs {
 				return nil, fmt.Errorf("hw: bad cpuset element %q", part)
 			}
 			s.Set(v)

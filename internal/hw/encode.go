@@ -25,6 +25,9 @@ func toDTO(o *Object) objectDTO {
 	return d
 }
 
+// fromDTO rebuilds one object subtree from its decoded form.
+//
+//lama:mutator
 func fromDTO(d objectDTO, parent *Object, t *Topology) (*Object, error) {
 	level, ok := LevelByName(d.Level)
 	if !ok {
@@ -64,6 +67,8 @@ func (t *Topology) MarshalJSON() ([]byte, error) {
 // object must be a machine. Note: unlike Spec-built trees, decoded trees
 // may omit levels entirely; all hw queries handle that, but such trees
 // should be normalized with a Spec when a full 9-level tree is required.
+//
+//lama:mutator
 func (t *Topology) UnmarshalJSON(data []byte) error {
 	var d objectDTO
 	if err := json.Unmarshal(data, &d); err != nil {

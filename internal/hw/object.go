@@ -74,7 +74,7 @@ func (o *Object) PUSet() *CPUSet {
 			s.Or(c.PUSet())
 		}
 	}
-	o.puset = s
+	o.puset = s //lama:mutation-ok memoized fill: idempotent; reindex and Clone reset it
 	return s
 }
 

@@ -74,15 +74,23 @@ func ParseSpec(text string) (Spec, error) {
 		}
 		nums[i] = v
 	}
+	var sp Spec
 	switch len(nums) {
 	case 3: // s:c:h
-		return Spec{Boards: 1, Sockets: nums[0], NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: nums[1], PUs: nums[2]}, nil
+		sp = Spec{Boards: 1, Sockets: nums[0], NUMAs: 1, L3s: 1, L2s: 1, L1s: 1, Cores: nums[1], PUs: nums[2]}
 	case 8: // b:s:N:L3:L2:L1:c:h
-		return Spec{
+		sp = Spec{
 			Boards: nums[0], Sockets: nums[1], NUMAs: nums[2], L3s: nums[3],
 			L2s: nums[4], L1s: nums[5], Cores: nums[6], PUs: nums[7],
-		}, nil
+		}
 	default:
 		return Spec{}, fmt.Errorf("hw: bad spec %q: want preset name, s:c:h, or 8 colon-separated widths", text)
 	}
+	// Validate here, not just at tree-build time: parsed specs come from
+	// untrusted surfaces (hostfiles, CLI flags) and hw.New panics on
+	// invalid input.
+	if err := sp.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("hw: bad spec %q: %v", text, err)
+	}
+	return sp, nil
 }

@@ -34,13 +34,26 @@ func (sp Spec) widths() [NumLevels]int {
 	}
 }
 
-// Validate checks that all widths are at least 1.
+// MaxSpecPUs bounds how many PUs one spec-built machine may declare
+// (2^20, far beyond real hardware). Validate enforces it with an
+// overflow-safe running product, so parse surfaces fed hostile widths
+// ("9999999:9999999:...") fail with an error instead of attempting a
+// multi-gigabyte tree build — or silently overflowing TotalPUs.
+const MaxSpecPUs = 1 << 20
+
+// Validate checks that all widths are at least 1 and that the machine
+// stays within MaxSpecPUs total PUs.
 func (sp Spec) Validate() error {
 	w := sp.widths()
+	n := 1
 	for d := 1; d < NumLevels; d++ {
 		if w[d] < 1 {
 			return fmt.Errorf("hw: spec has non-positive width %d for %s", w[d], Level(d))
 		}
+		if w[d] > MaxSpecPUs/n {
+			return fmt.Errorf("hw: spec describes more than %d PUs", MaxSpecPUs)
+		}
+		n *= w[d]
 	}
 	return nil
 }
@@ -95,10 +108,14 @@ func (t *Topology) Generation() uint64 { return t.gen }
 
 // bump records a mutation: caches keyed by the previous generation are now
 // stale. Structural mutations additionally clear the shape signature.
+//
+//lama:mutator
 func (t *Topology) bump() { t.gen++ }
 
 // New builds a regular topology tree from the spec. It panics if the spec
 // is invalid (programmer error); use Spec.Validate to check first.
+//
+//lama:mutator
 func New(sp Spec) *Topology {
 	if err := sp.Validate(); err != nil {
 		panic(err)
@@ -216,6 +233,8 @@ func (t *Topology) CommonAncestorLevel(a, b int) Level {
 
 // SetAvailable marks the object at (level, logical) available or not.
 // It returns false if no such object exists.
+//
+//lama:mutator
 func (t *Topology) SetAvailable(level Level, logical int, avail bool) bool {
 	o := t.ObjectAt(level, logical)
 	if o == nil {
@@ -230,6 +249,8 @@ func (t *Topology) SetAvailable(level Level, logical int, avail bool) bool {
 // simulating a scheduler or cgroup restriction (paper §III-A). Interior
 // objects are left available; they become effectively unusable when all of
 // their PUs are disallowed.
+//
+//lama:mutator
 func (t *Topology) Restrict(allowed *CPUSet) {
 	for _, pu := range t.byLevel[LevelPU] {
 		if !allowed.Contains(pu.OS) {
@@ -244,6 +265,8 @@ func (t *Topology) Restrict(allowed *CPUSet) {
 // threads) and for withholding already-claimed PUs from an incremental
 // remap. It returns the number of PUs that changed from available to
 // unavailable.
+//
+//lama:mutator
 func (t *Topology) Offline(pus *CPUSet) int {
 	if pus == nil {
 		return 0
@@ -268,6 +291,8 @@ func (t *Topology) AllowedSet() *CPUSet { return t.Root.UsablePUSet() }
 // subtree, renumbering logical indices and sibling ranks, to model truly
 // irregular hardware (e.g. a board with a missing socket). The machine root
 // cannot be removed. It returns false if no such object exists.
+//
+//lama:mutator
 func (t *Topology) RemoveObject(level Level, logical int) bool {
 	o := t.ObjectAt(level, logical)
 	if o == nil || o.Parent == nil {
@@ -288,6 +313,8 @@ func (t *Topology) RemoveObject(level Level, logical int) bool {
 // reindex rebuilds per-level indexes, logical numbers, sibling ranks, and
 // clears cached PU sets and the shape signature after a structural
 // mutation.
+//
+//lama:mutator
 func (t *Topology) reindex() {
 	t.bump()
 	t.shapeSig = ""
@@ -308,9 +335,16 @@ func (t *Topology) reindex() {
 }
 
 // Clone returns a deep copy of the topology (objects, availability,
-// numbering).
+// numbering). The clone starts at generation zero with no cached PU sets:
+// it has no cache entries of its own yet, so resetting rather than copying
+// the memoized state is the correct copy.
+//
+//lama:mutator
+//lama:cow Topology
+//lama:cow Object
 func (t *Topology) Clone() *Topology {
 	c := &Topology{}
+	c.gen = 0 // excluded from the copy: a fresh tree has no stale caches
 	var copyObj func(o *Object, parent *Object) *Object
 	copyObj = func(o *Object, parent *Object) *Object {
 		n := &Object{
@@ -322,6 +356,7 @@ func (t *Topology) Clone() *Topology {
 			Available: o.Available,
 		}
 		c.byLevel[n.Level] = append(c.byLevel[n.Level], n)
+		n.puset = nil // excluded from the copy: memoized, rebuilt on demand
 		n.Children = make([]*Object, len(o.Children))
 		for i, ch := range o.Children {
 			n.Children[i] = copyObj(ch, n)
@@ -352,7 +387,7 @@ func (t *Topology) ShapeSig() string {
 		}
 	}
 	walk(t.Root)
-	t.shapeSig = string(sig)
+	t.shapeSig = string(sig) //lama:mutation-ok memoized fill: idempotent, derived only from frozen structure
 	return t.shapeSig
 }
 

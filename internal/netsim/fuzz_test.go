@@ -1,0 +1,52 @@
+package netsim
+
+import "testing"
+
+// FuzzParseNetwork drives the CLI network-spec parser with arbitrary
+// input. Accepted specs must yield a model that honors the Network
+// contract on a handful of node pairs: zero hops to self, symmetric hop
+// counts, non-negative latency, positive bandwidth.
+func FuzzParseNetwork(f *testing.F) {
+	for _, s := range []string{
+		"flat", "fat-tree", "fattree:8", "dragonfly", "dragonfly:4",
+		"torus", "torus:2x3x4", "torus:0x1x1", "torus:2x3",
+		"flat:1", "fat-tree:-1", "fat-tree:99999999999999999999",
+		"bogus", ":", "", "torus:XxYxZ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		net, err := ParseNetwork(spec, 16)
+		if err != nil {
+			if net != nil {
+				t.Fatalf("ParseNetwork(%q) returned both a network and %v", spec, err)
+			}
+			return
+		}
+		if net == nil {
+			t.Fatalf("ParseNetwork(%q) returned nil without an error", spec)
+		}
+		if net.Name() == "" {
+			t.Fatalf("ParseNetwork(%q): empty model name", spec)
+		}
+		for _, p := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {2, 7}, {7, 2}, {5, 5}, {3, 15}} {
+			a, b := p[0], p[1]
+			h := net.Hops(a, b)
+			if h < 0 {
+				t.Fatalf("%q: Hops(%d,%d) = %d < 0", spec, a, b, h)
+			}
+			if a == b && h != 0 {
+				t.Fatalf("%q: Hops(%d,%d) = %d, want 0 to self", spec, a, b, h)
+			}
+			if back := net.Hops(b, a); back != h {
+				t.Fatalf("%q: asymmetric hops: (%d,%d)=%d but (%d,%d)=%d", spec, a, b, h, b, a, back)
+			}
+			if lat := net.Latency(a, b); lat < 0 {
+				t.Fatalf("%q: Latency(%d,%d) = %v < 0", spec, a, b, lat)
+			}
+			if bw := net.Bandwidth(a, b); bw <= 0 {
+				t.Fatalf("%q: Bandwidth(%d,%d) = %v, want > 0", spec, a, b, bw)
+			}
+		}
+	})
+}

@@ -72,7 +72,8 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.Handler()}
-	go s.srv.Serve(ln) // Serve returns on Close
+	//lama:join-ok Serve returns when Close tears down the listener; Close is the join
+	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
 

@@ -123,8 +123,8 @@ type Sink interface {
 // jsonlSink writes one JSON object per line.
 type jsonlSink struct {
 	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	w   *bufio.Writer //lama:guards mu
+	err error         //lama:guards mu
 }
 
 // NewJSONLSink returns a sink writing JSON-Lines to w. Encoding errors are
@@ -157,7 +157,7 @@ func (s *jsonlSink) Close() error {
 // textSink writes human-readable lines.
 type textSink struct {
 	mu sync.Mutex
-	w  *bufio.Writer
+	w  *bufio.Writer //lama:guards mu
 }
 
 // NewTextSink returns a sink writing one human-readable line per event.
@@ -181,7 +181,7 @@ func (s *textSink) Close() error {
 // supervisor emit from their own goroutines.
 type MemorySink struct {
 	mu     sync.Mutex
-	events []Event
+	events []Event //lama:guards mu
 }
 
 // NewMemorySink returns an empty in-memory sink.

@@ -18,11 +18,15 @@ import (
 // workers or the supervisor is lock-free. A nil *Registry is valid: every
 // method returns a nil instrument whose update methods are no-ops.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.Mutex
+	//lama:guards mu
+	counters map[string]*Counter
+	//lama:guards mu
+	gauges map[string]*Gauge
+	//lama:guards mu
 	histograms map[string]*Histogram
-	infos      map[string]map[string]string
+	//lama:guards mu
+	infos map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -106,8 +110,8 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is +Inf
 
 	mu    sync.Mutex
-	sum   float64
-	total int64
+	sum   float64 //lama:guards mu
+	total int64   //lama:guards mu
 }
 
 // Observe records one value (no-op on nil).

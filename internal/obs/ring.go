@@ -29,12 +29,15 @@ type RingSink struct {
 	// methods are nil-safe, so leaving it nil is valid.
 	DropCounter *Counter
 
-	mu      sync.Mutex
-	buf     []Event
-	seq     uint64 // total events emitted; buf[(seq-1)%cap] is the newest
-	dropped int64  // events not delivered to some subscriber
-	subs    map[*RingSub]bool
-	closed  bool
+	mu sync.Mutex
+	//lama:guards mu
+	buf []Event
+	//lama:guards mu
+	seq uint64 // total events emitted; buf[(seq-1)%cap] is the newest
+	//lama:guards mu
+	dropped int64             // events not delivered to some subscriber
+	subs    map[*RingSub]bool //lama:guards mu
+	closed  bool              //lama:guards mu
 }
 
 // RingSub is one live subscription to a RingSink's event stream.

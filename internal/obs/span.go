@@ -25,8 +25,9 @@ type SpanRecord struct {
 // attribute samples per phase. Labels are flat: the innermost open span
 // wins, and its end restores the unlabeled state (see pprof.go).
 type PhaseTimer struct {
-	mu          sync.Mutex
-	epoch       time.Time
+	mu    sync.Mutex
+	epoch time.Time // immutable after construction
+	//lama:guards mu
 	spans       []SpanRecord
 	pprofLabels atomic.Bool
 }
